@@ -1,0 +1,31 @@
+//! MAC/PHY ablation bench: cost of the collision machinery. Runs the same
+//! full-stack scenario while exercising the channel paths that DESIGN.md
+//! calls out (capture on/off is a metric ablation — see
+//! `cargo run -p ecgrid-runner --bin ablations` — this bench tracks the
+//! runtime cost of the channel bookkeeping itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecgrid_bench::bench_scenario;
+use runner::{run_scenario, ProtocolKind, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mac");
+    g.sample_size(10);
+    // higher offered load stresses carrier sense + collision checks
+    for rate in [1.0, 10.0] {
+        g.bench_function(format!("ecgrid_rate{rate}pps"), |b| {
+            b.iter(|| {
+                let sc = Scenario {
+                    flow_rate_pps: rate,
+                    ..bench_scenario(ProtocolKind::Ecgrid, 42)
+                };
+                let r = run_scenario(&sc);
+                r.stats.corrupted
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Discrete-event core microbenches: binary heap vs calendar queue under
+//! the classic hold model, and scheduler overhead with cancellations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sim_engine::{CalendarQueue, EventQueue, PendingEvents, Scheduler, SimDuration, SimTime, SplitMix64};
+
+/// Hold model: pop the earliest event, reinsert at now + random increment.
+fn hold<Q: PendingEvents<u64>>(q: &mut Q, rng: &mut SplitMix64, ops: usize) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (t, _, v) = q.pop_next().expect("queue never empties in hold model");
+        acc = acc.wrapping_add(v);
+        let dt = 1 + (rng.next_u64() % 1_000_000);
+        q.insert(SimTime(t.0 + dt), v);
+    }
+    acc
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pending_event_set");
+    for &population in &[64usize, 1024, 16384] {
+        group.bench_function(format!("binary_heap/hold/{population}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut q = EventQueue::new();
+                    let mut rng = SplitMix64::new(7);
+                    for i in 0..population {
+                        q.insert(SimTime(rng.next_u64() % 1_000_000), i as u64);
+                    }
+                    (q, SplitMix64::new(13))
+                },
+                |(mut q, mut rng)| hold(&mut q, &mut rng, 1000),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("calendar_queue/hold/{population}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut q = CalendarQueue::new();
+                    let mut rng = SplitMix64::new(7);
+                    for i in 0..population {
+                        q.insert(SimTime(rng.next_u64() % 1_000_000), i as u64);
+                    }
+                    (q, SplitMix64::new(13))
+                },
+                |(mut q, mut rng)| hold(&mut q, &mut rng, 1000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/schedule_fire_cancel", |b| {
+        b.iter_batched(
+            Scheduler::<u32>::new,
+            |mut s| {
+                let mut kept = Vec::with_capacity(128);
+                for i in 0..512u32 {
+                    let h = s.schedule_in(SimDuration::from_micros(i as u64 + 1), i);
+                    if i % 4 == 0 {
+                        s.cancel(h);
+                    } else {
+                        kept.push(h);
+                    }
+                }
+                let mut n = 0;
+                while s.next().is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, 384);
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_queues, bench_scheduler);
+criterion_main!(benches);

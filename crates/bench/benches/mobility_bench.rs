@@ -1,0 +1,64 @@
+//! Mobility microbenches: trace generation, position queries, and
+//! grid-crossing enumeration — the closed-form machinery that replaces
+//! per-tick position updates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use geo::GridMap;
+use mobility::{MobilityModel, RandomWaypoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_engine::SimTime;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let model = RandomWaypoint::paper(10.0, 0.0);
+    c.bench_function("mobility/build_trace_2000s", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(42),
+            |mut rng| model.build_trace(&mut rng, SimTime::from_secs(2000)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_position_queries(c: &mut Criterion) {
+    let model = RandomWaypoint::paper(10.0, 30.0);
+    let mut rng = StdRng::seed_from_u64(42);
+    let trace = model.build_trace(&mut rng, SimTime::from_secs(2000));
+    c.bench_function("mobility/position_at_1k_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000u64 {
+                let t = SimTime::from_millis(i * 1999);
+                let p = trace.position_at(t);
+                acc += p.x + p.y;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_crossing_enumeration(c: &mut Criterion) {
+    let model = RandomWaypoint::paper(10.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(42);
+    let trace = model.build_trace(&mut rng, SimTime::from_secs(2000));
+    let map = GridMap::paper_default();
+    c.bench_function("mobility/enumerate_all_crossings_2000s", |b| {
+        b.iter(|| {
+            let mut t = SimTime::ZERO;
+            let mut n = 0u32;
+            while let Some((at, _)) = trace.next_cell_crossing(&map, t) {
+                t = at + sim_engine::SimDuration::from_micros(1);
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_position_queries,
+    bench_crossing_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Radio-substrate and energy-meter microbenches: carrier sense and
+//! collision queries on a loaded channel; piecewise energy integration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use energy::{Battery, EnergyMeter, PowerProfile, RadioMode};
+use geo::Point2;
+use radio::{ChannelState, NodeId};
+use sim_engine::{SimDuration, SimTime};
+
+fn loaded_channel(n: usize) -> ChannelState {
+    let mut ch = ChannelState::paper_default();
+    for i in 0..n {
+        let x = (i as f64 * 37.0) % 1000.0;
+        let y = (i as f64 * 91.0) % 1000.0;
+        let start = SimTime::from_micros(i as u64 * 40);
+        ch.begin_tx(
+            NodeId(i as u32),
+            Point2::new(x, y),
+            start,
+            start + SimDuration::from_micros(2300),
+        );
+    }
+    ch
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    for &n in &[4usize, 16, 64] {
+        let ch = loaded_channel(n);
+        group.bench_function(format!("busy_until/{n}_in_flight"), |b| {
+            b.iter(|| {
+                let mut hits = 0;
+                for i in 0..100u64 {
+                    let p = Point2::new((i * 97 % 1000) as f64, (i * 41 % 1000) as f64);
+                    if ch.busy_until(p, SimTime::from_micros(1000)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_function(format!("corrupted/{n}_in_flight"), |b| {
+            b.iter(|| {
+                let mut bad = 0;
+                for i in 0..100u64 {
+                    let p = Point2::new((i * 67 % 1000) as f64, (i * 29 % 1000) as f64);
+                    if ch.corrupted(
+                        0,
+                        Point2::new(0.0, 0.0),
+                        p,
+                        SimTime::ZERO,
+                        SimTime::from_micros(2300),
+                    ) {
+                        bad += 1;
+                    }
+                }
+                bad
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_energy_meter(c: &mut Criterion) {
+    c.bench_function("energy/10k_mode_transitions", |b| {
+        b.iter_batched(
+            || EnergyMeter::new(PowerProfile::paper_default(), Battery::with_capacity(1e9)),
+            |mut m| {
+                let modes = [RadioMode::Idle, RadioMode::Rx, RadioMode::Tx, RadioMode::Sleep];
+                for i in 0..10_000u64 {
+                    m.set_mode(SimTime::from_micros(i * 250), modes[(i % 4) as usize]);
+                }
+                m.consumed_j()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("energy/death_prediction", |b| {
+        let m = EnergyMeter::paper_default();
+        b.iter(|| m.predicted_death())
+    });
+}
+
+criterion_group!(benches, bench_channel, bench_energy_meter);
+criterion_main!(benches);

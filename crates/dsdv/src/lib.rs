@@ -1,0 +1,27 @@
+//! # DSDV — Destination-Sequenced Distance-Vector routing
+//!
+//! Perkins & Bhagwat (SIGCOMM'94), the paper's reference \[4\] and the
+//! classic *proactive* MANET protocol: every host maintains a route to
+//! every other host at all times by periodically broadcasting its distance
+//! vector, with per-destination sequence numbers preventing loops and
+//! count-to-infinity.
+//!
+//! In this workspace DSDV completes the routing-protocol lineage the paper
+//! sketches (§1): DSDV (proactive) → AODV (reactive) → GRID (grid-by-grid)
+//! → ECGRID (energy-conserving).  It also serves as the always-on,
+//! maximum-chatter extreme in overhead comparisons: a DSDV host transmits
+//! O(network size) state every dump period whether or not anyone talks.
+//!
+//! Implemented per the original design:
+//! * **even** own-sequence numbers, bumped on every periodic advertisement;
+//! * routes adopted when strictly fresher (higher seq) or equally fresh
+//!   with a shorter metric;
+//! * broken links advertised immediately with metric ∞ and an **odd**
+//!   sequence number (the "link broken" epoch), repaired by the
+//!   destination's next even advertisement;
+//! * full dumps on a slow period, triggered incremental updates when the
+//!   table changes.
+
+pub mod proto;
+
+pub use proto::{Dsdv, DsdvConfig, DsdvStats};

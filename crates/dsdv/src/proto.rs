@@ -1,0 +1,492 @@
+//! The DSDV state machine.
+
+use manet::{AppPacket, Ctx, FrameKind, NodeId, Protocol, SimTime, WireSize};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Metric value meaning "unreachable".
+pub const INFINITY_METRIC: u8 = 16;
+const DATA_TTL: u8 = 32;
+
+/// DSDV parameters (times in seconds).
+#[derive(Clone, Copy, Debug)]
+pub struct DsdvConfig {
+    /// Period of incremental advertisements.
+    pub advert_interval: f64,
+    /// Every `full_dump_every` advertisements, send the whole table.
+    pub full_dump_every: u32,
+    /// Drop routes not refreshed for this long.
+    pub route_ttl: f64,
+    /// Packets buffered per destination awaiting a route.
+    pub buffer_cap: usize,
+}
+
+impl Default for DsdvConfig {
+    fn default() -> Self {
+        DsdvConfig {
+            advert_interval: 1.5,
+            full_dump_every: 10,
+            route_ttl: 12.0,
+            buffer_cap: 64,
+        }
+    }
+}
+
+/// One advertised route entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Advert {
+    pub dst: NodeId,
+    pub seq: u32,
+    pub metric: u8,
+}
+
+/// DSDV wire messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DsdvMsg {
+    /// A distance-vector update (full dump or incremental).
+    Update(Vec<Advert>),
+    /// A data packet in transit.
+    Data {
+        packet: AppPacket,
+        src: NodeId,
+        dst: NodeId,
+        ttl: u8,
+    },
+}
+
+impl WireSize for DsdvMsg {
+    fn wire_bytes(&self) -> u32 {
+        match self {
+            // dst 4 + seq 4 + metric 1 per entry, + 8 header
+            DsdvMsg::Update(entries) => 8 + 9 * entries.len() as u32,
+            DsdvMsg::Data { packet, .. } => packet.bytes + 21,
+        }
+    }
+}
+
+/// DSDV timers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DsdvTimer {
+    Advertise,
+}
+
+/// Per-host counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsdvStats {
+    pub adverts_sent: u64,
+    pub full_dumps: u64,
+    pub entries_advertised: u64,
+    pub routes_adopted: u64,
+    pub breaks_advertised: u64,
+    pub data_forwarded: u64,
+    pub data_delivered: u64,
+    pub data_dropped: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Route {
+    next_hop: NodeId,
+    metric: u8,
+    seq: u32,
+    updated: SimTime,
+    /// Entry changed since the last advertisement (incremental dump set).
+    dirty: bool,
+}
+
+/// One DSDV instance.
+pub struct Dsdv {
+    cfg: DsdvConfig,
+    me: NodeId,
+    my_seq: u32,
+    routes: HashMap<NodeId, Route>,
+    advert_count: u32,
+    pending: HashMap<NodeId, Vec<(AppPacket, NodeId)>>,
+    pub stats: DsdvStats,
+}
+
+impl Dsdv {
+    pub fn new(cfg: DsdvConfig, me: NodeId) -> Self {
+        Dsdv {
+            cfg,
+            me,
+            my_seq: 0,
+            routes: HashMap::new(),
+            advert_count: 0,
+            pending: HashMap::new(),
+            stats: DsdvStats::default(),
+        }
+    }
+
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    pub fn next_hop(&self, dst: NodeId) -> Option<NodeId> {
+        self.routes
+            .get(&dst)
+            .filter(|r| r.metric < INFINITY_METRIC)
+            .map(|r| r.next_hop)
+    }
+
+    pub fn metric_to(&self, dst: NodeId) -> Option<u8> {
+        self.routes.get(&dst).map(|r| r.metric)
+    }
+
+    /// Adopt an advertised entry heard from `from` (standard DSDV rule):
+    /// newer sequence wins; same sequence, better metric wins.
+    fn consider(&mut self, now: SimTime, from: NodeId, adv: Advert) {
+        if adv.dst == self.me {
+            return; // my own row: my_seq is authoritative
+        }
+        let metric = adv.metric.saturating_add(1).min(INFINITY_METRIC);
+        let adopt = match self.routes.get(&adv.dst) {
+            None => metric < INFINITY_METRIC,
+            Some(cur) => adv.seq > cur.seq || (adv.seq == cur.seq && metric < cur.metric),
+        };
+        if adopt {
+            self.stats.routes_adopted += 1;
+            self.routes.insert(
+                adv.dst,
+                Route {
+                    next_hop: from,
+                    metric,
+                    seq: adv.seq,
+                    updated: now,
+                    dirty: true,
+                },
+            );
+        }
+    }
+
+    fn advertise(&mut self, ctx: &mut Ctx<'_, Self>, full: bool) {
+        let now = ctx.now();
+        // expire stale routes first (their destinations stopped refreshing)
+        let ttl = self.cfg.route_ttl;
+        for r in self.routes.values_mut() {
+            if now.since(r.updated).as_secs_f64() > ttl && r.metric < INFINITY_METRIC {
+                r.metric = INFINITY_METRIC;
+                r.seq += 1; // odd: the break epoch
+                r.dirty = true;
+            }
+        }
+        self.my_seq += 2; // even: alive
+        let mut entries = vec![Advert {
+            dst: self.me,
+            seq: self.my_seq,
+            metric: 0,
+        }];
+        for (dst, r) in self.routes.iter_mut() {
+            if full || r.dirty {
+                entries.push(Advert {
+                    dst: *dst,
+                    seq: r.seq,
+                    metric: r.metric,
+                });
+                r.dirty = false;
+            }
+        }
+        self.stats.adverts_sent += 1;
+        if full {
+            self.stats.full_dumps += 1;
+        }
+        self.stats.entries_advertised += entries.len() as u64;
+        ctx.broadcast(DsdvMsg::Update(entries));
+    }
+
+    fn dispatch_data(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        packet: AppPacket,
+        src: NodeId,
+        dst: NodeId,
+        ttl: u8,
+    ) {
+        if dst == self.me {
+            self.stats.data_delivered += 1;
+            ctx.deliver_app(packet);
+            return;
+        }
+        if ttl == 0 {
+            self.stats.data_dropped += 1;
+            return;
+        }
+        match self.next_hop(dst) {
+            Some(hop) => {
+                self.stats.data_forwarded += 1;
+                ctx.unicast(
+                    hop,
+                    DsdvMsg::Data {
+                        packet,
+                        src,
+                        dst,
+                        ttl: ttl - 1,
+                    },
+                );
+            }
+            None => {
+                // proactive protocol: no on-demand search — buffer briefly
+                // in case the next advertisement brings a route
+                let q = self.pending.entry(dst).or_default();
+                if q.len() >= self.cfg.buffer_cap {
+                    q.remove(0);
+                    self.stats.data_dropped += 1;
+                }
+                q.push((packet, src));
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let ready: Vec<NodeId> = self
+            .pending
+            .keys()
+            .copied()
+            .filter(|d| self.next_hop(*d).is_some())
+            .collect();
+        for dst in ready {
+            for (packet, src) in self.pending.remove(&dst).unwrap_or_default() {
+                self.dispatch_data(ctx, packet, src, dst, DATA_TTL);
+            }
+        }
+    }
+}
+
+impl Protocol for Dsdv {
+    type Msg = DsdvMsg;
+    type Timer = DsdvTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let stagger = ctx.rng().gen_range(0.0..self.cfg.advert_interval);
+        ctx.set_timer_secs(stagger, DsdvTimer::Advertise);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, _kind: FrameKind, msg: &DsdvMsg) {
+        let now = ctx.now();
+        match msg {
+            DsdvMsg::Update(entries) => {
+                // the sender itself is a 0-hop... 1-hop neighbour
+                for adv in entries {
+                    self.consider(now, src, *adv);
+                }
+                self.flush_pending(ctx);
+            }
+            DsdvMsg::Data {
+                packet,
+                src: s,
+                dst,
+                ttl,
+            } => {
+                self.dispatch_data(ctx, *packet, *s, *dst, *ttl);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: DsdvTimer) {
+        match timer {
+            DsdvTimer::Advertise => {
+                self.advert_count += 1;
+                let full = self.advert_count % self.cfg.full_dump_every == 0;
+                self.advertise(ctx, full);
+                let jitter = 1.0 + 0.1 * (ctx.rng().gen::<f64>() * 2.0 - 1.0);
+                ctx.set_timer_secs(self.cfg.advert_interval * jitter, DsdvTimer::Advertise);
+            }
+        }
+    }
+
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, packet: AppPacket) {
+        self.dispatch_data(ctx, packet, self.me, dst, DATA_TTL);
+    }
+
+    fn on_unicast_failed(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, msg: &DsdvMsg) {
+        // the neighbour is gone: poison every route through it with an odd
+        // (break-epoch) sequence and advertise the change at once
+        let mut poisoned = false;
+        for r in self.routes.values_mut() {
+            if r.next_hop == dst && r.metric < INFINITY_METRIC {
+                r.metric = INFINITY_METRIC;
+                r.seq += 1;
+                r.dirty = true;
+                poisoned = true;
+            }
+        }
+        if poisoned {
+            self.stats.breaks_advertised += 1;
+            // immediate triggered (incremental) update
+            let now_entries: Vec<Advert> = self
+                .routes
+                .iter()
+                .filter(|(_, r)| r.dirty)
+                .map(|(d, r)| Advert {
+                    dst: *d,
+                    seq: r.seq,
+                    metric: r.metric,
+                })
+                .collect();
+            for r in self.routes.values_mut() {
+                r.dirty = false;
+            }
+            self.stats.adverts_sent += 1;
+            self.stats.entries_advertised += now_entries.len() as u64;
+            ctx.broadcast(DsdvMsg::Update(now_entries));
+        }
+        // our own data packet on that hop is lost (DSDV has no local repair)
+        if matches!(msg, DsdvMsg::Data { .. }) {
+            self.stats.data_dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet::{FlowSet, HostSetup, Point2, SimDuration, World, WorldConfig};
+    use mobility::MobilityTrace;
+    use traffic::{CbrFlow, FlowId};
+
+    const HORIZON: SimTime = SimTime(2_000_000_000_000);
+
+    fn chain(n: u32) -> Vec<HostSetup> {
+        (0..n)
+            .map(|i| {
+                HostSetup::paper(MobilityTrace::stationary(
+                    Point2::new(20.0 + i as f64 * 240.0, 500.0),
+                    HORIZON,
+                ))
+            })
+            .collect()
+    }
+
+    fn world(hosts: Vec<HostSetup>, flows: FlowSet, seed: u64) -> World<Dsdv> {
+        World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
+            Dsdv::new(DsdvConfig::default(), id)
+        })
+    }
+
+    #[test]
+    fn tables_converge_across_a_chain() {
+        let mut w = world(chain(5), FlowSet::default(), 1);
+        w.run_until(SimTime::from_secs(15));
+        // node 0 knows a route to node 4, four hops away, via node 1
+        let p = w.protocol(NodeId(0));
+        assert_eq!(p.next_hop(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(p.metric_to(NodeId(4)), Some(4));
+        // every node knows every other node
+        for i in 0..5u32 {
+            assert_eq!(w.protocol(NodeId(i)).route_count(), 4, "node {i}");
+        }
+    }
+
+    #[test]
+    fn data_flows_without_on_demand_discovery() {
+        let flows = FlowSet::new(vec![CbrFlow {
+            id: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(4),
+            packet_bytes: 512,
+            interval: SimDuration::from_secs(1),
+            start: SimTime::from_secs(10), // after convergence
+            stop: SimTime::from_secs(40),
+        }]);
+        let mut w = world(chain(5), flows, 2);
+        w.run_until(SimTime::from_secs(45));
+        let pdr = w.ledger().delivery_rate().unwrap();
+        assert!(pdr >= 0.95, "pdr {pdr}");
+        // latency has no discovery spike: pure per-hop costs
+        let lat = w.ledger().mean_latency_ms().unwrap();
+        assert!(lat < 20.0, "latency {lat} ms");
+    }
+
+    #[test]
+    fn broken_links_are_poisoned_with_odd_seq() {
+        let mut w = world(chain(3), FlowSet::default(), 3);
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.protocol(NodeId(0)).next_hop(NodeId(2)), Some(NodeId(1)));
+        // kill the middle relay
+        w.kill_node(NodeId(1));
+        w.run_until(SimTime::from_secs(40));
+        // node 0's routes through 1 eventually become unreachable (stale
+        // timeout poisons them even without traffic)
+        let m = w.protocol(NodeId(0)).metric_to(NodeId(2));
+        assert!(
+            m.is_none() || m == Some(INFINITY_METRIC),
+            "route should be poisoned or expired, metric {m:?}"
+        );
+    }
+
+    #[test]
+    fn proactive_overhead_is_constant_background() {
+        // with zero traffic DSDV still chatters: that is its signature
+        let mut w = world(chain(4), FlowSet::default(), 4);
+        w.run_until(SimTime::from_secs(30));
+        let adverts: u64 = (0..4).map(|i| w.protocol(NodeId(i)).stats.adverts_sent).sum();
+        // 4 nodes × ~20 advertisement rounds in 30 s
+        assert!(adverts >= 60, "adverts {adverts}");
+        let dumps: u64 = (0..4).map(|i| w.protocol(NodeId(i)).stats.full_dumps).sum();
+        assert!(dumps >= 4, "periodic full dumps expected, got {dumps}");
+    }
+
+    #[test]
+    fn fresher_sequence_wins_over_shorter_metric() {
+        let mut d = Dsdv::new(DsdvConfig::default(), NodeId(0));
+        let now = SimTime::from_secs(1);
+        d.consider(
+            now,
+            NodeId(1),
+            Advert {
+                dst: NodeId(9),
+                seq: 10,
+                metric: 1,
+            },
+        );
+        assert_eq!(d.next_hop(NodeId(9)), Some(NodeId(1)));
+        assert_eq!(d.metric_to(NodeId(9)), Some(2));
+        // older seq with a better metric: rejected
+        d.consider(
+            now,
+            NodeId(2),
+            Advert {
+                dst: NodeId(9),
+                seq: 8,
+                metric: 0,
+            },
+        );
+        assert_eq!(d.next_hop(NodeId(9)), Some(NodeId(1)));
+        // same seq, better metric: adopted
+        d.consider(
+            now,
+            NodeId(3),
+            Advert {
+                dst: NodeId(9),
+                seq: 10,
+                metric: 0,
+            },
+        );
+        assert_eq!(d.next_hop(NodeId(9)), Some(NodeId(3)));
+        // newer seq, worse metric: adopted (freshness dominates)
+        d.consider(
+            now,
+            NodeId(4),
+            Advert {
+                dst: NodeId(9),
+                seq: 12,
+                metric: 5,
+            },
+        );
+        assert_eq!(d.next_hop(NodeId(9)), Some(NodeId(4)));
+    }
+
+    #[test]
+    fn own_row_is_never_overwritten() {
+        let mut d = Dsdv::new(DsdvConfig::default(), NodeId(7));
+        d.consider(
+            SimTime::from_secs(1),
+            NodeId(1),
+            Advert {
+                dst: NodeId(7),
+                seq: 999,
+                metric: 3,
+            },
+        );
+        assert_eq!(d.route_count(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # ECGRID — the Energy-Conserving GRID routing protocol
+//!
+//! The paper's contribution (§3): grid-by-grid routing as in GRID, plus
+//! energy conservation.  One host per logical grid is elected **gateway**
+//! and stays continuously active to forward routing traffic and data; all
+//! other hosts turn their transceivers off.  Unlike GAF or Span, sleepers
+//! never wake on a schedule to poll — the gateway wakes them on demand
+//! through the RAS paging channel, so sleeping cannot cause packet loss.
+//!
+//! The implementation follows the paper section by section:
+//!
+//! * **Gateway election (§3.1)** — active hosts exchange HELLOs for one
+//!   HELLO period, then every host applies the three rules (battery level,
+//!   distance to grid center, smallest id) to the same candidate set; the
+//!   agreed winner declares itself with a gflag HELLO and everyone else
+//!   may sleep.
+//! * **Gateway maintenance (§3.2)** — sleepers set a dwell timer from GPS
+//!   position/velocity and re-check on expiry; hosts entering a grid
+//!   HELLO and may replace a strictly-lower-level gateway; a departing
+//!   gateway pages its grid awake (broadcast sequence), waits τ, then
+//!   broadcasts RETIRE(grid, rtab) and the grid re-elects; a gateway whose
+//!   battery level drops a class retires in place for load balance;
+//!   no-gateway events (silent gateway, unanswered ACQ, unanswered entry
+//!   HELLO) trigger re-election.
+//! * **Route discovery and data delivery (§3.3)** — RREQ floods gateway-
+//!   to-gateway inside the search rectangle, RREP unicasts back along the
+//!   reverse grid path, data follows grid-by-grid; packets for sleeping
+//!   hosts are buffered at their gateway, the host is paged, and the
+//!   buffer is flushed when it is up; sleeping sources wake and handshake
+//!   with ACQ(gid, D) because the gateway may have changed while they
+//!   slept.
+//! * **Route maintenance (§3.4)** — broken next hops purge routes and
+//!   trigger re-discovery; roaming sources/destinations re-anchor to the
+//!   gateway of their new grid.
+
+pub mod config;
+pub mod msg;
+pub mod proto;
+
+pub use config::EcgridConfig;
+pub use msg::{EcMsg, EcTimer};
+pub use proto::{EcStats, Ecgrid, Role};

@@ -1,0 +1,1174 @@
+//! The ECGRID state machine (see crate docs for the paper mapping).
+
+use crate::config::EcgridConfig;
+use crate::msg::{EcMsg, EcTimer};
+use grid_common::{
+    elect_gateway, HelloInfo, NeighborGateways, RouteSnapshot, RouteTable, Rrep, Rreq, RreqSeen,
+};
+use manet::{
+    AppPacket, Ctx, EnergyLevel, FrameKind, GridCoord, GridRect, NodeId, PageSignal, Protocol, SimDuration,
+    SimTime,
+};
+use rand::Rng;
+use std::collections::{HashMap, VecDeque};
+
+/// Initial TTL of data packets in grid-by-grid transit.
+const DATA_TTL: u8 = 32;
+
+/// The host's role in its grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Collecting HELLOs; will apply the election rules when the window
+    /// closes.
+    Electing,
+    /// Active non-gateway that knows its gateway.
+    Member,
+    /// Transceiver off; only the RAS can reach this host.
+    Sleeping,
+    /// The gateway of the host's grid.
+    Gateway,
+}
+
+/// Per-host protocol counters (inspected by tests and experiment reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EcStats {
+    pub elections_started: u64,
+    pub became_gateway: u64,
+    pub retires: u64,
+    pub load_balance_retires: u64,
+    pub no_gateway_events: u64,
+    pub rreqs_sent: u64,
+    pub rreqs_forwarded: u64,
+    pub rreps_sent: u64,
+    pub data_forwarded: u64,
+    pub data_delivered: u64,
+    pub data_dropped: u64,
+    pub acqs_sent: u64,
+    pub pages_sent: u64,
+    pub sleeps: u64,
+    pub dwell_extensions: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HostEntry {
+    last_seen: SimTime,
+    /// Host-table status field: true once the host announced sleep (or a
+    /// unicast to it failed); cleared whenever it is heard again.
+    asleep: bool,
+}
+
+impl HostEntry {
+    fn awake(now: SimTime) -> Self {
+        HostEntry {
+            last_seen: now,
+            asleep: false,
+        }
+    }
+}
+
+/// One ECGRID instance (one per host).
+pub struct Ecgrid {
+    cfg: EcgridConfig,
+    me: NodeId,
+    role: Role,
+    /// The grid this host believes it is in (sleepers learn changes only
+    /// when their dwell timer wakes them).
+    my_grid: GridCoord,
+    /// Gateway of `my_grid` as last known.
+    gateway: Option<NodeId>,
+    /// Level when (last) elected; a drop below it triggers a load-balance
+    /// retire.
+    level_at_election: EnergyLevel,
+    routes: RouteTable,
+    seen: RreqSeen,
+    neighbors: NeighborGateways,
+    /// Gateway only: hosts known to live in my grid.
+    host_table: HashMap<NodeId, HostEntry>,
+    /// HELLOs collected during the current election window.
+    candidates: Vec<HelloInfo>,
+    /// Epoch counters making stale timers harmless.
+    election_epoch: u32,
+    watch_epoch: u32,
+    dwell_epoch: u32,
+    quiet_epoch: u32,
+    acq_epoch: u32,
+    /// My destination sequence number.
+    my_seq: u32,
+    rreq_counter: u32,
+    /// Gateway: packets awaiting a route (keyed by destination).
+    pending_route: HashMap<NodeId, VecDeque<EcMsg>>,
+    /// Gateway: packets awaiting a paged local host.
+    pending_wake: HashMap<NodeId, VecDeque<EcMsg>>,
+    /// Discoveries in flight: dst -> attempt.
+    discovering: HashMap<NodeId, u32>,
+    /// Last known grid of remote destinations (learned from RREPs; may be
+    /// pre-seeded through [`Ecgrid::seed_location`]).  Used to confine the
+    /// first search round to the covering rectangle (§3.3).
+    dst_hints: HashMap<NodeId, GridCoord>,
+    /// Member: own packets awaiting a confirmed gateway (ACQ handshake).
+    pending_own: Vec<(NodeId, AppPacket)>,
+    awaiting_acq: bool,
+    last_gw_hello: SimTime,
+    last_own_hello: SimTime,
+    hello_epoch: u32,
+    /// Snapshot carried from gateway duty into a pending RETIRE.
+    retiring: Option<(GridCoord, RouteSnapshot, Vec<NodeId>)>,
+    pub stats: EcStats,
+}
+
+impl Ecgrid {
+    pub fn new(cfg: EcgridConfig, me: NodeId) -> Self {
+        Ecgrid {
+            cfg,
+            me,
+            role: Role::Electing,
+            my_grid: GridCoord::new(0, 0),
+            gateway: None,
+            level_at_election: EnergyLevel::Upper,
+            routes: RouteTable::new(SimDuration::from_secs_f64(cfg.route_ttl)),
+            seen: RreqSeen::default(),
+            neighbors: NeighborGateways::new(SimDuration::from_secs_f64(cfg.neighbor_ttl)),
+            host_table: HashMap::new(),
+            candidates: Vec::new(),
+            election_epoch: 0,
+            watch_epoch: 0,
+            dwell_epoch: 0,
+            quiet_epoch: 0,
+            acq_epoch: 0,
+            my_seq: 0,
+            rreq_counter: 0,
+            pending_route: HashMap::new(),
+            pending_wake: HashMap::new(),
+            discovering: HashMap::new(),
+            dst_hints: HashMap::new(),
+            pending_own: Vec::new(),
+            awaiting_acq: false,
+            last_gw_hello: SimTime::ZERO,
+            last_own_hello: SimTime::ZERO,
+            hello_epoch: 0,
+            retiring: None,
+            stats: EcStats::default(),
+        }
+    }
+
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    pub fn is_gateway(&self) -> bool {
+        self.role == Role::Gateway
+    }
+
+    pub fn gateway(&self) -> Option<NodeId> {
+        self.gateway
+    }
+
+    pub fn grid(&self) -> GridCoord {
+        self.my_grid
+    }
+
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Location-service hook: tell this host which grid `dst` was last
+    /// seen in, so its first route search can be confined (the paper's
+    /// Fig. 2 "supposes" the source has this information).
+    pub fn seed_location(&mut self, dst: NodeId, grid: GridCoord) {
+        self.dst_hints.insert(dst, grid);
+    }
+
+    // ----- small helpers ----------------------------------------------
+
+    fn my_hello(&self, ctx: &mut Ctx<'_, Self>, gflag: bool) -> HelloInfo {
+        HelloInfo {
+            id: self.me,
+            grid: self.my_grid,
+            gflag,
+            level: ctx.level(),
+            dist: ctx.dist_to_center(),
+        }
+    }
+
+    fn send_hello(&mut self, ctx: &mut Ctx<'_, Self>, gflag: bool) {
+        let h = self.my_hello(ctx, gflag);
+        self.last_own_hello = ctx.now();
+        ctx.broadcast(EcMsg::Hello(h));
+    }
+
+    /// (Re)start the periodic HELLO chain.  Bumping the epoch kills any
+    /// chain that is still pending, so sleep/wake cycles can never stack
+    /// multiple concurrent beacon timers.
+    fn arm_hello(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.hello_epoch += 1;
+        let jitter = 1.0 + self.cfg.hello_jitter * (ctx.rng().gen::<f64>() * 2.0 - 1.0);
+        ctx.set_timer_secs(
+            self.cfg.hello_interval * jitter,
+            EcTimer::Hello {
+                epoch: self.hello_epoch,
+            },
+        );
+    }
+
+    /// Continue the current HELLO chain.
+    fn rearm_hello(&mut self, ctx: &mut Ctx<'_, Self>, epoch: u32) {
+        let jitter = 1.0 + self.cfg.hello_jitter * (ctx.rng().gen::<f64>() * 2.0 - 1.0);
+        ctx.set_timer_secs(self.cfg.hello_interval * jitter, EcTimer::Hello { epoch });
+    }
+
+    fn start_election(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.stats.elections_started += 1;
+        self.role = Role::Electing;
+        self.gateway = None;
+        self.candidates.clear();
+        self.election_epoch += 1;
+        self.send_hello(ctx, false);
+        self.arm_hello(ctx);
+        ctx.set_timer_secs(
+            self.cfg.election_window,
+            EcTimer::ElectionDecide {
+                epoch: self.election_epoch,
+            },
+        );
+        ctx.note(|| "election started".into());
+    }
+
+    fn no_gateway_event(&mut self, ctx: &mut Ctx<'_, Self>, why: &str) {
+        self.stats.no_gateway_events += 1;
+        ctx.note(|| format!("no-gateway event: {why}"));
+        self.start_election(ctx);
+    }
+
+    fn arm_gateway_watch(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.watch_epoch += 1;
+        ctx.set_timer_secs(
+            self.cfg.gateway_silence,
+            EcTimer::GatewayWatch {
+                epoch: self.watch_epoch,
+            },
+        );
+    }
+
+    fn arm_quiet_sleep(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.quiet_epoch += 1;
+        ctx.set_timer_secs(
+            self.cfg.sleep_quiet_delay,
+            EcTimer::SleepAfterQuiet {
+                epoch: self.quiet_epoch,
+            },
+        );
+    }
+
+    fn become_member(&mut self, ctx: &mut Ctx<'_, Self>, gateway: NodeId) {
+        self.role = Role::Member;
+        self.gateway = Some(gateway);
+        self.last_gw_hello = ctx.now();
+        self.host_table.clear();
+        self.arm_gateway_watch(ctx);
+        self.arm_quiet_sleep(ctx);
+        self.flush_pending_own(ctx);
+    }
+
+    fn become_gateway(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.stats.became_gateway += 1;
+        self.role = Role::Gateway;
+        self.gateway = Some(self.me);
+        self.level_at_election = ctx.level();
+        self.send_hello(ctx, true);
+        self.arm_hello(ctx);
+        // the election candidates are my initial host table
+        let now = ctx.now();
+        for c in &self.candidates {
+            if c.id != self.me && c.grid == self.my_grid {
+                self.host_table.insert(c.id, HostEntry::awake(now));
+            }
+        }
+        self.candidates.clear();
+        ctx.note(|| format!("became gateway of {}", self.my_grid));
+        // route any packets we were holding as a member
+        let own: Vec<(NodeId, AppPacket)> = self.pending_own.drain(..).collect();
+        for (dst, packet) in own {
+            let msg = EcMsg::Data {
+                packet,
+                src: self.me,
+                dst,
+                via_grid: self.my_grid,
+                ttl: DATA_TTL,
+            };
+            self.route_data(ctx, msg);
+        }
+    }
+
+    /// Member with a confirmed gateway: hand over queued own packets.
+    fn flush_pending_own(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let Some(gw) = self.gateway else { return };
+        if self.pending_own.is_empty() {
+            return;
+        }
+        self.awaiting_acq = false;
+        let own: Vec<(NodeId, AppPacket)> = self.pending_own.drain(..).collect();
+        for (dst, packet) in own {
+            ctx.unicast(
+                gw,
+                EcMsg::Data {
+                    packet,
+                    src: self.me,
+                    dst,
+                    via_grid: self.my_grid,
+                    ttl: DATA_TTL,
+                },
+            );
+        }
+        self.arm_quiet_sleep(ctx);
+    }
+
+    fn go_to_sleep(&mut self, ctx: &mut Ctx<'_, Self>) {
+        debug_assert_eq!(self.role, Role::Member);
+        // keep the gateway's host-table status accurate (§3)
+        if let Some(gw) = self.gateway {
+            if gw != self.me {
+                ctx.unicast(gw, EcMsg::SleepNotice);
+            }
+        }
+        self.stats.sleeps += 1;
+        self.role = Role::Sleeping;
+        self.hello_epoch += 1; // kill the beacon chain while asleep
+        self.watch_epoch += 1; // invalidate the watchdog while asleep
+        self.arm_dwell(ctx);
+        ctx.sleep();
+        ctx.note(|| format!("sleeping in {}", self.my_grid));
+    }
+
+    fn arm_dwell(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.dwell_epoch += 1;
+        let dwell = ctx.estimated_dwell_secs(self.cfg.dwell_cap).max(0.05);
+        ctx.set_timer_secs(
+            dwell,
+            EcTimer::Dwell {
+                epoch: self.dwell_epoch,
+            },
+        );
+    }
+
+    /// Wake from sleep into Member state (RAS page, dwell check, own data).
+    fn wake_to_member(&mut self, ctx: &mut Ctx<'_, Self>) {
+        ctx.wake();
+        self.dwell_epoch += 1; // cancel pending dwell checks
+        self.role = Role::Member;
+        self.last_gw_hello = ctx.now(); // grace: restart the watchdog window
+        self.arm_gateway_watch(ctx);
+        self.arm_quiet_sleep(ctx);
+        self.arm_hello(ctx);
+    }
+
+    // ----- entering / leaving grids ------------------------------------
+
+    /// Arrived in a new grid (awake): HELLO and wait for the gateway.
+    fn enter_grid(&mut self, ctx: &mut Ctx<'_, Self>, new: GridCoord) {
+        self.my_grid = new;
+        self.host_table.clear();
+        self.gateway = None;
+        self.role = Role::Electing;
+        self.candidates.clear();
+        self.election_epoch += 1;
+        self.send_hello(ctx, false);
+        self.arm_hello(ctx);
+        // if nobody answers within a HELLO period, the grid is empty and we
+        // declare ourselves (§3.2 "Hosts move into a new grid")
+        ctx.set_timer_secs(
+            self.cfg.election_window,
+            EcTimer::ElectionDecide {
+                epoch: self.election_epoch,
+            },
+        );
+    }
+
+    /// Leaving the current grid as gateway: page everyone, then RETIRE.
+    fn gateway_leave(&mut self, ctx: &mut Ctx<'_, Self>, old: GridCoord, load_balance: bool) {
+        self.stats.retires += 1;
+        if load_balance {
+            self.stats.load_balance_retires += 1;
+        }
+        self.stats.pages_sent += 1;
+        ctx.page_grid(old);
+        self.retiring = Some((
+            old,
+            self.routes.snapshot(),
+            self.host_table.keys().copied().collect(),
+        ));
+        ctx.set_timer_secs(self.cfg.retire_wait, EcTimer::RetireSend { grid: old });
+        ctx.note(|| format!("retiring from {old} (load_balance={load_balance})"));
+    }
+
+    // ----- data plane ---------------------------------------------------
+
+    /// Gateway-side routing of a data message (also used when we originate
+    /// data as a gateway).
+    fn route_data(&mut self, ctx: &mut Ctx<'_, Self>, msg: EcMsg) {
+        let EcMsg::Data {
+            packet,
+            src,
+            dst,
+            ttl,
+            ..
+        } = msg
+        else {
+            unreachable!("route_data only handles Data");
+        };
+        if dst == self.me {
+            self.stats.data_delivered += 1;
+            ctx.deliver_app(packet);
+            return;
+        }
+        if ttl == 0 {
+            self.stats.data_dropped += 1;
+            return;
+        }
+        let now = ctx.now();
+        // local delivery: the destination lives in my grid
+        if let Some(entry) = self.host_table.get(&dst) {
+            let awake = !entry.asleep && now.since(entry.last_seen).as_secs_f64() < self.cfg.host_fresh_secs;
+            let fwd = EcMsg::Data {
+                packet,
+                src,
+                dst,
+                via_grid: self.my_grid,
+                ttl: ttl - 1,
+            };
+            if awake {
+                ctx.unicast(dst, fwd);
+            } else {
+                // paper §3.3: wake the sleeping destination, buffer, flush
+                let q = self.pending_wake.entry(dst).or_default();
+                if q.len() >= self.cfg.buffer_cap {
+                    q.pop_front();
+                    self.stats.data_dropped += 1;
+                }
+                q.push_back(fwd);
+                if q.len() == 1 {
+                    self.stats.pages_sent += 1;
+                    ctx.page_host(dst);
+                    ctx.set_timer_secs(self.cfg.forward_wake_wait, EcTimer::ForwardBuffered { dst });
+                }
+            }
+            return;
+        }
+        // remote: grid-by-grid forwarding
+        if let Some(route) = self.routes.lookup(dst, now) {
+            let fwd = EcMsg::Data {
+                packet,
+                src,
+                dst,
+                via_grid: route.next_grid,
+                ttl: ttl - 1,
+            };
+            let next = self.neighbors.get(route.next_grid, now).unwrap_or(route.via_node);
+            self.stats.data_forwarded += 1;
+            ctx.unicast(next, fwd);
+            return;
+        }
+        // no route: buffer and discover
+        let q = self.pending_route.entry(dst).or_default();
+        if q.len() >= self.cfg.buffer_cap {
+            q.pop_front();
+            self.stats.data_dropped += 1;
+        }
+        q.push_back(EcMsg::Data {
+            packet,
+            src,
+            dst,
+            via_grid: self.my_grid,
+            ttl,
+        });
+        self.start_discovery(ctx, dst, 0);
+    }
+
+    fn start_discovery(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, attempt: u32) {
+        if attempt == 0 && self.discovering.contains_key(&dst) {
+            return; // one in flight already
+        }
+        self.discovering.insert(dst, attempt);
+        self.my_seq += 1;
+        self.rreq_counter += 1;
+        // first attempt: confined by the configured strategy around the
+        // destination's last known grid (if any); retries: global (§3.3)
+        let range = if attempt == 0 {
+            self.cfg
+                .search
+                .range_for(self.my_grid, self.dst_hints.get(&dst).copied())
+        } else {
+            GridRect::everywhere()
+        };
+        let rreq = Rreq {
+            src: self.me,
+            s_seq: self.my_seq,
+            dst,
+            d_seq: 0,
+            id: self.rreq_counter,
+            range,
+            last_grid: self.my_grid,
+        };
+        self.seen.insert(self.me, self.rreq_counter);
+        self.stats.rreqs_sent += 1;
+        ctx.broadcast(EcMsg::Rreq(rreq));
+        ctx.set_timer_secs(
+            self.cfg.discovery_timeout,
+            EcTimer::DiscoveryTimeout { dst, attempt },
+        );
+        ctx.note(|| format!("RREQ #{} for {dst} range={range:?}", self.rreq_counter));
+    }
+
+    fn flush_route_buffer(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId) {
+        let Some(q) = self.pending_route.remove(&dst) else {
+            return;
+        };
+        for msg in q {
+            self.route_data(ctx, msg);
+        }
+    }
+
+    // ----- frame handlers -----------------------------------------------
+
+    fn on_hello(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, h: HelloInfo) {
+        let now = ctx.now();
+        if h.gflag {
+            self.neighbors.note(h.grid, h.id, now);
+        } else if self.neighbors.get(h.grid, now) == Some(h.id) {
+            // it no longer claims the grid
+            self.neighbors.forget_grid(h.grid);
+        }
+        if h.grid != self.my_grid {
+            // a former local host has moved away
+            if self.role == Role::Gateway && self.host_table.remove(&src).is_some() {
+                ctx.note(|| format!("host {src} moved to {}", h.grid));
+            }
+            return;
+        }
+        match self.role {
+            Role::Electing => {
+                if h.gflag {
+                    // a gateway already exists (or just won): join it
+                    self.election_epoch += 1; // cancel my decide
+                    self.maybe_replace_or_join(ctx, h);
+                } else {
+                    self.candidates.retain(|c| c.id != h.id);
+                    self.candidates.push(h);
+                }
+            }
+            Role::Member => {
+                if h.gflag {
+                    self.gateway = Some(h.id);
+                    self.last_gw_hello = now;
+                    self.arm_gateway_watch(ctx);
+                    if self.awaiting_acq || !self.pending_own.is_empty() {
+                        self.flush_pending_own(ctx);
+                    }
+                }
+            }
+            Role::Gateway => {
+                if h.gflag && src != self.me {
+                    // Two declared gateways in one grid.  Resolve with a
+                    // *stable* ordering (level desc, id asc) — distance is
+                    // deliberately excluded because it drifts with motion
+                    // and would let both sides believe they win.
+                    let my_level = ctx.level();
+                    let they_win = h.level > my_level || (h.level == my_level && h.id < self.me);
+                    if they_win {
+                        ctx.unicast(
+                            h.id,
+                            EcMsg::TableXfer {
+                                routes: self.routes.snapshot(),
+                                hosts: self.host_table.keys().copied().collect(),
+                            },
+                        );
+                        ctx.note(|| format!("yielding gateway of {} to {src}", self.my_grid));
+                        self.host_table.clear();
+                        self.become_member(ctx, h.id);
+                    } else if ctx.now().since(self.last_own_hello).as_secs_f64()
+                        > self.cfg.gw_response_min_gap
+                    {
+                        // re-assert my claim (rate-limited: an un-throttled
+                        // re-assert duel would melt the channel)
+                        self.send_hello(ctx, true);
+                    }
+                } else if !h.gflag {
+                    // a (new or existing) host in my grid
+                    self.host_table.insert(src, HostEntry::awake(now));
+                    // respond so arrivals learn the gateway (§3.2), rate
+                    // limited to avoid storms
+                    if now.since(self.last_own_hello).as_secs_f64() > self.cfg.gw_response_min_gap {
+                        self.send_hello(ctx, true);
+                    }
+                }
+            }
+            Role::Sleeping => {
+                // a frame can slip in during the short window between the
+                // sleep decision and the MAC quiescing — ignore it
+            }
+        }
+    }
+
+    /// Electing/arriving host heard the gateway: replace it (strictly
+    /// higher battery level, §3.2) or join as a member.
+    fn maybe_replace_or_join(&mut self, ctx: &mut Ctx<'_, Self>, gw_hello: HelloInfo) {
+        if ctx.level() > gw_hello.level {
+            // declare myself; the old gateway yields and transfers tables
+            self.candidates.clear();
+            self.become_gateway(ctx);
+        } else {
+            self.become_member(ctx, gw_hello.id);
+        }
+    }
+
+    fn on_retire(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        grid: GridCoord,
+        routes: &RouteSnapshot,
+        _hosts: &[NodeId],
+    ) {
+        let now = ctx.now();
+        self.neighbors.forget_grid(grid);
+        if grid != self.my_grid || self.role == Role::Gateway {
+            return;
+        }
+        // inherit the tables and elect a successor (§3.2)
+        self.routes.install(routes, now);
+        self.start_election(ctx);
+    }
+
+    fn on_rreq(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, r: Rreq) {
+        let now = ctx.now();
+        // destination host replies even when it is not a gateway (§3.3:
+        // "When D (or its gateway, if D is not a gateway) receives this
+        // RREQ, it will unicast a reply")
+        if r.dst == self.me {
+            self.my_seq += 1;
+            let rep = Rrep {
+                src: r.src,
+                dst: self.me,
+                d_seq: self.my_seq,
+                from_grid: self.my_grid,
+                dst_grid: self.my_grid,
+            };
+            self.routes.upsert(r.src, r.last_grid, src, r.s_seq, now);
+            self.stats.rreps_sent += 1;
+            ctx.unicast(src, EcMsg::Rrep(rep));
+            return;
+        }
+        if self.role != Role::Gateway {
+            return;
+        }
+        if !r.range.contains(self.my_grid) {
+            return; // outside the search area
+        }
+        if !self.seen.insert(r.src, r.id) {
+            return; // duplicate
+        }
+        // reverse pointer to the previous sending gateway's grid
+        self.routes.upsert(r.src, r.last_grid, src, r.s_seq, now);
+        if self.host_table.contains_key(&r.dst) {
+            // I am the destination's gateway: reply
+            self.my_seq += 1;
+            let rep = Rrep {
+                src: r.src,
+                dst: r.dst,
+                d_seq: self.my_seq,
+                from_grid: self.my_grid,
+                dst_grid: self.my_grid,
+            };
+            self.stats.rreps_sent += 1;
+            ctx.unicast(src, EcMsg::Rrep(rep));
+            ctx.note(|| format!("RREP for {} (local host) back via {src}", r.dst));
+            return;
+        }
+        // rebroadcast with my grid as the previous hop
+        let mut fwd = r;
+        fwd.last_grid = self.my_grid;
+        self.stats.rreqs_forwarded += 1;
+        ctx.broadcast(EcMsg::Rreq(fwd));
+        ctx.note(|| format!("RREQ {}#{} rebroadcast", r.src, r.id));
+    }
+
+    fn on_rrep(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, r: Rrep) {
+        let now = ctx.now();
+        // forward pointer: dst reachable through the grid the RREP came from
+        self.routes.upsert(r.dst, r.from_grid, src, r.d_seq, now);
+        self.dst_hints.insert(r.dst, r.dst_grid);
+        if r.src == self.me {
+            // discovery complete
+            self.discovering.remove(&r.dst);
+            self.flush_route_buffer(ctx, r.dst);
+            ctx.note(|| format!("route to {} established", r.dst));
+            return;
+        }
+        // relay along the reverse path
+        if let Some(back) = self.routes.lookup(r.src, now) {
+            let next = self.neighbors.get(back.next_grid, now).unwrap_or(back.via_node);
+            let fwd = Rrep {
+                from_grid: self.my_grid,
+                ..r
+            };
+            ctx.unicast(next, EcMsg::Rrep(fwd));
+        } else {
+            ctx.note(|| format!("RREP for {} dropped: no reverse route", r.src));
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_, Self>, _src: NodeId, msg: EcMsg) {
+        let EcMsg::Data { packet, dst, .. } = msg else {
+            unreachable!()
+        };
+        if dst == self.me {
+            self.stats.data_delivered += 1;
+            ctx.deliver_app(packet);
+            // receiving own traffic keeps an endpoint awake
+            if self.role == Role::Member {
+                self.arm_quiet_sleep(ctx);
+            }
+            return;
+        }
+        match self.role {
+            Role::Gateway => self.route_data(ctx, msg),
+            Role::Member | Role::Electing => {
+                // we were asked to forward but are not a gateway (stale
+                // neighbour caches after a retire): bounce to our gateway
+                if let (
+                    Some(gw),
+                    EcMsg::Data {
+                        packet,
+                        src,
+                        dst,
+                        ttl,
+                        ..
+                    },
+                ) = (self.gateway, msg)
+                {
+                    if ttl > 0 && gw != self.me {
+                        ctx.unicast(
+                            gw,
+                            EcMsg::Data {
+                                packet,
+                                src,
+                                dst,
+                                via_grid: self.my_grid,
+                                ttl: ttl - 1,
+                            },
+                        );
+                        return;
+                    }
+                }
+                self.stats.data_dropped += 1;
+            }
+            Role::Sleeping => {
+                // see on_hello: pre-quiesce window; drop silently
+                self.stats.data_dropped += 1;
+            }
+        }
+    }
+
+    fn on_acq(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, gid: GridCoord) {
+        if self.role != Role::Gateway || gid != self.my_grid {
+            return;
+        }
+        self.host_table.insert(src, HostEntry::awake(ctx.now()));
+        // respond with a HELLO so the waker learns the current gateway
+        self.send_hello(ctx, true);
+    }
+}
+
+impl Protocol for Ecgrid {
+    type Msg = EcMsg;
+    type Timer = EcTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.my_grid = ctx.cell();
+        // stagger the very first HELLO so 100 simultaneous broadcasts don't
+        // collide at t=0
+        let stagger = ctx.rng().gen_range(0.0..0.3);
+        self.election_epoch += 1;
+        self.role = Role::Electing;
+        self.hello_epoch += 1;
+        ctx.set_timer_secs(
+            stagger,
+            EcTimer::Hello {
+                epoch: self.hello_epoch,
+            },
+        );
+        ctx.set_timer_secs(
+            self.cfg.election_window + stagger,
+            EcTimer::ElectionDecide {
+                epoch: self.election_epoch,
+            },
+        );
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, _kind: FrameKind, msg: &EcMsg) {
+        match msg {
+            EcMsg::Hello(h) => self.on_hello(ctx, src, *h),
+            EcMsg::Retire { grid, routes, hosts } => self.on_retire(ctx, *grid, routes, hosts),
+            EcMsg::TableXfer { routes, hosts } => {
+                let now = ctx.now();
+                self.routes.install(routes, now);
+                if self.role == Role::Gateway {
+                    for h in hosts {
+                        if *h != self.me {
+                            self.host_table.entry(*h).or_insert(HostEntry {
+                                last_seen: now,
+                                asleep: true,
+                            });
+                        }
+                    }
+                }
+            }
+            EcMsg::Leave { .. } => {
+                if self.role == Role::Gateway {
+                    self.host_table.remove(&src);
+                }
+            }
+            EcMsg::SleepNotice => {
+                if self.role == Role::Gateway {
+                    if let Some(e) = self.host_table.get_mut(&src) {
+                        e.asleep = true;
+                    } else {
+                        self.host_table.insert(
+                            src,
+                            HostEntry {
+                                last_seen: ctx.now(),
+                                asleep: true,
+                            },
+                        );
+                    }
+                }
+            }
+            EcMsg::Acq { gid, .. } => self.on_acq(ctx, src, *gid),
+            EcMsg::Rreq(r) => self.on_rreq(ctx, src, *r),
+            EcMsg::Rrep(r) => self.on_rrep(ctx, src, *r),
+            EcMsg::Data { .. } => self.on_data(ctx, src, msg.clone()),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: EcTimer) {
+        match timer {
+            EcTimer::Hello { epoch } => {
+                if epoch != self.hello_epoch || self.role == Role::Sleeping {
+                    return; // superseded chain or asleep
+                }
+                // periodic beacon + housekeeping
+                let now = ctx.now();
+                self.routes.purge(now);
+                self.neighbors.purge(now);
+                if self.role == Role::Gateway {
+                    self.send_hello(ctx, true);
+                    // load-balance retirement when the battery level drops a
+                    // class (§3.2) — unless already at the lowest level
+                    if ctx.level() < self.level_at_election {
+                        self.gateway_leave(ctx, self.my_grid, true);
+                    }
+                } else {
+                    self.send_hello(ctx, false);
+                }
+                self.rearm_hello(ctx, epoch);
+            }
+            EcTimer::ElectionDecide { epoch } => {
+                if epoch != self.election_epoch || self.role != Role::Electing {
+                    return;
+                }
+                let mine = self.my_hello(ctx, false);
+                self.candidates.retain(|c| c.id != self.me);
+                self.candidates.push(mine);
+                let winner = elect_gateway(self.candidates.iter(), true).expect("self is a candidate");
+                if winner == self.me {
+                    self.become_gateway(ctx);
+                } else {
+                    let w = winner;
+                    self.candidates.clear();
+                    self.become_member(ctx, w);
+                }
+            }
+            EcTimer::GatewayWatch { epoch } => {
+                if epoch != self.watch_epoch || self.role != Role::Member {
+                    return;
+                }
+                let silent = ctx.now().since(self.last_gw_hello).as_secs_f64();
+                if silent >= self.cfg.gateway_silence {
+                    self.no_gateway_event(ctx, "gateway silent");
+                } else {
+                    // re-arm for the remainder
+                    self.watch_epoch += 1;
+                    ctx.set_timer_secs(
+                        self.cfg.gateway_silence - silent,
+                        EcTimer::GatewayWatch {
+                            epoch: self.watch_epoch,
+                        },
+                    );
+                }
+            }
+            EcTimer::Dwell { epoch } => {
+                if epoch != self.dwell_epoch || self.role != Role::Sleeping {
+                    return;
+                }
+                // the host CPU wakes; check the GPS without powering the radio
+                let here = ctx.cell();
+                if here == self.my_grid {
+                    self.stats.dwell_extensions += 1;
+                    self.arm_dwell(ctx);
+                } else {
+                    // left the grid while asleep (§3.2): wake, tell the old
+                    // gateway, join the new grid
+                    let old_gw = self.gateway;
+                    let old_grid = self.my_grid;
+                    self.wake_to_member(ctx);
+                    if let Some(gw) = old_gw {
+                        ctx.unicast(gw, EcMsg::Leave { grid: old_grid });
+                    }
+                    self.enter_grid(ctx, here);
+                }
+            }
+            EcTimer::SleepAfterQuiet { epoch } => {
+                if epoch != self.quiet_epoch || self.role != Role::Member {
+                    return;
+                }
+                if !self.pending_own.is_empty() || self.awaiting_acq {
+                    self.arm_quiet_sleep(ctx);
+                    return;
+                }
+                self.go_to_sleep(ctx);
+            }
+            EcTimer::RetireSend { grid } => {
+                let Some((g, routes, hosts)) = self.retiring.take() else {
+                    return;
+                };
+                debug_assert_eq!(g, grid);
+                ctx.broadcast(EcMsg::Retire {
+                    grid: g,
+                    routes,
+                    hosts,
+                });
+                self.neighbors.forget_node(self.me);
+                if self.role == Role::Gateway && self.my_grid == grid {
+                    // load-balance retire: stay in the grid and stand for
+                    // re-election with my (now lower) level
+                    self.host_table.clear();
+                    self.start_election(ctx);
+                }
+                // if we left the grid, enter_grid already runs the arrival
+                // protocol for the new grid
+            }
+            EcTimer::ForwardBuffered { dst } => {
+                let Some(q) = self.pending_wake.remove(&dst) else {
+                    return;
+                };
+                if self.role != Role::Gateway {
+                    self.stats.data_dropped += q.len() as u64;
+                    return;
+                }
+                self.host_table.insert(dst, HostEntry::awake(ctx.now()));
+                for msg in q {
+                    self.stats.data_forwarded += 1;
+                    ctx.unicast(dst, msg);
+                }
+            }
+            EcTimer::AcqTimeout { epoch } => {
+                if epoch != self.acq_epoch || !self.awaiting_acq {
+                    return;
+                }
+                self.awaiting_acq = false;
+                if self.role == Role::Member {
+                    self.no_gateway_event(ctx, "ACQ unanswered");
+                }
+            }
+            EcTimer::DiscoveryTimeout { dst, attempt } => {
+                if self.discovering.get(&dst) != Some(&attempt) {
+                    return; // superseded or finished
+                }
+                if self.role != Role::Gateway {
+                    // retired (possibly asleep) since starting the search
+                    self.discovering.remove(&dst);
+                    let dropped = self.pending_route.remove(&dst).map(|q| q.len()).unwrap_or(0);
+                    self.stats.data_dropped += dropped as u64;
+                    return;
+                }
+                if attempt + 1 < self.cfg.max_discovery_attempts {
+                    self.start_discovery(ctx, dst, attempt + 1);
+                } else {
+                    self.discovering.remove(&dst);
+                    let dropped = self.pending_route.remove(&dst).map(|q| q.len()).unwrap_or(0);
+                    self.stats.data_dropped += dropped as u64;
+                    ctx.note(|| format!("discovery for {dst} failed; {dropped} packets dropped"));
+                }
+            }
+        }
+    }
+
+    fn on_page(&mut self, ctx: &mut Ctx<'_, Self>, signal: PageSignal) {
+        // The RAS hardware has already powered the transceiver on — the
+        // protocol must follow it out of sleep unconditionally, or radio
+        // and protocol state desynchronize.
+        if self.role != Role::Sleeping {
+            return;
+        }
+        self.wake_to_member(ctx);
+        match signal {
+            PageSignal::Host(_) => ctx.note(|| "woken by paging sequence".into()),
+            PageSignal::Grid(_) => ctx.note(|| "woken by broadcast sequence".into()),
+        }
+        // A grid broadcast sequence addresses the grid we are *physically*
+        // in; if we drifted while asleep, this is the moment the GPS gets
+        // read — run the §3.2 departure flow instead of waiting for the
+        // (now stale) dwell timer.
+        let here = ctx.cell();
+        if here != self.my_grid {
+            let old_gw = self.gateway;
+            let old_grid = self.my_grid;
+            if let Some(gw) = old_gw {
+                if gw != self.me {
+                    ctx.unicast(gw, EcMsg::Leave { grid: old_grid });
+                }
+            }
+            self.enter_grid(ctx, here);
+        }
+    }
+
+    fn on_cell_change(&mut self, ctx: &mut Ctx<'_, Self>, old: GridCoord, new: GridCoord) {
+        match self.role {
+            Role::Gateway => {
+                // §3.2 "hosts move out of a grid", gateway case
+                self.gateway_leave(ctx, old, false);
+                self.role = Role::Member; // formally off duty while retiring
+                self.gateway = None;
+                self.enter_grid(ctx, new);
+            }
+            Role::Member | Role::Electing => {
+                // §3.2 non-gateway case: unicast the departure
+                if let Some(gw) = self.gateway {
+                    if gw != self.me {
+                        ctx.unicast(gw, EcMsg::Leave { grid: old });
+                    }
+                }
+                self.enter_grid(ctx, new);
+            }
+            Role::Sleeping => {
+                // unreachable: the world suppresses GPS callbacks in sleep
+            }
+        }
+    }
+
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, packet: AppPacket) {
+        match self.role {
+            Role::Gateway => {
+                let msg = EcMsg::Data {
+                    packet,
+                    src: self.me,
+                    dst,
+                    via_grid: self.my_grid,
+                    ttl: DATA_TTL,
+                };
+                self.route_data(ctx, msg);
+            }
+            Role::Member => {
+                self.arm_quiet_sleep(ctx);
+                if let Some(gw) = self.gateway {
+                    ctx.unicast(
+                        gw,
+                        EcMsg::Data {
+                            packet,
+                            src: self.me,
+                            dst,
+                            via_grid: self.my_grid,
+                            ttl: DATA_TTL,
+                        },
+                    );
+                } else {
+                    self.pending_own.push((dst, packet));
+                }
+            }
+            Role::Electing => {
+                self.pending_own.push((dst, packet));
+            }
+            Role::Sleeping => {
+                // §3.3: wake and handshake — the gateway may have changed
+                self.wake_to_member(ctx);
+                self.pending_own.push((dst, packet));
+                self.awaiting_acq = true;
+                self.acq_epoch += 1;
+                self.stats.acqs_sent += 1;
+                ctx.broadcast(EcMsg::Acq {
+                    gid: self.my_grid,
+                    dst,
+                });
+                ctx.set_timer_secs(
+                    self.cfg.acq_timeout,
+                    EcTimer::AcqTimeout {
+                        epoch: self.acq_epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_unicast_failed(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, msg: &EcMsg) {
+        let now = ctx.now();
+        match msg {
+            EcMsg::Data {
+                packet,
+                src,
+                dst: final_dst,
+                ttl,
+                ..
+            } => {
+                // a local delivery failed: the host slipped into sleep
+                // between its last HELLO and our forward — mark it and go
+                // through the page+buffer path instead of tearing routes
+                if self.role == Role::Gateway && dst == *final_dst {
+                    if let Some(e) = self.host_table.get_mut(&dst) {
+                        e.asleep = true;
+                        if *ttl > 0 {
+                            let retry = EcMsg::Data {
+                                packet: *packet,
+                                src: *src,
+                                dst: *final_dst,
+                                via_grid: self.my_grid,
+                                ttl: ttl - 1,
+                            };
+                            self.route_data(ctx, retry);
+                            return;
+                        }
+                    }
+                }
+                // next hop is gone: clean up and re-route (§3.4)
+                self.neighbors.forget_node(dst);
+                self.routes.remove_via(dst);
+                self.host_table.remove(&dst);
+                if Some(dst) == self.gateway.map(|g| g) && self.role == Role::Member {
+                    // my own gateway vanished
+                    self.pending_own.push((*final_dst, *packet));
+                    self.no_gateway_event(ctx, "gateway unreachable");
+                    return;
+                }
+                if self.role == Role::Gateway && *ttl > 0 {
+                    let retry = EcMsg::Data {
+                        packet: *packet,
+                        src: *src,
+                        dst: *final_dst,
+                        via_grid: self.my_grid,
+                        ttl: ttl - 1,
+                    };
+                    self.route_data(ctx, retry);
+                } else {
+                    self.stats.data_dropped += 1;
+                }
+            }
+            EcMsg::Rrep(r) => {
+                // reverse path broke; the source's discovery timer retries
+                self.routes.remove(r.src);
+                self.neighbors.forget_node(dst);
+            }
+            EcMsg::TableXfer { .. } | EcMsg::Leave { .. } => {
+                self.neighbors.forget_node(dst);
+                let _ = now;
+            }
+            _ => {}
+        }
+    }
+}

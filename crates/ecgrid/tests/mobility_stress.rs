@@ -1,0 +1,158 @@
+//! High-mobility stress tests: ECGRID under the paper's 10 m/s regime,
+//! buffering bounds, and gateway handoff (TableXfer) correctness.
+
+use ecgrid::{Ecgrid, EcgridConfig, Role};
+use manet::{FlowSet, GridCoord, HostSetup, NodeId, Point2, SimDuration, SimTime, World, WorldConfig};
+use mobility::{MobilityModel, MobilityTrace, RandomWaypoint, Segment};
+use traffic::{CbrFlow, FlowId, FlowSpec};
+
+const HORIZON: SimTime = SimTime(3_000_000_000_000);
+
+fn still(x: f64, y: f64) -> HostSetup {
+    HostSetup::paper(MobilityTrace::stationary(Point2::new(x, y), HORIZON))
+}
+
+#[test]
+fn fast_mobility_keeps_the_protocol_stable() {
+    // 60 hosts at up to 10 m/s for 200 s: gateways churn constantly; the
+    // run must stay live, deliver most packets, and keep per-grid
+    // uniqueness *eventually* (we check a weaker, checkable invariant:
+    // the run finishes and delivery stays reasonable)
+    let seed = 31;
+    let rngs = manet::sim_engine::RngFactory::new(seed);
+    let model = RandomWaypoint::paper(10.0, 0.0);
+    let end = SimTime::from_secs(200);
+    let horizon = end + SimDuration::from_secs(10);
+    let hosts: Vec<HostSetup> = (0..60)
+        .map(|i| HostSetup::paper(model.build_trace(&mut rngs.stream("mobility", i), horizon)))
+        .collect();
+    let ids: Vec<NodeId> = (0..60).map(NodeId).collect();
+    let spec = FlowSpec {
+        n_flows: 6,
+        ..FlowSpec::paper_default(end)
+    };
+    let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &ids, &spec);
+    let mut w = World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
+        Ecgrid::new(EcgridConfig::default(), id)
+    });
+    w.run_until(end);
+    let pdr = w.ledger().delivery_rate().unwrap();
+    assert!(pdr > 0.7, "pdr under churn {pdr}");
+    // gateway churn really happened
+    let retires: u64 = (0..60).map(|i| w.protocol(NodeId(i)).stats.retires).sum();
+    assert!(retires > 20, "expected heavy retiring at 10 m/s, got {retires}");
+    // nobody is stuck mid-election forever
+    let electing = (0..60)
+        .filter(|i| w.protocol(NodeId(*i)).role() == Role::Electing && w.node_alive(NodeId(*i)))
+        .count();
+    assert!(electing <= 6, "{electing} hosts stuck electing");
+}
+
+#[test]
+fn replacement_transfers_tables_to_the_newcomer() {
+    // a full-battery host drives into a grid whose gateway has a lower
+    // level: §3.2 says the newcomer takes over and inherits the tables.
+    // Drain the incumbent by making it serve alone for ~250 s first.
+    let newcomer_dwell = Segment::rest(SimTime::ZERO, SimTime::from_secs(250), Point2::new(920.0, 920.0));
+    let drive = Segment::travel(
+        newcomer_dwell.end,
+        newcomer_dwell.from,
+        Point2::new(155.0, 155.0),
+        10.0,
+    );
+    let rest = Segment::rest(drive.end, HORIZON, drive.end_position());
+    let hosts = vec![
+        still(150.0, 150.0), // incumbent gateway of (1,1), drains while serving alone
+        HostSetup::paper(MobilityTrace::new(vec![newcomer_dwell, drive, rest])),
+        still(950.0, 950.0), // companion at the corner-grid center: it wins
+                             // that grid's election so the newcomer SLEEPS
+                             // through the dwell phase and arrives at upper
+                             // level while the incumbent has drained
+    ];
+    let mut w = World::new(WorldConfig::paper_default(8), hosts, FlowSet::default(), |id| {
+        Ecgrid::new(EcgridConfig::default(), id)
+    });
+    // the incumbent serves alone, so every load-balance retire re-elects
+    // it; by the newcomer's arrival (~360 s) the incumbent sits at
+    // boundary level (~310 J burnt) while the newcomer — asleep for 250 s,
+    // then briefly gatewaying empty grids en route — is still upper
+    w.run_until(SimTime::from_secs(400));
+    assert_eq!(w.node_cell(NodeId(1)), GridCoord::new(1, 1));
+    let p1 = w.protocol(NodeId(1));
+    assert!(
+        p1.is_gateway(),
+        "higher-level newcomer must take over, got {:?} (gw {:?})",
+        p1.role(),
+        p1.gateway()
+    );
+    // the ex-incumbent yielded
+    assert_ne!(w.protocol(NodeId(0)).role(), Role::Gateway);
+}
+
+#[test]
+fn gateway_buffer_is_bounded_per_destination() {
+    // a burst of 100 packets toward a sleeping destination: the gateway
+    // buffers at most `buffer_cap` (64) and the overflow is dropped, not
+    // leaked or crashed on
+    let hosts = vec![
+        still(50.0, 50.0),  // gateway (0,0)
+        still(30.0, 70.0),  // sleeping destination
+        still(250.0, 50.0), // source, neighbour grid gateway
+    ];
+    let flows = FlowSet::new(vec![CbrFlow {
+        id: FlowId(0),
+        src: NodeId(2),
+        dst: NodeId(1),
+        packet_bytes: 512,
+        interval: SimDuration::from_millis(2), // 500 pkt/s burst
+        start: SimTime::from_secs(10),
+        stop: SimTime::from_secs_f64(10.2),
+    }]);
+    let cfg = EcgridConfig {
+        forward_wake_wait: 0.5,
+        ..EcgridConfig::default()
+    };
+    let mut w = World::new(WorldConfig::paper_default(12), hosts, flows, move |id| {
+        Ecgrid::new(cfg, id)
+    });
+    w.run_until(SimTime::from_secs(20));
+    let ledger = w.ledger();
+    assert_eq!(ledger.sent_count(), 100);
+    // some delivered (buffered + flushed after the page), some dropped
+    assert!(ledger.delivered_count() > 0, "buffered packets must flush");
+    let dropped: u64 = (0..3).map(|i| w.protocol(NodeId(i)).stats.data_dropped).sum();
+    assert!(
+        dropped > 0 || ledger.delivered_count() >= 95,
+        "either the cap dropped overflow or nearly everything made it: \
+         delivered {} dropped {dropped}",
+        ledger.delivered_count()
+    );
+}
+
+#[test]
+fn constant_churn_does_not_leak_pending_state() {
+    // drive a small fast swarm for a while and make sure route/pending
+    // structures stay bounded (spot-check through route_count)
+    let seed = 77;
+    let rngs = manet::sim_engine::RngFactory::new(seed);
+    let model = RandomWaypoint::paper(10.0, 0.0);
+    let end = SimTime::from_secs(300);
+    let horizon = end + SimDuration::from_secs(10);
+    let hosts: Vec<HostSetup> = (0..30)
+        .map(|i| HostSetup::paper(model.build_trace(&mut rngs.stream("mobility", i), horizon)))
+        .collect();
+    let ids: Vec<NodeId> = (0..30).map(NodeId).collect();
+    let spec = FlowSpec {
+        n_flows: 4,
+        ..FlowSpec::paper_default(end)
+    };
+    let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &ids, &spec);
+    let mut w = World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
+        Ecgrid::new(EcgridConfig::default(), id)
+    });
+    w.run_until(end);
+    for i in 0..30u32 {
+        let routes = w.protocol(NodeId(i)).route_count();
+        assert!(routes <= 60, "node {i} accumulated {routes} routes");
+    }
+}

@@ -1,0 +1,114 @@
+//! The three-level battery classification driving gateway election (§2).
+//!
+//! > upper level if R_brc > 0.6; boundary level if 0.2 < R_brc <= 0.6;
+//! > lower level if R_brc <= 0.2.
+//!
+//! Levels order `Lower < Boundary < Upper` so "higher level wins" is the
+//! natural `Ord` comparison.
+
+use std::fmt;
+
+/// Remaining-battery level class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EnergyLevel {
+    Lower,
+    Boundary,
+    Upper,
+}
+
+/// R_brc threshold between `Boundary` and `Upper`.
+pub const UPPER_THRESHOLD: f64 = 0.6;
+/// R_brc threshold between `Lower` and `Boundary`.
+pub const LOWER_THRESHOLD: f64 = 0.2;
+
+impl EnergyLevel {
+    /// Classify an R_brc value (paper §2).
+    #[inline]
+    pub fn classify(rbrc: f64) -> Self {
+        if rbrc > UPPER_THRESHOLD {
+            EnergyLevel::Upper
+        } else if rbrc > LOWER_THRESHOLD {
+            EnergyLevel::Boundary
+        } else {
+            EnergyLevel::Lower
+        }
+    }
+
+    /// The level below this one, if any — a gateway retires when its level
+    /// *changes* downwards (§3.2 load balance), i.e. crosses one of these.
+    pub fn next_down(self) -> Option<EnergyLevel> {
+        match self {
+            EnergyLevel::Upper => Some(EnergyLevel::Boundary),
+            EnergyLevel::Boundary => Some(EnergyLevel::Lower),
+            EnergyLevel::Lower => None,
+        }
+    }
+
+    /// The R_brc value at which this level is exited downwards; the load
+    /// balance scheme schedules a retirement check at this boundary.
+    pub fn lower_bound_rbrc(self) -> f64 {
+        match self {
+            EnergyLevel::Upper => UPPER_THRESHOLD,
+            EnergyLevel::Boundary => LOWER_THRESHOLD,
+            EnergyLevel::Lower => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for EnergyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EnergyLevel::Upper => "upper",
+            EnergyLevel::Boundary => "boundary",
+            EnergyLevel::Lower => "lower",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper() {
+        assert_eq!(EnergyLevel::classify(1.0), EnergyLevel::Upper);
+        assert_eq!(EnergyLevel::classify(0.61), EnergyLevel::Upper);
+        assert_eq!(EnergyLevel::classify(0.6), EnergyLevel::Boundary);
+        assert_eq!(EnergyLevel::classify(0.21), EnergyLevel::Boundary);
+        assert_eq!(EnergyLevel::classify(0.2), EnergyLevel::Lower);
+        assert_eq!(EnergyLevel::classify(0.0), EnergyLevel::Lower);
+    }
+
+    #[test]
+    fn ordering_prefers_more_energy() {
+        assert!(EnergyLevel::Upper > EnergyLevel::Boundary);
+        assert!(EnergyLevel::Boundary > EnergyLevel::Lower);
+        assert_eq!(
+            [EnergyLevel::Lower, EnergyLevel::Upper, EnergyLevel::Boundary]
+                .iter()
+                .max()
+                .unwrap(),
+            &EnergyLevel::Upper
+        );
+    }
+
+    #[test]
+    fn level_boundaries() {
+        assert_eq!(EnergyLevel::Upper.next_down(), Some(EnergyLevel::Boundary));
+        assert_eq!(EnergyLevel::Boundary.next_down(), Some(EnergyLevel::Lower));
+        assert_eq!(EnergyLevel::Lower.next_down(), None);
+        assert_eq!(EnergyLevel::Upper.lower_bound_rbrc(), 0.6);
+        assert_eq!(EnergyLevel::Boundary.lower_bound_rbrc(), 0.2);
+        assert_eq!(EnergyLevel::Lower.lower_bound_rbrc(), 0.0);
+    }
+
+    #[test]
+    fn classify_is_consistent_with_bounds() {
+        for lvl in [EnergyLevel::Upper, EnergyLevel::Boundary] {
+            let b = lvl.lower_bound_rbrc();
+            assert_eq!(EnergyLevel::classify(b + 1e-9), lvl);
+            assert!(EnergyLevel::classify(b) < lvl);
+        }
+    }
+}

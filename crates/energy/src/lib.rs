@@ -1,0 +1,25 @@
+//! The energy model: power profiles, batteries, and per-node meters.
+//!
+//! The paper adopts the measurement-based model of Feeney & Nillsson (as
+//! used by the Span paper): a Cabletron Roamabout 802.11 DS card at 2 Mbps
+//! drawing **1400 mW transmitting, 1000 mW receiving, 830 mW idle, and
+//! 130 mW asleep**, plus **33 mW** of continuous GPS draw for the
+//! location-aware protocols.  RAS paging hardware is idealized at zero
+//! cost, exactly as in §2 ("the power consumption of RAS … can thus be
+//! ignored").
+//!
+//! Energy accounting is a state integrator: a node's meter records the
+//! current radio mode and the last transition instant; every transition
+//! (or explicit sampling) integrates `power × elapsed` into the battery.
+//! Death times are predictable in closed form, which lets the simulator
+//! schedule death events instead of polling.
+
+pub mod battery;
+pub mod level;
+pub mod meter;
+pub mod power;
+
+pub use battery::Battery;
+pub use level::EnergyLevel;
+pub use meter::{EnergyAudit, EnergyMeter};
+pub use power::{PowerProfile, RadioMode};

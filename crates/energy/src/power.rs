@@ -1,0 +1,142 @@
+//! Radio operating modes and the measured power profile.
+
+use std::fmt;
+
+/// The operating mode of a host's main transceiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RadioMode {
+    /// Actively transmitting a frame.
+    Tx,
+    /// Actively receiving (or overhearing) a frame.
+    Rx,
+    /// Powered on, listening, but no frame on the air — the expensive state
+    /// the paper attacks ("power consumption is not reduced much even
+    /// though the mobile host is idle").
+    Idle,
+    /// Transceiver off; only the RAS paging receiver is reachable.
+    Sleep,
+    /// Battery exhausted (or the host crashed); consumes nothing, forever.
+    Off,
+}
+
+impl RadioMode {
+    /// True if the main transceiver can receive frames in this mode.
+    #[inline]
+    pub fn can_receive(self) -> bool {
+        matches!(self, RadioMode::Rx | RadioMode::Idle | RadioMode::Tx)
+    }
+
+    /// True if the host is alive (any mode but `Off`).
+    #[inline]
+    pub fn is_alive(self) -> bool {
+        self != RadioMode::Off
+    }
+}
+
+impl fmt::Display for RadioMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RadioMode::Tx => "tx",
+            RadioMode::Rx => "rx",
+            RadioMode::Idle => "idle",
+            RadioMode::Sleep => "sleep",
+            RadioMode::Off => "off",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Power draw per mode, in watts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerProfile {
+    pub tx_w: f64,
+    pub rx_w: f64,
+    pub idle_w: f64,
+    pub sleep_w: f64,
+    /// Continuous positioning-device draw for location-aware protocols
+    /// (0 for protocols without GPS).
+    pub gps_w: f64,
+}
+
+impl PowerProfile {
+    /// The paper's constants (§4): 1400/1000/830/130 mW + 33 mW GPS.
+    pub const fn paper_default() -> Self {
+        PowerProfile {
+            tx_w: 1.4,
+            rx_w: 1.0,
+            idle_w: 0.83,
+            sleep_w: 0.13,
+            gps_w: 0.033,
+        }
+    }
+
+    /// Same radio, no positioning device (for non-location-aware baselines).
+    pub const fn paper_no_gps() -> Self {
+        PowerProfile {
+            gps_w: 0.0,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Total draw in a given mode, including GPS.
+    ///
+    /// GPS stays powered in sleep mode too — the host must know its position
+    /// to set/refresh the dwell timer (§3.2).  `Off` draws nothing.
+    #[inline]
+    pub fn draw_w(&self, mode: RadioMode) -> f64 {
+        let radio = match mode {
+            RadioMode::Tx => self.tx_w,
+            RadioMode::Rx => self.rx_w,
+            RadioMode::Idle => self.idle_w,
+            RadioMode::Sleep => self.sleep_w,
+            RadioMode::Off => return 0.0,
+        };
+        radio + self.gps_w
+    }
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = PowerProfile::paper_default();
+        assert_eq!(p.draw_w(RadioMode::Tx), 1.4 + 0.033);
+        assert_eq!(p.draw_w(RadioMode::Rx), 1.0 + 0.033);
+        assert_eq!(p.draw_w(RadioMode::Idle), 0.83 + 0.033);
+        assert_eq!(p.draw_w(RadioMode::Sleep), 0.13 + 0.033);
+        assert_eq!(p.draw_w(RadioMode::Off), 0.0);
+    }
+
+    #[test]
+    fn idle_vs_sleep_gap_motivates_the_paper() {
+        // the whole point: idle burns ~5x sleep
+        let p = PowerProfile::paper_default();
+        assert!(p.draw_w(RadioMode::Idle) / p.draw_w(RadioMode::Sleep) > 5.0);
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(RadioMode::Idle.can_receive());
+        assert!(RadioMode::Rx.can_receive());
+        assert!(RadioMode::Tx.can_receive());
+        assert!(!RadioMode::Sleep.can_receive());
+        assert!(!RadioMode::Off.can_receive());
+        assert!(RadioMode::Sleep.is_alive());
+        assert!(!RadioMode::Off.is_alive());
+    }
+
+    #[test]
+    fn no_gps_profile() {
+        let p = PowerProfile::paper_no_gps();
+        assert_eq!(p.draw_w(RadioMode::Idle), 0.83);
+        assert_eq!(p.draw_w(RadioMode::Sleep), 0.13);
+    }
+}

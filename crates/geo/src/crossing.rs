@@ -1,0 +1,178 @@
+//! Closed-form grid-boundary crossing times for linear motion.
+//!
+//! ECGRID sleepers set their wake-up timer to the *dwell duration* — the
+//! time they expect to remain in the current grid, computed from GPS
+//! position and velocity (§3.2).  Because mobility traces are piecewise
+//! linear, the crossing time can be solved exactly instead of sampled.
+
+use crate::grid::{GridCoord, GridMap};
+use crate::point::{Point2, Vec2};
+
+/// The result of a crossing computation: when and into which cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellCrossing {
+    /// Seconds from the query instant until the position first leaves the
+    /// current cell (strictly positive).
+    pub dt: f64,
+    /// The position at the crossing instant (nudged just inside the new
+    /// cell).
+    pub exit_point: Point2,
+    /// The cell being entered.
+    pub next_cell: GridCoord,
+}
+
+/// Tiny nudge (in seconds) applied past the boundary so the exit point maps
+/// into the *new* cell despite floating-point edges.
+const EPS_T: f64 = 1e-9;
+
+/// Compute when a point at `p` moving with constant velocity `v` leaves the
+/// cell currently containing it.
+///
+/// Returns `None` when the point never leaves: zero velocity, or the motion
+/// would exit the whole field (mobility clamps trajectories inside the
+/// field, so crossings outside are treated as "stays until segment end").
+pub fn crossing_out_of_cell(map: &GridMap, p: Point2, v: Vec2) -> Option<CellCrossing> {
+    if v.x == 0.0 && v.y == 0.0 {
+        return None;
+    }
+    let cell = map.cell_of(p);
+    let origin = map.cell_origin(cell);
+    let side = map.cell_side();
+
+    // time to hit each axis boundary of the current cell
+    let tx = axis_exit_time(p.x, v.x, origin.x, origin.x + side);
+    let ty = axis_exit_time(p.y, v.y, origin.y, origin.y + side);
+
+    let dt = match (tx, ty) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => return None,
+    };
+
+    let t_exit = dt + EPS_T * (1.0 + dt); // relative nudge keeps it robust for large t
+    let exit_point = p + v * t_exit;
+    // If the nudged exit point leaves the field, the trajectory is about to
+    // be clamped/turned by the mobility model; report no crossing.
+    if exit_point.x < 0.0 || exit_point.y < 0.0 || exit_point.x > map.width() || exit_point.y > map.height() {
+        return None;
+    }
+    let next_cell = map.cell_of(exit_point);
+    if next_cell == cell {
+        // Nudge was swallowed by float rounding (extremely slow motion);
+        // treat as no crossing rather than looping forever.
+        return None;
+    }
+    Some(CellCrossing {
+        dt,
+        exit_point,
+        next_cell,
+    })
+}
+
+/// Time until coordinate `x` moving at rate `vx` exits the open interval
+/// `(lo, hi)`; `None` if it never does on this axis.
+fn axis_exit_time(x: f64, vx: f64, lo: f64, hi: f64) -> Option<f64> {
+    if vx > 0.0 {
+        Some(((hi - x) / vx).max(0.0))
+    } else if vx < 0.0 {
+        Some(((lo - x) / vx).max(0.0))
+    } else {
+        None
+    }
+}
+
+/// Dwell duration: seconds the point remains in its current cell, capped at
+/// `horizon`.  This is exactly the sleep-timer value an ECGRID host sets.
+pub fn dwell_duration(map: &GridMap, p: Point2, v: Vec2, horizon: f64) -> f64 {
+    match crossing_out_of_cell(map, p, v) {
+        Some(c) => c.dt.min(horizon),
+        None => horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> GridMap {
+        GridMap::paper_default()
+    }
+
+    #[test]
+    fn eastward_motion_crosses_right_boundary() {
+        let m = map();
+        let c = crossing_out_of_cell(&m, Point2::new(50.0, 50.0), Vec2::new(10.0, 0.0)).unwrap();
+        assert!((c.dt - 5.0).abs() < 1e-6);
+        assert_eq!(c.next_cell, GridCoord::new(1, 0));
+    }
+
+    #[test]
+    fn diagonal_motion_picks_earlier_axis() {
+        let m = map();
+        // from (90, 50): x-boundary at 100 in 1 s, y-boundary at 100 in 5 s
+        let c = crossing_out_of_cell(&m, Point2::new(90.0, 50.0), Vec2::new(10.0, 10.0)).unwrap();
+        assert!((c.dt - 1.0).abs() < 1e-6);
+        assert_eq!(c.next_cell, GridCoord::new(1, 0));
+    }
+
+    #[test]
+    fn westward_motion_crosses_left_boundary() {
+        let m = map();
+        let c = crossing_out_of_cell(&m, Point2::new(150.0, 50.0), Vec2::new(-25.0, 0.0)).unwrap();
+        assert!((c.dt - 2.0).abs() < 1e-6);
+        assert_eq!(c.next_cell, GridCoord::new(0, 0));
+    }
+
+    #[test]
+    fn zero_velocity_never_crosses() {
+        let m = map();
+        assert!(crossing_out_of_cell(&m, Point2::new(50.0, 50.0), Vec2::ZERO).is_none());
+    }
+
+    #[test]
+    fn motion_out_of_field_reports_none() {
+        let m = map();
+        // heading straight out the left edge of the field
+        assert!(crossing_out_of_cell(&m, Point2::new(50.0, 50.0), Vec2::new(-10.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn starting_on_boundary_moves_cleanly() {
+        let m = map();
+        // exactly on x=100 boundary (maps to cell (1,0)), moving east
+        let c = crossing_out_of_cell(&m, Point2::new(100.0, 50.0), Vec2::new(10.0, 0.0)).unwrap();
+        assert!((c.dt - 10.0).abs() < 1e-6);
+        assert_eq!(c.next_cell, GridCoord::new(2, 0));
+    }
+
+    #[test]
+    fn dwell_duration_caps_at_horizon() {
+        let m = map();
+        let d = dwell_duration(&m, Point2::new(50.0, 50.0), Vec2::new(0.001, 0.0), 30.0);
+        assert_eq!(d, 30.0);
+        let d = dwell_duration(&m, Point2::new(50.0, 50.0), Vec2::new(10.0, 0.0), 30.0);
+        assert!((d - 5.0).abs() < 1e-6);
+        let d = dwell_duration(&m, Point2::new(50.0, 50.0), Vec2::ZERO, 30.0);
+        assert_eq!(d, 30.0);
+    }
+
+    #[test]
+    fn chained_crossings_walk_across_field() {
+        // follow a fast diagonal trajectory and check each crossing enters a
+        // neighbouring cell
+        let m = map();
+        let v = Vec2::new(17.0, 9.0);
+        let mut p = Point2::new(5.0, 5.0);
+        let mut cell = m.cell_of(p);
+        let mut hops = 0;
+        while let Some(c) = crossing_out_of_cell(&m, p, v) {
+            assert!(cell.is_neighbor(c.next_cell), "{cell:?} -> {:?}", c.next_cell);
+            p = c.exit_point;
+            cell = c.next_cell;
+            hops += 1;
+            assert!(hops < 64, "runaway crossing chain");
+        }
+        assert!(hops >= 9, "expected to traverse many cells, got {hops}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Rectangles of grid coordinates — the RREQ *search area*.
+//!
+//! The paper confines route discovery to "the smallest rectangle that can
+//! cover the grids of source S and destination D" (§3.3, Fig. 2); gateways
+//! outside the rectangle ignore the RREQ.  An optional margin widens the
+//! rectangle for retries, and [`GridRect::everywhere`] models the global
+//! re-search that runs when the confined search fails.
+
+use crate::grid::GridCoord;
+
+/// An inclusive axis-aligned rectangle of grid coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GridRect {
+    pub min_x: i32,
+    pub min_y: i32,
+    pub max_x: i32,
+    pub max_y: i32,
+}
+
+impl GridRect {
+    /// Rectangle covering exactly the two given cells (the paper's default
+    /// search area for a route request).
+    pub fn covering(a: GridCoord, b: GridCoord) -> Self {
+        GridRect {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// A single-cell rectangle.
+    pub fn cell(c: GridCoord) -> Self {
+        GridRect::covering(c, c)
+    }
+
+    /// The unbounded search area used when a confined search failed or when
+    /// the source has no location information for the destination.
+    pub fn everywhere() -> Self {
+        GridRect {
+            min_x: i32::MIN,
+            min_y: i32::MIN,
+            max_x: i32::MAX,
+            max_y: i32::MAX,
+        }
+    }
+
+    /// True if this is the global search area.
+    pub fn is_everywhere(&self) -> bool {
+        *self == Self::everywhere()
+    }
+
+    /// Widen the rectangle by `m` cells on every side (saturating).
+    pub fn expanded(self, m: i32) -> Self {
+        GridRect {
+            min_x: self.min_x.saturating_sub(m),
+            min_y: self.min_y.saturating_sub(m),
+            max_x: self.max_x.saturating_add(m),
+            max_y: self.max_y.saturating_add(m),
+        }
+    }
+
+    /// Membership test used by every gateway that receives an RREQ.
+    #[inline]
+    pub fn contains(&self, c: GridCoord) -> bool {
+        c.x >= self.min_x && c.x <= self.max_x && c.y >= self.min_y && c.y <= self.max_y
+    }
+
+    /// Number of cells inside the rectangle (saturating at `u64::MAX` for
+    /// the global area).
+    pub fn cell_count(&self) -> u64 {
+        let w = (self.max_x as i64 - self.min_x as i64 + 1).max(0) as u64;
+        let h = (self.max_y as i64 - self.min_y as i64 + 1).max(0) as u64;
+        w.saturating_mul(h)
+    }
+
+    /// Iterate all cells in the rectangle in row-major order.  Panics if the
+    /// rectangle is the global area (iterating it makes no sense).
+    pub fn cells(&self) -> impl Iterator<Item = GridCoord> + '_ {
+        assert!(!self.is_everywhere(), "cannot enumerate the global search area");
+        let r = *self;
+        (r.min_y..=r.max_y).flat_map(move |y| (r.min_x..=r.max_x).map(move |x| GridCoord::new(x, y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_matches_paper_example() {
+        // Fig. 2: S in (1,1), D in (5,3) — search area bounded by grids
+        // (1,1), (1,3), (5,1) and (5,3).
+        let r = GridRect::covering(GridCoord::new(1, 1), GridCoord::new(5, 3));
+        assert!(r.contains(GridCoord::new(1, 1)));
+        assert!(r.contains(GridCoord::new(5, 3)));
+        assert!(r.contains(GridCoord::new(3, 2)));
+        assert!(!r.contains(GridCoord::new(0, 2)));
+        assert!(!r.contains(GridCoord::new(2, 0)));
+        assert_eq!(r.cell_count(), 15);
+    }
+
+    #[test]
+    fn covering_is_order_independent() {
+        let a = GridCoord::new(5, 1);
+        let b = GridCoord::new(1, 3);
+        assert_eq!(GridRect::covering(a, b), GridRect::covering(b, a));
+    }
+
+    #[test]
+    fn single_cell_rect() {
+        let r = GridRect::cell(GridCoord::new(2, 2));
+        assert_eq!(r.cell_count(), 1);
+        assert!(r.contains(GridCoord::new(2, 2)));
+        assert!(!r.contains(GridCoord::new(2, 3)));
+    }
+
+    #[test]
+    fn everywhere_contains_anything() {
+        let r = GridRect::everywhere();
+        assert!(r.is_everywhere());
+        assert!(r.contains(GridCoord::new(i32::MIN, i32::MAX)));
+        assert!(r.contains(GridCoord::new(0, 0)));
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let r = GridRect::covering(GridCoord::new(2, 2), GridCoord::new(3, 3)).expanded(1);
+        assert!(r.contains(GridCoord::new(1, 1)));
+        assert!(r.contains(GridCoord::new(4, 4)));
+        assert!(!r.contains(GridCoord::new(0, 2)));
+        assert_eq!(r.cell_count(), 16);
+    }
+
+    #[test]
+    fn expanded_everywhere_stays_everywhere() {
+        assert!(GridRect::everywhere().expanded(3).is_everywhere());
+    }
+
+    #[test]
+    fn cells_enumerates_row_major() {
+        let r = GridRect::covering(GridCoord::new(0, 0), GridCoord::new(1, 1));
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(
+            cells,
+            vec![
+                GridCoord::new(0, 0),
+                GridCoord::new(1, 0),
+                GridCoord::new(0, 1),
+                GridCoord::new(1, 1),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "global")]
+    fn enumerating_everywhere_panics() {
+        let _ = GridRect::everywhere().cells().count();
+    }
+}

@@ -1,0 +1,113 @@
+//! The neighbour-gateway cache.
+//!
+//! A gateway at a grid center is in radio range of every gateway of its
+//! eight neighbouring grids (the `d = sqrt(2) r / 3` rule), so it overhears
+//! their periodic HELLOs.  This cache maps grid coordinates to the last
+//! known gateway node of that grid, with staleness expiry.
+
+use manet::{GridCoord, NodeId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Grid → (gateway node, last heard) with TTL.
+#[derive(Clone, Debug)]
+pub struct NeighborGateways {
+    map: HashMap<GridCoord, (NodeId, SimTime)>,
+    ttl: SimDuration,
+}
+
+impl NeighborGateways {
+    pub fn new(ttl: SimDuration) -> Self {
+        NeighborGateways {
+            map: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Record a gateway HELLO from `grid`.
+    pub fn note(&mut self, grid: GridCoord, gw: NodeId, now: SimTime) {
+        self.map.insert(grid, (gw, now));
+    }
+
+    /// Current gateway of `grid`, if fresh.
+    pub fn get(&self, grid: GridCoord, now: SimTime) -> Option<NodeId> {
+        self.map
+            .get(&grid)
+            .filter(|(_, heard)| now.since(*heard) < self.ttl)
+            .map(|(id, _)| *id)
+    }
+
+    /// Forget a node everywhere (it retired or was seen without gflag).
+    pub fn forget_node(&mut self, node: NodeId) {
+        self.map.retain(|_, (id, _)| *id != node);
+    }
+
+    /// Forget a grid's entry.
+    pub fn forget_grid(&mut self, grid: GridCoord) {
+        self.map.remove(&grid);
+    }
+
+    /// Drop stale entries.
+    pub fn purge(&mut self, now: SimTime) {
+        let ttl = self.ttl;
+        self.map.retain(|_, (_, heard)| now.since(*heard) < ttl);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    const G: GridCoord = GridCoord { x: 2, y: 3 };
+
+    #[test]
+    fn note_and_get_with_ttl() {
+        let mut n = NeighborGateways::new(SimDuration::from_secs(3));
+        n.note(G, NodeId(7), t(10));
+        assert_eq!(n.get(G, t(12)), Some(NodeId(7)));
+        assert_eq!(n.get(G, t(13)), None, "stale after ttl");
+    }
+
+    #[test]
+    fn newer_note_replaces() {
+        let mut n = NeighborGateways::new(SimDuration::from_secs(3));
+        n.note(G, NodeId(7), t(10));
+        n.note(G, NodeId(9), t(11));
+        assert_eq!(n.get(G, t(12)), Some(NodeId(9)));
+    }
+
+    #[test]
+    fn forget_node_clears_all_its_grids() {
+        let mut n = NeighborGateways::new(SimDuration::from_secs(30));
+        n.note(G, NodeId(7), t(0));
+        n.note(GridCoord::new(0, 0), NodeId(7), t(0));
+        n.note(GridCoord::new(1, 1), NodeId(8), t(0));
+        n.forget_node(NodeId(7));
+        assert_eq!(n.get(G, t(1)), None);
+        assert_eq!(n.get(GridCoord::new(1, 1), t(1)), Some(NodeId(8)));
+        assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn purge_drops_stale() {
+        let mut n = NeighborGateways::new(SimDuration::from_secs(3));
+        n.note(G, NodeId(7), t(0));
+        n.note(GridCoord::new(1, 1), NodeId(8), t(5));
+        n.purge(t(6));
+        assert!(n.get(G, t(6)).is_none());
+        assert_eq!(n.len(), 1);
+        n.forget_grid(GridCoord::new(1, 1));
+        assert!(n.is_empty());
+    }
+}

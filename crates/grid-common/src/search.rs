@@ -1,0 +1,161 @@
+//! Search-area confinement strategies for route discovery.
+//!
+//! §3.3 confines each RREQ to a `range` "to alleviate the broadcast storm
+//! problem", noting that "several ways of confining the searching area
+//! have been presented in \[2\]" (the GRID paper).  This module implements
+//! the catalogue so the policy is a configuration choice:
+//!
+//! * [`SearchStrategy::CoveringRect`] — the smallest rectangle covering
+//!   the source and destination grids (the paper's running example);
+//! * [`SearchStrategy::PaddedRect`] — the covering rectangle widened by a
+//!   fixed margin of cells (tolerates a destination that drifted);
+//! * [`SearchStrategy::Strip`] — all cells within a perpendicular
+//!   distance of the source→destination line (a "thick corridor", cheaper
+//!   than the rectangle for diagonal routes);
+//! * [`SearchStrategy::Global`] — no confinement (the fallback §3.3
+//!   mandates when confined rounds fail or no location is known).
+
+use manet::{GridCoord, GridMap, GridRect};
+
+/// How to build the RREQ `range` from the requester's grid and the
+/// destination's last known grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SearchStrategy {
+    /// Smallest rectangle covering source and destination grids.
+    CoveringRect,
+    /// Covering rectangle padded by `margin` cells on every side.
+    PaddedRect { margin: i32 },
+    /// Cells within `half_width` cells of the source→destination line.
+    /// Realized as the padded covering rectangle *plus* a strip membership
+    /// test at RREQ processing time; `range_for` returns the bounding
+    /// rectangle and [`SearchStrategy::admits`] applies the strip cut.
+    Strip { half_width: i32 },
+    /// Search everywhere.
+    Global,
+}
+
+impl SearchStrategy {
+    /// The rectangle to embed in the RREQ.
+    pub fn range_for(&self, src: GridCoord, dst: Option<GridCoord>) -> GridRect {
+        let Some(dst) = dst else {
+            return GridRect::everywhere();
+        };
+        match *self {
+            SearchStrategy::CoveringRect => GridRect::covering(src, dst),
+            SearchStrategy::PaddedRect { margin } => GridRect::covering(src, dst).expanded(margin.max(0)),
+            SearchStrategy::Strip { half_width } => GridRect::covering(src, dst).expanded(half_width.max(0)),
+            SearchStrategy::Global => GridRect::everywhere(),
+        }
+    }
+
+    /// Whether a gateway in `cell` participates in a search from `src`
+    /// toward `dst` (beyond the rectangle test the RREQ itself carries).
+    pub fn admits(&self, cell: GridCoord, src: GridCoord, dst: Option<GridCoord>) -> bool {
+        match (*self, dst) {
+            (SearchStrategy::Strip { half_width }, Some(dst)) => {
+                cells_within_strip(cell, src, dst, half_width.max(0) as f64 + 0.5)
+            }
+            _ => true,
+        }
+    }
+
+    /// Expected number of participating cells for a `src`→`dst` search on
+    /// `map` — the broadcast-storm cost the strategy trades against
+    /// robustness (used by tests and the ablation report).
+    pub fn cell_cost(&self, map: &GridMap, src: GridCoord, dst: Option<GridCoord>) -> u64 {
+        let rect = self.range_for(src, dst);
+        if rect.is_everywhere() {
+            return map.cell_count() as u64;
+        }
+        rect.cells()
+            .filter(|c| map.contains_cell(*c) && self.admits(*c, src, dst))
+            .count() as u64
+    }
+}
+
+/// Distance from the center of `cell` to the segment `src`→`dst`, in cell
+/// units, compared against `limit`.
+fn cells_within_strip(cell: GridCoord, src: GridCoord, dst: GridCoord, limit: f64) -> bool {
+    let (px, py) = (cell.x as f64, cell.y as f64);
+    let (ax, ay) = (src.x as f64, src.y as f64);
+    let (bx, by) = (dst.x as f64, dst.y as f64);
+    let (dx, dy) = (bx - ax, by - ay);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq == 0.0 {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    let (ex, ey) = (px - cx, py - cy);
+    (ex * ex + ey * ey).sqrt() <= limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: GridCoord = GridCoord { x: 1, y: 1 };
+    const D: GridCoord = GridCoord { x: 5, y: 3 };
+
+    #[test]
+    fn covering_rect_matches_paper_example() {
+        let r = SearchStrategy::CoveringRect.range_for(S, Some(D));
+        assert_eq!(r, GridRect::covering(S, D));
+        assert_eq!(r.cell_count(), 15);
+        assert!(SearchStrategy::CoveringRect.admits(GridCoord::new(3, 2), S, Some(D)));
+    }
+
+    #[test]
+    fn padded_rect_expands() {
+        let r = SearchStrategy::PaddedRect { margin: 1 }.range_for(S, Some(D));
+        assert!(r.contains(GridCoord::new(0, 0)));
+        assert!(r.contains(GridCoord::new(6, 4)));
+        assert_eq!(r.cell_count(), 7 * 5);
+    }
+
+    #[test]
+    fn strip_admits_corridor_only() {
+        let strat = SearchStrategy::Strip { half_width: 1 };
+        // on the line
+        assert!(strat.admits(GridCoord::new(3, 2), S, Some(D)));
+        // adjacent to the line
+        assert!(strat.admits(GridCoord::new(3, 3), S, Some(D)));
+        // far off the corridor (inside the bounding rect of a padded search
+        // but beyond the strip)
+        assert!(!strat.admits(GridCoord::new(1, 4), S, Some(D)));
+    }
+
+    #[test]
+    fn unknown_destination_is_global() {
+        for strat in [
+            SearchStrategy::CoveringRect,
+            SearchStrategy::PaddedRect { margin: 2 },
+            SearchStrategy::Strip { half_width: 1 },
+        ] {
+            assert!(strat.range_for(S, None).is_everywhere());
+            assert!(strat.admits(GridCoord::new(9, 9), S, None));
+        }
+    }
+
+    #[test]
+    fn cost_ordering_strip_leq_rect_leq_padded_leq_global() {
+        let map = GridMap::paper_default();
+        let rect = SearchStrategy::CoveringRect.cell_cost(&map, S, Some(D));
+        let padded = SearchStrategy::PaddedRect { margin: 1 }.cell_cost(&map, S, Some(D));
+        let strip = SearchStrategy::Strip { half_width: 1 }.cell_cost(&map, S, Some(D));
+        let global = SearchStrategy::Global.cell_cost(&map, S, Some(D));
+        assert!(strip <= padded, "strip {strip} vs padded {padded}");
+        assert!(rect <= padded);
+        assert!(padded <= global);
+        assert_eq!(global, 100);
+    }
+
+    #[test]
+    fn degenerate_same_cell_search() {
+        let strat = SearchStrategy::Strip { half_width: 0 };
+        assert!(strat.admits(S, S, Some(S)));
+        let r = strat.range_for(S, Some(S));
+        assert!(r.contains(S));
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end tests for the GRID baseline.
+
+use grid_routing::{GridConfig, GridProto, GridRole};
+use manet::{
+    FlowSet, GridCoord, HostSetup, NodeId, Point2, RadioMode, SimDuration, SimTime, World, WorldConfig,
+};
+use mobility::MobilityTrace;
+use traffic::{CbrFlow, FlowId};
+
+const HORIZON: SimTime = SimTime(3_000_000_000_000);
+
+fn still(x: f64, y: f64) -> HostSetup {
+    HostSetup::paper(MobilityTrace::stationary(Point2::new(x, y), HORIZON))
+}
+
+fn grid_world(hosts: Vec<HostSetup>, flows: FlowSet, seed: u64) -> World<GridProto> {
+    World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
+        GridProto::new(GridConfig::default(), id)
+    })
+}
+
+fn hosts_three_grids() -> Vec<HostSetup> {
+    vec![
+        still(50.0, 50.0),
+        still(20.0, 30.0),
+        still(250.0, 50.0),
+        still(220.0, 20.0),
+        still(450.0, 50.0),
+        still(430.0, 20.0),
+    ]
+}
+
+#[test]
+fn grid_elects_center_closest_and_nobody_sleeps() {
+    let mut w = grid_world(hosts_three_grids(), FlowSet::default(), 1);
+    w.run_until(SimTime::from_secs(10));
+    for gw in [0u32, 2, 4] {
+        assert!(w.protocol(NodeId(gw)).is_gateway(), "node {gw}");
+    }
+    // GRID conserves nothing: every host stays idle-on
+    for i in 0..6u32 {
+        assert_eq!(w.node_mode(NodeId(i)), RadioMode::Idle, "node {i} must be active");
+    }
+}
+
+#[test]
+fn grid_delivers_multi_hop() {
+    let flows = FlowSet::new(vec![CbrFlow {
+        id: FlowId(0),
+        src: NodeId(1),
+        dst: NodeId(5),
+        packet_bytes: 512,
+        interval: SimDuration::from_secs(1),
+        start: SimTime::from_secs(5),
+        stop: SimTime::from_secs(35),
+    }]);
+    let mut w = grid_world(hosts_three_grids(), flows, 2);
+    w.run_until(SimTime::from_secs(40));
+    assert_eq!(w.ledger().sent_count(), 30);
+    assert!(
+        w.ledger().delivery_rate().unwrap() >= 0.95,
+        "pdr {:?}",
+        w.ledger().delivery_rate()
+    );
+    let lat = w.ledger().mean_latency_ms().unwrap();
+    assert!(lat < 40.0, "latency {lat} ms");
+}
+
+#[test]
+fn grid_network_dies_at_idle_lifetime() {
+    let mut w = grid_world(hosts_three_grids(), FlowSet::default(), 3);
+    w.run_until(SimTime::from_secs(800));
+    // everyone idles at ~0.863 W: all dead by ~590 s (the paper's number)
+    let death = w.alive_series().first_time_at_or_below(0.0).unwrap();
+    assert!((570.0..=600.0).contains(&death), "network death at {death}");
+}
+
+#[test]
+fn grid_runs_are_deterministic() {
+    let run = || {
+        let mut w = grid_world(hosts_three_grids(), FlowSet::default(), 5);
+        w.run_until(SimTime::from_secs(30));
+        (
+            *w.stats(),
+            (0..6).map(|i| w.node_consumed_j(NodeId(i))).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run().0, run().0);
+    assert_eq!(run().1, run().1);
+}
+
+#[test]
+fn grid_single_host_becomes_gateway() {
+    let mut w = grid_world(vec![still(950.0, 950.0)], FlowSet::default(), 6);
+    w.run_until(SimTime::from_secs(5));
+    assert!(w.protocol(NodeId(0)).is_gateway());
+    assert_eq!(w.protocol(NodeId(0)).grid(), GridCoord::new(9, 9));
+    assert_eq!(w.protocol(NodeId(0)).role(), GridRole::Gateway);
+}

@@ -1,0 +1,75 @@
+//! World construction parameters.
+
+use energy::{Battery, PowerProfile};
+use geo::GridMap;
+use mobility::MobilityTrace;
+use radio::{MacConfig, RasConfig};
+use sim_engine::SimDuration;
+
+/// Global simulation parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Field dimensions and grid partition (1000×1000 m, d = 100 m).
+    pub grid: GridMap,
+    /// Radio range in meters (250 m).
+    pub range_m: f64,
+    /// MAC timing and contention parameters.
+    pub mac: MacConfig,
+    /// RAS paging parameters.
+    pub ras: RasConfig,
+    /// Metrics sampling period (alive fraction, aen).
+    pub sample_every: SimDuration,
+    /// Master seed for all per-node randomness (MAC backoff, protocol
+    /// jitter).  Mobility and traffic randomness are supplied by the
+    /// caller via traces/flows so that every protocol under comparison
+    /// sees identical scenarios.
+    pub seed: u64,
+    /// PHY capture threshold as a distance ratio (see
+    /// `radio::channel::CAPTURE_RATIO_10DB`); `None` makes every
+    /// overlapping interferer fatal (ablation knob).
+    pub capture_ratio: Option<f64>,
+}
+
+impl WorldConfig {
+    /// The paper's evaluation environment.
+    pub fn paper_default(seed: u64) -> Self {
+        WorldConfig {
+            grid: GridMap::paper_default(),
+            range_m: 250.0,
+            mac: MacConfig::paper_default(),
+            ras: RasConfig::paper_default(),
+            sample_every: SimDuration::from_secs(10),
+            seed,
+            capture_ratio: Some(radio::channel::CAPTURE_RATIO_10DB),
+        }
+    }
+}
+
+/// Per-host construction data.
+#[derive(Clone, Debug)]
+pub struct HostSetup {
+    pub profile: PowerProfile,
+    pub battery: Battery,
+    pub trace: MobilityTrace,
+}
+
+impl HostSetup {
+    /// A paper-default host (500 J, GPS profile) following `trace`.
+    pub fn paper(trace: MobilityTrace) -> Self {
+        HostSetup {
+            profile: PowerProfile::paper_default(),
+            battery: Battery::paper_default(),
+            trace,
+        }
+    }
+
+    /// A Model-1 endpoint: infinite energy (excluded from alive/aen
+    /// metrics).
+    pub fn infinite(trace: MobilityTrace) -> Self {
+        HostSetup {
+            profile: PowerProfile::paper_default(),
+            battery: Battery::infinite(),
+            trace,
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The protocol-facing command interface.
+//!
+//! A [`Ctx`] is handed to every protocol callback.  Reads (time, own
+//! position, battery, …) are served from a snapshot taken when the
+//! callback is dispatched; writes are queued as commands and applied by
+//! the [`World`](crate::world::World) after the callback returns, in call
+//! order.
+
+use crate::protocol::Protocol;
+use energy::{EnergyLevel, RadioMode};
+use geo::{GridCoord, GridMap, Point2, Vec2};
+use mobility::MobilityTrace;
+use radio::{FrameKind, NodeId};
+use rand::rngs::StdRng;
+use sim_engine::{SimDuration, SimTime};
+
+/// An application-layer data packet (one CBR packet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppPacket {
+    pub flow: u32,
+    pub seq: u64,
+    /// Payload bytes (512 in the paper's CBR flows).
+    pub bytes: u32,
+}
+
+impl AppPacket {
+    /// The ledger key of this packet.
+    pub fn key(&self) -> (u32, u64) {
+        (self.flow, self.seq)
+    }
+}
+
+/// Handle to a pending protocol timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// Read-only snapshot of the host's state at dispatch time.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeView {
+    pub now: SimTime,
+    pub id: NodeId,
+    pub pos: Point2,
+    pub vel: Vec2,
+    pub cell: GridCoord,
+    pub mode: RadioMode,
+    pub rbrc: f64,
+    pub level: EnergyLevel,
+    pub remaining_j: f64,
+}
+
+pub(crate) enum Cmd<P: Protocol> {
+    Send {
+        kind: FrameKind,
+        msg: P::Msg,
+    },
+    Sleep,
+    Wake,
+    PageHost(NodeId),
+    PageGrid(GridCoord),
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        timer: P::Timer,
+    },
+    CancelTimer(TimerId),
+    DeliverApp(AppPacket),
+    Note(String),
+}
+
+/// The command/query interface a protocol uses during a callback.
+pub struct Ctx<'a, P: Protocol> {
+    pub(crate) view: NodeView,
+    pub(crate) grid: &'a GridMap,
+    pub(crate) trace: &'a MobilityTrace,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) cmds: Vec<Cmd<P>>,
+    pub(crate) tracing: bool,
+}
+
+impl<'a, P: Protocol> Ctx<'a, P> {
+    // ----- queries ---------------------------------------------------
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.view.now
+    }
+
+    /// This host's id (also its RAS paging sequence).
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.view.id
+    }
+
+    /// GPS position.
+    #[inline]
+    pub fn pos(&self) -> Point2 {
+        self.view.pos
+    }
+
+    /// GPS velocity.
+    #[inline]
+    pub fn vel(&self) -> Vec2 {
+        self.view.vel
+    }
+
+    /// The grid cell this host is in.
+    #[inline]
+    pub fn cell(&self) -> GridCoord {
+        self.view.cell
+    }
+
+    /// Current radio mode.
+    #[inline]
+    pub fn mode(&self) -> RadioMode {
+        self.view.mode
+    }
+
+    /// Ratio of battery remaining capacity (Eq. 1).
+    #[inline]
+    pub fn rbrc(&self) -> f64 {
+        self.view.rbrc
+    }
+
+    /// Battery level class (upper/boundary/lower).
+    #[inline]
+    pub fn level(&self) -> EnergyLevel {
+        self.view.level
+    }
+
+    /// Remaining battery energy in joules.
+    #[inline]
+    pub fn remaining_j(&self) -> f64 {
+        self.view.remaining_j
+    }
+
+    /// The grid partition of the field.
+    #[inline]
+    pub fn grid(&self) -> &GridMap {
+        self.grid
+    }
+
+    /// Distance from the host to the center of its current grid — the
+    /// `dist` field of the HELLO message.
+    pub fn dist_to_center(&self) -> f64 {
+        self.view.pos.distance(self.grid.cell_center(self.view.cell))
+    }
+
+    /// The dwell-duration estimate of §3.2: how long the host expects to
+    /// stay in its current grid, from instantaneous position and velocity,
+    /// capped at `horizon_secs`.
+    pub fn estimated_dwell_secs(&self, horizon_secs: f64) -> f64 {
+        self.trace.estimated_dwell(self.grid, self.view.now, horizon_secs)
+    }
+
+    /// Deterministic per-host RNG stream (for jitter and backoff).
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    // ----- commands ---------------------------------------------------
+
+    /// Queue a frame on the MAC.  If the host is asleep it is woken first
+    /// (a host must power its transceiver to transmit, §3.3 ACQ).
+    pub fn send(&mut self, kind: FrameKind, msg: P::Msg) {
+        self.cmds.push(Cmd::Send { kind, msg });
+    }
+
+    /// Convenience: broadcast a message.
+    pub fn broadcast(&mut self, msg: P::Msg) {
+        self.send(FrameKind::Broadcast, msg);
+    }
+
+    /// Convenience: unicast a message.
+    pub fn unicast(&mut self, dst: NodeId, msg: P::Msg) {
+        self.send(FrameKind::Unicast(dst), msg);
+    }
+
+    /// Turn the transceiver off (enter sleep mode).
+    pub fn sleep(&mut self) {
+        self.cmds.push(Cmd::Sleep);
+    }
+
+    /// Turn the transceiver on (enter active/idle mode).
+    pub fn wake(&mut self) {
+        self.cmds.push(Cmd::Wake);
+    }
+
+    /// Send a RAS paging sequence to wake one host.
+    pub fn page_host(&mut self, id: NodeId) {
+        self.cmds.push(Cmd::PageHost(id));
+    }
+
+    /// Send a grid's RAS broadcast sequence to wake everyone in it.
+    pub fn page_grid(&mut self, cell: GridCoord) {
+        self.cmds.push(Cmd::PageGrid(cell));
+    }
+
+    /// Arm a timer `delay` from now.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: P::Timer) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.cmds.push(Cmd::SetTimer { id, delay, timer });
+        id
+    }
+
+    /// Arm a timer with fractional-second delay.
+    pub fn set_timer_secs(&mut self, delay_secs: f64, timer: P::Timer) -> TimerId {
+        self.set_timer(SimDuration::from_secs_f64(delay_secs), timer)
+    }
+
+    /// Disarm a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cmds.push(Cmd::CancelTimer(id));
+    }
+
+    /// Hand a data packet to this host's application — the packet has
+    /// reached its destination (ledger records the delivery).
+    pub fn deliver_app(&mut self, packet: AppPacket) {
+        self.cmds.push(Cmd::DeliverApp(packet));
+    }
+
+    /// Append a line to the world's trace log (no-op unless tracing was
+    /// enabled; used by the walkthrough examples and debugging).
+    pub fn note(&mut self, text: impl FnOnce() -> String) {
+        if self.tracing {
+            let s = text();
+            self.cmds.push(Cmd::Note(s));
+        }
+    }
+}

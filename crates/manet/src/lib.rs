@@ -1,0 +1,56 @@
+//! The MANET simulation framework — the glue between the discrete-event
+//! engine, the radio substrate, mobility, energy, traffic, and the routing
+//! protocols under study.
+//!
+//! A [`World`] owns a population of hosts.  Each host runs a
+//! [`Protocol`] — GRID, ECGRID, GAF, AODV, or anything else implementing
+//! the trait — and the World drives it with callbacks:
+//!
+//! * `on_start` once at t=0;
+//! * `on_frame` for every successfully received frame;
+//! * `on_timer` for protocol timers;
+//! * `on_page` when the RAS paging receiver wakes the host;
+//! * `on_cell_change` when an *awake* host's GPS observes a grid crossing
+//!   (sleeping hosts only learn their position when their own dwell timer
+//!   wakes them — exactly the paper's semantics);
+//! * `on_app_send` when the host's CBR application emits a packet;
+//! * `on_unicast_failed` when the MAC exhausts its retransmission budget
+//!   (how a host discovers its gateway is gone, §3.2 case 2).
+//!
+//! Protocols react through the [`Ctx`] command interface: send frames,
+//! sleep/wake, page hosts or grids, set timers, deliver application
+//! packets.  All effects are applied after the callback returns, which
+//! keeps borrow discipline simple and the event order deterministic.
+//!
+//! The World implements a CSMA/CA MAC over the unit-disc channel (carrier
+//! sense, binary exponential backoff, receiver-side collision corruption,
+//! ACK + bounded retransmit for unicasts), integrates every host's energy
+//! meter through the radio-mode transitions, and samples the alive
+//! fraction and *aen* series the paper plots.
+
+pub mod config;
+pub mod ctx;
+pub mod protocol;
+pub mod stats;
+pub mod testkit;
+pub mod trace;
+pub mod world;
+
+pub use config::{HostSetup, WorldConfig};
+pub use ctx::{AppPacket, Ctx, NodeView, TimerId};
+pub use protocol::{Protocol, WireSize};
+pub use stats::WorldStats;
+pub use trace::{render_trace, TraceRecord};
+pub use world::{RunOutput, World};
+
+// Re-export the vocabulary types protocols need, so protocol crates can
+// depend on `manet` alone.
+pub use energy::{Battery, EnergyAudit, EnergyLevel, EnergyMeter, PowerProfile, RadioMode};
+pub use geo::{GridCoord, GridMap, GridRect, Point2, Vec2};
+pub use radio::{FrameKind, MacConfig, NodeId, PageSignal, RasConfig};
+pub use sim_engine::{SimDuration, SimTime};
+
+/// Re-export of the whole engine crate (deterministic RNG streams etc.)
+/// so protocol crates and tests don't need a separate dependency.
+pub use sim_engine;
+pub use traffic::{CbrFlow, FlowId, FlowSet, FlowSpec};

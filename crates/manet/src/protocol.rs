@@ -1,0 +1,56 @@
+//! The protocol trait every routing scheme implements.
+
+use crate::ctx::{AppPacket, Ctx};
+use radio::{FrameKind, NodeId, PageSignal};
+use std::fmt;
+
+/// Wire size of a protocol message payload, in bytes above the MAC.
+///
+/// Faithful sizes matter: serialization delay sets per-hop latency, and
+/// time-on-air sets transmit/receive energy.  Implementations should count
+/// the fields a real packet would carry (ids 4 B, coordinates 4 B,
+/// sequence numbers 4 B, a routing-table entry 12 B, …).
+pub trait WireSize {
+    fn wire_bytes(&self) -> u32;
+}
+
+/// A routing protocol instance living on one host.
+///
+/// One value of the implementing type exists per host; it communicates
+/// with its peers *only* through frames and pages — there is no shared
+/// state, exactly like processes on physical nodes.
+pub trait Protocol: Sized + 'static {
+    /// The protocol's message payload carried in frames.
+    type Msg: Clone + WireSize + fmt::Debug;
+    /// The protocol's timer tokens.
+    type Timer: Clone + fmt::Debug;
+
+    /// Called once when the simulation starts (host is awake, t = 0).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>);
+
+    /// A frame from `src` was successfully received.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, kind: FrameKind, msg: &Self::Msg);
+
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Self::Timer);
+
+    /// The RAS paging receiver woke this host (the World has already
+    /// switched the transceiver on).  `signal` tells which sequence was
+    /// paged: the host's own id or the grid's broadcast sequence.
+    fn on_page(&mut self, ctx: &mut Ctx<'_, Self>, signal: PageSignal) {
+        let _ = (ctx, signal);
+    }
+
+    /// An awake host's GPS observed a grid-boundary crossing.
+    fn on_cell_change(&mut self, ctx: &mut Ctx<'_, Self>, old: geo::GridCoord, new: geo::GridCoord) {
+        let _ = (ctx, old, new);
+    }
+
+    /// The host's application emits a data packet for `dst`.
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, packet: AppPacket);
+
+    /// The MAC dropped a unicast to `dst` after exhausting retries.
+    fn on_unicast_failed(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, msg: &Self::Msg) {
+        let _ = (ctx, dst, msg);
+    }
+}

@@ -1,0 +1,130 @@
+//! A minimal instrumented protocol for exercising the framework in tests,
+//! benches and examples — not a routing protocol, just a probe.
+
+use crate::ctx::{AppPacket, Ctx};
+use crate::protocol::{Protocol, WireSize};
+use geo::GridCoord;
+use radio::{FrameKind, NodeId, PageSignal};
+use sim_engine::SimDuration;
+
+/// Probe messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProbeMsg {
+    /// An arbitrary tagged message with an explicit wire size.
+    Tag { tag: u32, bytes: u32 },
+    /// A data packet addressed to `dst` (single-hop).
+    Data { packet: AppPacket, dst: NodeId },
+}
+
+impl WireSize for ProbeMsg {
+    fn wire_bytes(&self) -> u32 {
+        match self {
+            ProbeMsg::Tag { bytes, .. } => *bytes,
+            ProbeMsg::Data { packet, .. } => packet.bytes + 12,
+        }
+    }
+}
+
+/// Startup behaviour of a probe node.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeCfg {
+    /// Broadcast `Tag{tag, bytes}` at start.
+    pub broadcast_at_start: Option<(u32, u32)>,
+    /// Unicast `Tag{tag, bytes}` to a node at start.
+    pub unicast_at_start: Option<(NodeId, u32, u32)>,
+    /// Go to sleep immediately at start.
+    pub sleep_at_start: bool,
+    /// Arm a timer (delay secs, token) at start.
+    pub timer_at_start: Option<(f64, u32)>,
+    /// Page this host at start (RAS unicast page).
+    pub page_host_at_start: Option<NodeId>,
+    /// Page this grid at start (RAS broadcast page).
+    pub page_grid_at_start: Option<GridCoord>,
+}
+
+/// The probe protocol: performs the configured startup actions and records
+/// everything that happens to it.
+#[derive(Clone, Debug, Default)]
+pub struct Probe {
+    pub cfg: ProbeCfg,
+    /// (src, msg) of every received frame.
+    pub heard: Vec<(NodeId, ProbeMsg)>,
+    /// Every page that reached this host.
+    pub pages: Vec<PageSignal>,
+    /// Every observed grid crossing.
+    pub cell_changes: Vec<(GridCoord, GridCoord)>,
+    /// Destinations of unicasts the MAC gave up on.
+    pub failed_unicasts: Vec<NodeId>,
+    /// Tokens of fired timers.
+    pub fired_timers: Vec<u32>,
+    /// Data packets this node originated.
+    pub sent_packets: Vec<AppPacket>,
+    /// Data packets delivered to this node's application.
+    pub delivered_packets: Vec<AppPacket>,
+}
+
+impl Probe {
+    pub fn new(cfg: ProbeCfg) -> Self {
+        Probe {
+            cfg,
+            ..Default::default()
+        }
+    }
+}
+
+impl Protocol for Probe {
+    type Msg = ProbeMsg;
+    type Timer = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if let Some((delay, token)) = self.cfg.timer_at_start {
+            ctx.set_timer(SimDuration::from_secs_f64(delay), token);
+        }
+        if let Some((tag, bytes)) = self.cfg.broadcast_at_start {
+            ctx.broadcast(ProbeMsg::Tag { tag, bytes });
+        }
+        if let Some((dst, tag, bytes)) = self.cfg.unicast_at_start {
+            ctx.unicast(dst, ProbeMsg::Tag { tag, bytes });
+        }
+        if let Some(target) = self.cfg.page_host_at_start {
+            ctx.page_host(target);
+        }
+        if let Some(cell) = self.cfg.page_grid_at_start {
+            ctx.page_grid(cell);
+        }
+        if self.cfg.sleep_at_start {
+            ctx.sleep();
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, _kind: FrameKind, msg: &ProbeMsg) {
+        self.heard.push((src, msg.clone()));
+        if let ProbeMsg::Data { packet, dst } = msg {
+            if *dst == ctx.id() {
+                ctx.deliver_app(*packet);
+                self.delivered_packets.push(*packet);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, timer: u32) {
+        self.fired_timers.push(timer);
+    }
+
+    fn on_page(&mut self, _ctx: &mut Ctx<'_, Self>, signal: PageSignal) {
+        self.pages.push(signal);
+    }
+
+    fn on_cell_change(&mut self, _ctx: &mut Ctx<'_, Self>, old: GridCoord, new: GridCoord) {
+        self.cell_changes.push((old, new));
+    }
+
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, packet: AppPacket) {
+        self.sent_packets.push(packet);
+        ctx.unicast(dst, ProbeMsg::Data { packet, dst });
+    }
+
+    fn on_unicast_failed(&mut self, _ctx: &mut Ctx<'_, Self>, dst: NodeId, _msg: &ProbeMsg) {
+        self.failed_unicasts.push(dst);
+    }
+}

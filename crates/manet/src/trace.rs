@@ -1,0 +1,231 @@
+//! Structured event traces — the equivalent of ns-2's trace files.
+//!
+//! When enabled (`World::enable_event_trace`), the world records one
+//! [`TraceRecord`] per MAC/application event.  Records can be inspected
+//! programmatically (tests, debuggers) or formatted as classic
+//! one-line-per-event text with [`TraceRecord::to_line`] for eyeballing
+//! and diffing runs.  Tracing a 2000 s × 100 host run produces millions
+//! of records — enable it for focused scenarios only.
+
+use radio::{FrameKind, NodeId, PageSignal};
+use sim_engine::SimTime;
+use std::fmt::Write as _;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceRecord {
+    /// A frame was put on the air.
+    TxStart {
+        t: SimTime,
+        node: NodeId,
+        kind: FrameKind,
+        wire_bytes: u32,
+    },
+    /// A frame was received successfully.
+    RxOk {
+        t: SimTime,
+        node: NodeId,
+        from: NodeId,
+        wire_bytes: u32,
+    },
+    /// A reception was destroyed by a collision.
+    RxCollision { t: SimTime, node: NodeId, from: NodeId },
+    /// A unicast was dropped after exhausting its retransmission budget.
+    MacDrop { t: SimTime, node: NodeId, dst: NodeId },
+    /// A RAS page was transmitted.
+    Page {
+        t: SimTime,
+        by: NodeId,
+        signal: PageSignal,
+    },
+    /// A host's battery ran out.
+    Death { t: SimTime, node: NodeId },
+    /// The application at `src` emitted packet (flow, seq).
+    AppSend {
+        t: SimTime,
+        src: NodeId,
+        flow: u32,
+        seq: u64,
+    },
+    /// The application at `dst` received packet (flow, seq).
+    AppRecv {
+        t: SimTime,
+        dst: NodeId,
+        flow: u32,
+        seq: u64,
+    },
+}
+
+impl TraceRecord {
+    /// The record's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceRecord::TxStart { t, .. }
+            | TraceRecord::RxOk { t, .. }
+            | TraceRecord::RxCollision { t, .. }
+            | TraceRecord::MacDrop { t, .. }
+            | TraceRecord::Page { t, .. }
+            | TraceRecord::Death { t, .. }
+            | TraceRecord::AppSend { t, .. }
+            | TraceRecord::AppRecv { t, .. } => *t,
+        }
+    }
+
+    /// ns-2-flavoured single-line rendering:
+    /// `<op> <time> _<node>_ <details>`.
+    pub fn to_line(&self) -> String {
+        let mut s = String::new();
+        match self {
+            TraceRecord::TxStart {
+                t,
+                node,
+                kind,
+                wire_bytes,
+            } => {
+                let dst = match kind {
+                    FrameKind::Broadcast => "*".to_string(),
+                    FrameKind::Unicast(d) => d.to_string(),
+                };
+                let _ = write!(
+                    s,
+                    "s {:.6} _{}_ MAC {} {} bytes",
+                    t.as_secs_f64(),
+                    node,
+                    dst,
+                    wire_bytes
+                );
+            }
+            TraceRecord::RxOk {
+                t,
+                node,
+                from,
+                wire_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    "r {:.6} _{}_ MAC {} {} bytes",
+                    t.as_secs_f64(),
+                    node,
+                    from,
+                    wire_bytes
+                );
+            }
+            TraceRecord::RxCollision { t, node, from } => {
+                let _ = write!(s, "D {:.6} _{}_ COL {}", t.as_secs_f64(), node, from);
+            }
+            TraceRecord::MacDrop { t, node, dst } => {
+                let _ = write!(s, "D {:.6} _{}_ RET {}", t.as_secs_f64(), node, dst);
+            }
+            TraceRecord::Page { t, by, signal } => {
+                let what = match signal {
+                    PageSignal::Host(h) => format!("host {h}"),
+                    PageSignal::Grid(g) => format!("grid {g}"),
+                };
+                let _ = write!(s, "p {:.6} _{}_ RAS {}", t.as_secs_f64(), by, what);
+            }
+            TraceRecord::Death { t, node } => {
+                let _ = write!(s, "x {:.6} _{}_ ENE battery", t.as_secs_f64(), node);
+            }
+            TraceRecord::AppSend { t, src, flow, seq } => {
+                let _ = write!(s, "s {:.6} _{}_ AGT {}:{}", t.as_secs_f64(), src, flow, seq);
+            }
+            TraceRecord::AppRecv { t, dst, flow, seq } => {
+                let _ = write!(s, "r {:.6} _{}_ AGT {}:{}", t.as_secs_f64(), dst, flow, seq);
+            }
+        }
+        s
+    }
+}
+
+/// Render a whole trace as text (one event per line, time-ordered as
+/// recorded).
+pub fn render_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 48);
+    for r in records {
+        out.push_str(&r.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::GridCoord;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn lines_are_compact_and_typed() {
+        let records = vec![
+            TraceRecord::AppSend {
+                t: t(1000),
+                src: NodeId(3),
+                flow: 0,
+                seq: 7,
+            },
+            TraceRecord::TxStart {
+                t: t(1001),
+                node: NodeId(3),
+                kind: FrameKind::Unicast(NodeId(5)),
+                wire_bytes: 564,
+            },
+            TraceRecord::RxOk {
+                t: t(1003),
+                node: NodeId(5),
+                from: NodeId(3),
+                wire_bytes: 564,
+            },
+            TraceRecord::RxCollision {
+                t: t(1004),
+                node: NodeId(6),
+                from: NodeId(3),
+            },
+            TraceRecord::MacDrop {
+                t: t(1100),
+                node: NodeId(3),
+                dst: NodeId(9),
+            },
+            TraceRecord::Page {
+                t: t(1200),
+                by: NodeId(5),
+                signal: PageSignal::Grid(GridCoord::new(2, 3)),
+            },
+            TraceRecord::Death {
+                t: t(9000),
+                node: NodeId(1),
+            },
+            TraceRecord::AppRecv {
+                t: t(1005),
+                dst: NodeId(5),
+                flow: 0,
+                seq: 7,
+            },
+        ];
+        let text = render_trace(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert_eq!(lines[0], "s 1.000000 _3_ AGT 0:7");
+        assert_eq!(lines[1], "s 1.001000 _3_ MAC 5 564 bytes");
+        assert_eq!(lines[2], "r 1.003000 _5_ MAC 3 564 bytes");
+        assert!(lines[3].starts_with("D ") && lines[3].contains("COL"));
+        assert!(lines[4].contains("RET 9"));
+        assert!(lines[5].contains("RAS grid (2,3)"));
+        assert!(lines[6].contains("ENE battery"));
+        assert_eq!(lines[7], "r 1.005000 _5_ AGT 0:7");
+    }
+
+    #[test]
+    fn broadcast_tx_uses_star() {
+        let r = TraceRecord::TxStart {
+            t: t(5),
+            node: NodeId(0),
+            kind: FrameKind::Broadcast,
+            wire_bytes: 72,
+        };
+        assert_eq!(r.to_line(), "s 0.005000 _0_ MAC * 72 bytes");
+        assert_eq!(r.time(), t(5));
+    }
+}

@@ -1,0 +1,1065 @@
+//! The simulation world: event loop, CSMA/CA MAC, RAS paging, traffic
+//! injection, energy bookkeeping, and metric sampling.
+
+use crate::config::{HostSetup, WorldConfig};
+use crate::ctx::{AppPacket, Cmd, Ctx, NodeView, TimerId};
+use crate::protocol::{Protocol, WireSize};
+use crate::stats::WorldStats;
+use crate::trace::TraceRecord;
+use energy::{EnergyMeter, RadioMode};
+use geo::{GridCoord, Point2};
+use metrics::{PacketLedger, TimeSeries};
+use mobility::MobilityTrace;
+use radio::frame::FrameMeta;
+use radio::{ChannelState, FrameKind, NodeId, PageSignal};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sim_engine::{EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// How long ended transmissions are kept for collision back-checks.
+const CHANNEL_GC_GRACE: SimDuration = SimDuration(50_000_000); // 50 ms
+
+/// Interface queue depth (frames); the tail is dropped beyond this.
+const MAC_QUEUE_CAP: usize = 128;
+
+#[derive(Debug)]
+enum Event {
+    /// The node's MAC attempts to put its head-of-queue frame on the air.
+    MacTryTx { node: NodeId },
+    /// Transmission `tx_id` by `node` leaves the air; deliver receptions.
+    TxEnd { node: NodeId, tx_id: u64 },
+    /// The implicit ACK exchange for the node's last unicast concluded.
+    AckDone { node: NodeId, ok: bool },
+    /// Protocol timer `id` fires.
+    Timer { node: NodeId, id: u64 },
+    /// A RAS page transmitted from `origin` arrives at its addressees.
+    Page { signal: PageSignal, origin: Point2 },
+    /// `node`'s trajectory crosses a grid boundary.
+    CellCrossing { node: NodeId },
+    /// Flow `flow_idx` emits packet `seq`.
+    AppSend { flow_idx: usize, seq: u64 },
+    /// Metrics sampling tick.
+    Sample,
+    /// Sentinel terminating `run_until`.
+    EndOfRun,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MacPhase {
+    /// Nothing queued.
+    Idle,
+    /// A MacTryTx is scheduled for the head-of-queue frame.
+    WaitTry,
+    /// A frame is on the air.
+    Transmitting(u64),
+    /// Unicast sent; waiting for the ACK verdict.
+    AwaitAck(u64),
+}
+
+struct OutFrame<M> {
+    kind: FrameKind,
+    msg: M,
+    bytes: u32,
+}
+
+struct Mac<M> {
+    queue: VecDeque<OutFrame<M>>,
+    phase: MacPhase,
+    attempt: u32,
+}
+
+impl<M> Default for Mac<M> {
+    fn default() -> Self {
+        Mac {
+            queue: VecDeque::new(),
+            phase: MacPhase::Idle,
+            attempt: 0,
+        }
+    }
+}
+
+/// A transmission in flight, with its receiver set frozen at tx start
+/// (hosts that wake mid-frame missed the preamble and cannot receive it).
+struct Flight<M> {
+    src: NodeId,
+    kind: FrameKind,
+    msg: M,
+    start: SimTime,
+    end: SimTime,
+    receivers: Vec<NodeId>,
+}
+
+struct NodeState<P: Protocol> {
+    proto: P,
+    meter: EnergyMeter,
+    trace: MobilityTrace,
+    cell: GridCoord,
+    rng: StdRng,
+    mac: Mac<P::Msg>,
+    /// Number of concurrent receptions in progress (radio in Rx while > 0).
+    rx_refs: u32,
+    /// The protocol asked to sleep while the MAC was mid-exchange; applied
+    /// as soon as the exchange concludes.
+    sleep_pending: bool,
+    dead_handled: bool,
+}
+
+/// The results of a finished run.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Fraction of finite-battery hosts still alive, sampled over time.
+    pub alive: TimeSeries,
+    /// Mean normalized energy consumption (aen, Eq. 2) over time.
+    pub aen: TimeSeries,
+    /// Per-packet delivery accounting.
+    pub ledger: PacketLedger,
+    /// Frame/event counters.
+    pub stats: WorldStats,
+}
+
+/// The simulation world.  See module docs.
+pub struct World<P: Protocol> {
+    cfg: WorldConfig,
+    nodes: Vec<NodeState<P>>,
+    sched: Scheduler<Event>,
+    channel: ChannelState,
+    flights: HashMap<u64, Flight<P::Msg>>,
+    flows: traffic::FlowSet,
+    ledger: PacketLedger,
+    alive_series: TimeSeries,
+    aen_series: TimeSeries,
+    stats: WorldStats,
+    timers: HashMap<u64, (P::Timer, EventHandle)>,
+    next_timer_id: u64,
+    trace_log: Option<Vec<(SimTime, NodeId, String)>>,
+    event_trace: Option<Vec<TraceRecord>>,
+    /// Spatial index: grid cell index -> nodes currently in that cell
+    /// (maintained by the cell-crossing events; dead nodes are filtered at
+    /// query time).  Receiver scans only visit the cells a transmission
+    /// can reach instead of every node.
+    occupancy: Vec<Vec<NodeId>>,
+    /// Chebyshev cell radius a radio signal can span.
+    reach_cells: i32,
+    started: bool,
+}
+
+impl<P: Protocol> World<P> {
+    /// Build a world.  `factory` constructs the protocol instance for each
+    /// host (hosts are numbered `NodeId(0..hosts.len())`).
+    pub fn new(
+        cfg: WorldConfig,
+        hosts: Vec<HostSetup>,
+        flows: traffic::FlowSet,
+        mut factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        assert!(!hosts.is_empty(), "a world needs hosts");
+        let rngs = RngFactory::new(cfg.seed);
+        let mut channel = ChannelState::new(cfg.range_m);
+        channel.set_capture_ratio(cfg.capture_ratio);
+        let mut occupancy = vec![Vec::new(); cfg.grid.cell_count()];
+        let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
+        let nodes = hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let id = NodeId(i as u32);
+                let cell = cfg.grid.cell_of(h.trace.position_at(SimTime::ZERO));
+                occupancy[cfg.grid.cell_index(cell)].push(id);
+                NodeState {
+                    proto: factory(id),
+                    meter: EnergyMeter::new(h.profile, h.battery),
+                    trace: h.trace,
+                    cell,
+                    rng: rngs.stream("node", i as u64),
+                    mac: Mac::default(),
+                    rx_refs: 0,
+                    sleep_pending: false,
+                    dead_handled: false,
+                }
+            })
+            .collect();
+        World {
+            cfg,
+            nodes,
+            sched: Scheduler::new(),
+            channel,
+            flights: HashMap::new(),
+            flows,
+            ledger: PacketLedger::new(),
+            alive_series: TimeSeries::new(),
+            aen_series: TimeSeries::new(),
+            stats: WorldStats::default(),
+            timers: HashMap::new(),
+            next_timer_id: 0,
+            trace_log: None,
+            event_trace: None,
+            occupancy,
+            reach_cells,
+            started: false,
+        }
+    }
+
+    /// Nodes whose current cell lies within radio reach of `cell`, in
+    /// ascending id order (deterministic regardless of index churn).
+    fn nodes_near(&self, cell: GridCoord) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let r = self.reach_cells;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let c = GridCoord::new(cell.x + dx, cell.y + dy);
+                if self.cfg.grid.contains_cell(c) {
+                    out.extend_from_slice(&self.occupancy[self.cfg.grid.cell_index(c)]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Record `ctx.note` lines and system events for walkthroughs/tests.
+    pub fn enable_tracing(&mut self) {
+        self.trace_log = Some(Vec::new());
+    }
+
+    /// Record a structured MAC/application event trace (ns-2-style; see
+    /// [`crate::trace`]).  Intended for focused scenarios — long dense
+    /// runs produce millions of records.
+    pub fn enable_event_trace(&mut self) {
+        self.event_trace = Some(Vec::new());
+    }
+
+    /// The recorded event trace (empty unless enabled).
+    pub fn event_trace(&self) -> &[TraceRecord] {
+        self.event_trace.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    fn record(&mut self, make: impl FnOnce() -> TraceRecord) {
+        if let Some(tr) = &mut self.event_trace {
+            tr.push(make());
+        }
+    }
+
+    /// The collected trace log (empty unless tracing was enabled).
+    pub fn trace_log(&self) -> &[(SimTime, NodeId, String)] {
+        self.trace_log.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable protocol access (tests, examples, result extraction).
+    pub fn protocol(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()].proto
+    }
+
+    pub fn node_mode(&self, id: NodeId) -> RadioMode {
+        self.nodes[id.index()].meter.mode()
+    }
+
+    pub fn node_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].meter.is_alive()
+    }
+
+    pub fn node_consumed_j(&self, id: NodeId) -> f64 {
+        self.nodes[id.index()].meter.consumed_j()
+    }
+
+    /// Per-mode time/energy breakdown of a host.
+    pub fn node_energy_audit(&self, id: NodeId) -> energy::EnergyAudit {
+        *self.nodes[id.index()].meter.audit()
+    }
+
+    pub fn node_rbrc(&self, id: NodeId) -> f64 {
+        self.nodes[id.index()].meter.rbrc()
+    }
+
+    pub fn node_cell(&self, id: NodeId) -> GridCoord {
+        self.nodes[id.index()].cell
+    }
+
+    pub fn node_pos(&self, id: NodeId) -> Point2 {
+        self.nodes[id.index()].trace.position_at(self.sched.now())
+    }
+
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+
+    pub fn ledger(&self) -> &PacketLedger {
+        &self.ledger
+    }
+
+    pub fn alive_series(&self) -> &TimeSeries {
+        &self.alive_series
+    }
+
+    pub fn aen_series(&self) -> &TimeSeries {
+        &self.aen_series
+    }
+
+    /// Fraction of finite-battery hosts currently alive.
+    pub fn alive_fraction(&self) -> f64 {
+        let mut total = 0u32;
+        let mut alive = 0u32;
+        for n in &self.nodes {
+            if n.meter.battery().is_infinite() {
+                continue;
+            }
+            total += 1;
+            if n.meter.is_alive() {
+                alive += 1;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            alive as f64 / total as f64
+        }
+    }
+
+    /// aen (Eq. 2): total consumed energy of finite-battery hosts divided
+    /// by their total initial energy — 0 at start, 1 when everyone is flat.
+    pub fn aen(&self) -> f64 {
+        let mut consumed = 0.0;
+        let mut capacity = 0.0;
+        for n in &self.nodes {
+            if n.meter.battery().is_infinite() {
+                continue;
+            }
+            consumed += n.meter.consumed_j();
+            capacity += n.meter.battery().capacity_j();
+        }
+        if capacity == 0.0 {
+            0.0
+        } else {
+            consumed / capacity
+        }
+    }
+
+    /// Kill a host immediately (failure injection: §3.2's "gateway is down
+    /// because of an accident").  The host gets no chance to retire or
+    /// hand over its tables; neighbours must detect the silence.
+    pub fn kill_node(&mut self, id: NodeId) {
+        let now = self.sched.now();
+        let n = &mut self.nodes[id.index()];
+        let remaining = n.meter.remaining_j();
+        assert!(remaining.is_finite(), "cannot kill an infinite-energy host");
+        n.meter.drain_direct(now, remaining + 1.0);
+        self.touch(id); // processes the death bookkeeping
+    }
+
+    /// Run the simulation up to `end` (inclusive of events at `end` that
+    /// were already pending).  Returns the collected output; the world can
+    /// be inspected further through accessors afterwards.
+    pub fn run_until(&mut self, end: SimTime) -> RunOutput {
+        if !self.started {
+            self.started = true;
+            self.bootstrap();
+        }
+        self.sched.schedule_at(end.max(self.sched.now()), Event::EndOfRun);
+        // tripwire against zero-delay event cycles: no sane configuration
+        // processes millions of events within one virtual nanosecond
+        let mut last_t = SimTime::MAX;
+        let mut same_t: u64 = 0;
+        while let Some((t, ev)) = self.sched.next() {
+            if t == last_t {
+                same_t += 1;
+                assert!(
+                    same_t < 5_000_000,
+                    "zero-delay event cycle at {t:?}: stuck on {ev:?} with {} pending",
+                    self.sched.pending()
+                );
+            } else {
+                last_t = t;
+                same_t = 0;
+            }
+            match ev {
+                Event::EndOfRun => break,
+                other => self.handle(other),
+            }
+        }
+        // integrate everyone to the end instant for exact final energy
+        let now = self.sched.now();
+        for i in 0..self.nodes.len() {
+            self.nodes[i].meter.advance(now);
+        }
+        RunOutput {
+            alive: self.alive_series.clone(),
+            aen: self.aen_series.clone(),
+            ledger: self.ledger.clone(),
+            stats: self.stats,
+        }
+    }
+
+    // ----- initialization -------------------------------------------
+
+    fn bootstrap(&mut self) {
+        // initial metric sample at t=0, then periodic
+        self.sched.schedule_at(SimTime::ZERO, Event::Sample);
+        // first grid crossing per node
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            if let Some((t, _)) = self.nodes[i]
+                .trace
+                .next_cell_crossing(&self.cfg.grid, SimTime::ZERO)
+            {
+                self.sched.schedule_at(t, Event::CellCrossing { node: id });
+            }
+        }
+        // traffic
+        for (idx, f) in self.flows.flows().iter().enumerate() {
+            if let Some(t) = f.packet_time(0) {
+                self.sched.schedule_at(
+                    t,
+                    Event::AppSend {
+                        flow_idx: idx,
+                        seq: 0,
+                    },
+                );
+            }
+        }
+        // protocol start
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId(i as u32), |p, ctx| p.on_start(ctx));
+        }
+    }
+
+    // ----- event handling --------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::MacTryTx { node } => self.mac_try_tx(node),
+            Event::TxEnd { node, tx_id } => self.tx_end(node, tx_id),
+            Event::AckDone { node, ok } => self.ack_done(node, ok),
+            Event::Timer { node, id } => self.timer_fired(node, id),
+            Event::Page { signal, origin } => self.page_arrives(signal, origin),
+            Event::CellCrossing { node } => self.cell_crossing(node),
+            Event::AppSend { flow_idx, seq } => self.app_send(flow_idx, seq),
+            Event::Sample => self.sample(),
+            Event::EndOfRun => unreachable!("handled by run loop"),
+        }
+    }
+
+    /// Advance a node's meter to now, processing death if it occurred.
+    /// Returns true if the node is (still) alive.
+    fn touch(&mut self, node: NodeId) -> bool {
+        let now = self.sched.now();
+        let n = &mut self.nodes[node.index()];
+        n.meter.advance(now);
+        if n.meter.is_alive() {
+            true
+        } else {
+            if !n.dead_handled {
+                n.dead_handled = true;
+                n.mac.queue.clear();
+                n.mac.phase = MacPhase::Idle;
+                n.rx_refs = 0;
+                self.stats.deaths += 1;
+                self.log_system(node, "battery exhausted");
+                self.record(|| TraceRecord::Death { t: now, node });
+            }
+            false
+        }
+    }
+
+    fn log_system(&mut self, node: NodeId, text: &str) {
+        if let Some(log) = &mut self.trace_log {
+            log.push((self.sched.now(), node, text.to_string()));
+        }
+    }
+
+    // ----- protocol dispatch ------------------------------------------
+
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut P, &mut Ctx<'_, P>)) {
+        if !self.touch(node) {
+            return;
+        }
+        let now = self.sched.now();
+        let tracing = self.trace_log.is_some();
+        let i = node.index();
+        let n = &mut self.nodes[i];
+        let pos = n.trace.position_at(now);
+        let view = NodeView {
+            now,
+            id: node,
+            pos,
+            vel: n.trace.velocity_at(now),
+            cell: n.cell,
+            mode: n.meter.mode(),
+            rbrc: n.meter.rbrc(),
+            level: n.meter.level(),
+            remaining_j: n.meter.remaining_j(),
+        };
+        let mut ctx = Ctx {
+            view,
+            grid: &self.cfg.grid,
+            trace: &n.trace,
+            rng: &mut n.rng,
+            next_timer_id: &mut self.next_timer_id,
+            cmds: Vec::new(),
+            tracing,
+        };
+        f(&mut n.proto, &mut ctx);
+        let cmds = ctx.cmds;
+        self.apply(node, cmds);
+    }
+
+    fn apply(&mut self, node: NodeId, cmds: Vec<Cmd<P>>) {
+        let now = self.sched.now();
+        for cmd in cmds {
+            match cmd {
+                Cmd::Send { kind, msg } => self.mac_enqueue(node, kind, msg),
+                Cmd::Sleep => self.node_sleep(node),
+                Cmd::Wake => self.node_wake(node),
+                Cmd::PageHost(id) => {
+                    self.stats.pages_sent += 1;
+                    let origin = self.nodes[node.index()].trace.position_at(now);
+                    self.record(|| TraceRecord::Page {
+                        t: now,
+                        by: node,
+                        signal: PageSignal::Host(id),
+                    });
+                    self.sched.schedule_in(
+                        self.cfg.ras.wake_latency,
+                        Event::Page {
+                            signal: PageSignal::Host(id),
+                            origin,
+                        },
+                    );
+                }
+                Cmd::PageGrid(cell) => {
+                    self.stats.pages_sent += 1;
+                    let origin = self.nodes[node.index()].trace.position_at(now);
+                    self.record(|| TraceRecord::Page {
+                        t: now,
+                        by: node,
+                        signal: PageSignal::Grid(cell),
+                    });
+                    self.sched.schedule_in(
+                        self.cfg.ras.wake_latency,
+                        Event::Page {
+                            signal: PageSignal::Grid(cell),
+                            origin,
+                        },
+                    );
+                }
+                Cmd::SetTimer { id, delay, timer } => {
+                    let handle = self.sched.schedule_in(delay, Event::Timer { node, id: id.0 });
+                    self.timers.insert(id.0, (timer, handle));
+                }
+                Cmd::CancelTimer(TimerId(id)) => {
+                    if let Some((_, handle)) = self.timers.remove(&id) {
+                        self.sched.cancel(handle);
+                    }
+                }
+                Cmd::DeliverApp(packet) => {
+                    self.ledger.record_delivered(packet.key(), now);
+                    self.record(|| TraceRecord::AppRecv {
+                        t: now,
+                        dst: node,
+                        flow: packet.flow,
+                        seq: packet.seq,
+                    });
+                }
+                Cmd::Note(text) => {
+                    if let Some(log) = &mut self.trace_log {
+                        log.push((now, node, text));
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- radio-mode management --------------------------------------
+
+    fn set_mode(&mut self, node: NodeId, mode: RadioMode) {
+        let now = self.sched.now();
+        self.nodes[node.index()].meter.set_mode(now, mode);
+    }
+
+    fn node_sleep(&mut self, node: NodeId) {
+        if !self.touch(node) {
+            return;
+        }
+        let n = &mut self.nodes[node.index()];
+        // The protocol queued its goodbyes (e.g. ECGRID's sleep notice)
+        // before deciding to sleep: the interface drains its queue first
+        // and powers down the moment the MAC quiesces.  Frames can no
+        // longer be *enqueued* once asleep (mac_enqueue drops them), so
+        // nothing stale survives into the next wake.
+        if !matches!(n.mac.phase, MacPhase::Idle) || !n.mac.queue.is_empty() {
+            n.sleep_pending = true;
+            return;
+        }
+        n.sleep_pending = false;
+        n.rx_refs = 0;
+        self.set_mode(node, RadioMode::Sleep);
+    }
+
+    fn node_wake(&mut self, node: NodeId) {
+        if !self.touch(node) {
+            return;
+        }
+        self.nodes[node.index()].sleep_pending = false;
+        if self.nodes[node.index()].meter.mode() == RadioMode::Sleep {
+            self.set_mode(node, RadioMode::Idle);
+        }
+        self.mac_kick(node);
+    }
+
+    // ----- MAC --------------------------------------------------------
+
+    fn mac_enqueue(&mut self, node: NodeId, kind: FrameKind, msg: P::Msg) {
+        if !self.touch(node) {
+            return;
+        }
+        // transmitting requires an active transceiver: a protocol must
+        // wake() before sending (the ACQ handshake does exactly that,
+        // §3.3).  A frame sent from a sleeping state is a protocol bug —
+        // silently powering the radio up here would desynchronize the
+        // protocol's sleep bookkeeping, so the frame is dropped instead.
+        if self.nodes[node.index()].meter.mode() == RadioMode::Sleep {
+            self.stats.mac_drops += 1;
+            return;
+        }
+        let bytes = msg.wire_bytes();
+        let n = &mut self.nodes[node.index()];
+        // finite interface queue: tail-drop when a protocol outpaces the
+        // channel (protects against pathological send loops, like real NICs)
+        if n.mac.queue.len() >= MAC_QUEUE_CAP {
+            self.stats.mac_drops += 1;
+            return;
+        }
+        n.mac.queue.push_back(OutFrame { kind, msg, bytes });
+        self.mac_kick(node);
+    }
+
+    /// Contention window for the node's head-of-queue frame.  Broadcasts
+    /// (HELLO beacons, RREQ floods) contend over a much wider window:
+    /// floods are triggered by a shared reception, so dozens of hosts
+    /// would otherwise pick from the same 32 slots and collide — the wide
+    /// window plays the role of ns-2's AODV broadcast jitter.
+    fn head_cw(&self, node: NodeId) -> u32 {
+        let n = &self.nodes[node.index()];
+        match n.mac.queue.front().map(|f| f.kind) {
+            Some(FrameKind::Broadcast) => (self.cfg.mac.cw_min + 1) * 8 - 1,
+            _ => self.cfg.mac.cw_for_attempt(n.mac.attempt),
+        }
+    }
+
+    /// Schedule a MacTryTx if the MAC is idle with queued frames.
+    ///
+    /// Every access draws an initial contention backoff (DCF-style): most
+    /// frames are queued in *reaction* to a reception, so dozens of hosts
+    /// would otherwise transmit at exactly now+DIFS and collide wholesale.
+    fn mac_kick(&mut self, node: NodeId) {
+        let cw = self.head_cw(node);
+        let n = &mut self.nodes[node.index()];
+        if n.mac.phase == MacPhase::Idle && !n.mac.queue.is_empty() && n.meter.mode() != RadioMode::Sleep {
+            n.mac.phase = MacPhase::WaitTry;
+            let slots = n.rng.gen_range(0..=cw);
+            let delay = self.cfg.mac.difs + self.cfg.mac.backoff(slots);
+            self.sched.schedule_in(delay, Event::MacTryTx { node });
+        }
+    }
+
+    fn mac_try_tx(&mut self, node: NodeId) {
+        if !self.touch(node) {
+            return;
+        }
+        let now = self.sched.now();
+        let i = node.index();
+        if self.nodes[i].mac.phase != MacPhase::WaitTry {
+            return; // stale
+        }
+        if self.nodes[i].meter.mode() == RadioMode::Sleep {
+            self.nodes[i].mac.phase = MacPhase::Idle; // re-kicked on wake
+            return;
+        }
+        if self.nodes[i].mac.queue.is_empty() {
+            self.nodes[i].mac.phase = MacPhase::Idle;
+            return;
+        }
+        if now > SimTime::ZERO + CHANNEL_GC_GRACE {
+            self.channel.gc_before(now - CHANNEL_GC_GRACE);
+        }
+        let pos = self.nodes[i].trace.position_at(now);
+        if let Some(busy_end) = self.channel.busy_until(pos, now) {
+            // deferral: re-sense after the medium frees plus DIFS + backoff
+            let cw = self.head_cw(node);
+            let slots = self.nodes[i].rng.gen_range(0..=cw);
+            let at = busy_end + self.cfg.mac.difs + self.cfg.mac.backoff(slots);
+            self.sched.schedule_at(at.max(now), Event::MacTryTx { node });
+            return;
+        }
+        // medium idle: transmit the head-of-queue frame
+        let (kind, bytes, msg) = {
+            let f = self.nodes[i].mac.queue.front().expect("non-empty checked");
+            (f.kind, f.bytes, f.msg.clone())
+        };
+        let meta = FrameMeta {
+            src: node,
+            kind,
+            payload_bytes: bytes,
+        };
+        let dur = self.cfg.mac.airtime(&meta);
+        let end = now + dur;
+        let tx_id = self.channel.begin_tx(node, pos, now, end);
+
+        // freeze the receiver set: alive, transceiver on, not transmitting,
+        // within range at tx start (candidates come from the spatial index
+        // in id order, so results are identical to a full scan)
+        let mut receivers = Vec::new();
+        for jid in self.nodes_near(self.nodes[i].cell) {
+            if jid == node {
+                continue;
+            }
+            if !self.touch(jid) {
+                continue;
+            }
+            let nj = &self.nodes[jid.index()];
+            let mode = nj.meter.mode();
+            if !matches!(mode, RadioMode::Idle | RadioMode::Rx) {
+                continue;
+            }
+            let pj = nj.trace.position_at(now);
+            if !self.channel.reaches(pos, pj) {
+                continue;
+            }
+            receivers.push(jid);
+        }
+        for &r in &receivers {
+            let nr = &mut self.nodes[r.index()];
+            nr.rx_refs += 1;
+            if nr.meter.mode() == RadioMode::Idle {
+                self.set_mode(r, RadioMode::Rx);
+            }
+        }
+        self.set_mode(node, RadioMode::Tx);
+        self.nodes[i].mac.phase = MacPhase::Transmitting(tx_id);
+        self.stats.tx_started += 1;
+        match kind {
+            FrameKind::Broadcast => self.stats.broadcasts += 1,
+            FrameKind::Unicast(_) => self.stats.unicasts += 1,
+        }
+        self.record(|| TraceRecord::TxStart {
+            t: now,
+            node,
+            kind,
+            wire_bytes: meta.wire_bytes(),
+        });
+        self.flights.insert(
+            tx_id,
+            Flight {
+                src: node,
+                kind,
+                msg,
+                start: now,
+                end,
+                receivers,
+            },
+        );
+        self.sched.schedule_at(end, Event::TxEnd { node, tx_id });
+    }
+
+    fn tx_end(&mut self, node: NodeId, tx_id: u64) {
+        let now = self.sched.now();
+        let flight = self.flights.remove(&tx_id).expect("flight must exist");
+        let sender_alive = self.touch(node);
+        if sender_alive && self.nodes[node.index()].meter.mode() == RadioMode::Tx {
+            self.set_mode(node, RadioMode::Idle);
+        }
+
+        // unwind receiver Rx states and evaluate reception success
+        let mut successes: Vec<NodeId> = Vec::new();
+        for &r in &flight.receivers {
+            let alive = self.touch(r);
+            let nr = &mut self.nodes[r.index()];
+            if nr.rx_refs > 0 {
+                nr.rx_refs -= 1;
+            }
+            let mode = nr.meter.mode();
+            if nr.rx_refs == 0 && mode == RadioMode::Rx {
+                self.set_mode(r, RadioMode::Idle);
+            }
+            if !sender_alive || !alive {
+                self.stats.missed_unreachable += 1;
+                continue;
+            }
+            let mode = self.nodes[r.index()].meter.mode();
+            if !mode.can_receive() {
+                self.stats.missed_unreachable += 1;
+                continue;
+            }
+            let pr = self.nodes[r.index()].trace.position_at(now);
+            let src_pos = self.nodes[flight.src.index()].trace.position_at(flight.start);
+            if self
+                .channel
+                .corrupted(tx_id, src_pos, pr, flight.start, flight.end)
+            {
+                self.stats.corrupted += 1;
+                let from = flight.src;
+                self.record(|| TraceRecord::RxCollision {
+                    t: now,
+                    node: r,
+                    from,
+                });
+                continue;
+            }
+            successes.push(r);
+        }
+
+        match flight.kind {
+            FrameKind::Broadcast => {
+                for r in &successes {
+                    self.stats.frames_delivered += 1;
+                    let (src, msg) = (flight.src, flight.msg.clone());
+                    let bytes = msg.wire_bytes();
+                    self.record(|| TraceRecord::RxOk {
+                        t: now,
+                        node: *r,
+                        from: src,
+                        wire_bytes: bytes,
+                    });
+                    self.dispatch(*r, move |p, ctx| p.on_frame(ctx, src, FrameKind::Broadcast, &msg));
+                }
+                if sender_alive {
+                    self.mac_complete_head(node);
+                }
+            }
+            FrameKind::Unicast(dst) => {
+                let ok = successes.contains(&dst);
+                if ok {
+                    self.stats.frames_delivered += 1;
+                    // ACK exchange: dst transmits the ACK, sender receives it.
+                    // The ACK is not modelled on the channel (it is 38 bytes
+                    // after a SIFS and at the paper's load never collides);
+                    // its energy is charged directly.
+                    let ack_secs = self.cfg.mac.ack_airtime().as_secs_f64();
+                    let dstate = &mut self.nodes[dst.index()];
+                    let d_extra = (dstate.meter.profile().tx_w - dstate.meter.profile().idle_w) * ack_secs;
+                    dstate.meter.drain_direct(now, d_extra);
+                    if sender_alive {
+                        let sstate = &mut self.nodes[node.index()];
+                        let s_extra =
+                            (sstate.meter.profile().rx_w - sstate.meter.profile().idle_w) * ack_secs;
+                        sstate.meter.drain_direct(now, s_extra);
+                    }
+                    let (src, msg) = (flight.src, flight.msg.clone());
+                    let bytes = msg.wire_bytes();
+                    self.record(|| TraceRecord::RxOk {
+                        t: now,
+                        node: dst,
+                        from: src,
+                        wire_bytes: bytes,
+                    });
+                    self.dispatch(dst, move |p, ctx| {
+                        p.on_frame(ctx, src, FrameKind::Unicast(dst), &msg)
+                    });
+                }
+                if sender_alive {
+                    self.nodes[node.index()].mac.phase = MacPhase::AwaitAck(tx_id);
+                    let delay = if ok {
+                        self.cfg.mac.sifs + self.cfg.mac.ack_airtime()
+                    } else {
+                        self.cfg.mac.ack_timeout()
+                    };
+                    self.sched.schedule_in(delay, Event::AckDone { node, ok });
+                }
+            }
+        }
+        if now > SimTime::ZERO + CHANNEL_GC_GRACE {
+            self.channel.gc_before(now - CHANNEL_GC_GRACE);
+        }
+    }
+
+    fn ack_done(&mut self, node: NodeId, ok: bool) {
+        if !self.touch(node) {
+            return;
+        }
+        let i = node.index();
+        if !matches!(self.nodes[i].mac.phase, MacPhase::AwaitAck(_)) {
+            return; // stale
+        }
+        if ok {
+            self.mac_complete_head(node);
+            return;
+        }
+        // ACK missing: retry with exponential backoff, bounded
+        self.nodes[i].mac.attempt += 1;
+        if self.nodes[i].mac.attempt > self.cfg.mac.max_retries {
+            self.stats.mac_drops += 1;
+            let frame = self.nodes[i].mac.queue.pop_front().expect("head frame");
+            if let FrameKind::Unicast(d) = frame.kind {
+                let t = self.sched.now();
+                self.record(|| TraceRecord::MacDrop { t, node, dst: d });
+            }
+            self.nodes[i].mac.attempt = 0;
+            self.nodes[i].mac.phase = MacPhase::Idle;
+            if let FrameKind::Unicast(dst) = frame.kind {
+                let msg = frame.msg;
+                self.dispatch(node, move |p, ctx| p.on_unicast_failed(ctx, dst, &msg));
+            }
+            if self.nodes[i].sleep_pending {
+                self.node_sleep(node);
+            }
+            if self.nodes[i].meter.mode() != RadioMode::Sleep {
+                self.mac_kick(node);
+            }
+        } else {
+            self.stats.retransmissions += 1;
+            let attempt = self.nodes[i].mac.attempt;
+            let cw = self.cfg.mac.cw_for_attempt(attempt);
+            let slots = self.nodes[i].rng.gen_range(0..=cw);
+            let delay = self.cfg.mac.difs + self.cfg.mac.backoff(slots);
+            self.nodes[i].mac.phase = MacPhase::WaitTry;
+            self.sched.schedule_in(delay, Event::MacTryTx { node });
+        }
+    }
+
+    /// Head-of-queue frame finished (broadcast ended / unicast acked).
+    fn mac_complete_head(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.index()];
+        n.mac.queue.pop_front();
+        n.mac.attempt = 0;
+        n.mac.phase = MacPhase::Idle;
+        if n.sleep_pending {
+            // the protocol already decided to sleep; node_sleep applies it
+            // if the queue has drained, or re-defers until it has
+            self.node_sleep(node);
+            if self.nodes[node.index()].meter.mode() == RadioMode::Sleep {
+                return;
+            }
+        }
+        self.mac_kick(node);
+    }
+
+    // ----- timers, pages, mobility, traffic ---------------------------
+
+    fn timer_fired(&mut self, node: NodeId, id: u64) {
+        let Some((timer, _)) = self.timers.remove(&id) else {
+            return; // cancelled concurrently
+        };
+        if !self.touch(node) {
+            return;
+        }
+        self.stats.timers_fired += 1;
+        self.dispatch(node, move |p, ctx| p.on_timer(ctx, timer));
+    }
+
+    fn page_arrives(&mut self, signal: PageSignal, origin: Point2) {
+        let now = self.sched.now();
+        let range = self.cfg.ras.range_m;
+        let mut addressed = Vec::new();
+        for j in 0..self.nodes.len() {
+            let jid = NodeId(j as u32);
+            if !self.touch(jid) {
+                continue;
+            }
+            let nj = &self.nodes[j];
+            let pj = nj.trace.position_at(now);
+            if !origin.within_range(pj, range) {
+                continue;
+            }
+            if signal.addresses(jid, nj.cell) {
+                addressed.push(jid);
+            }
+        }
+        for jid in addressed {
+            if self.nodes[jid.index()].meter.mode() == RadioMode::Sleep {
+                self.set_mode(jid, RadioMode::Idle);
+                self.stats.pages_woken += 1;
+                self.mac_kick(jid);
+            }
+            self.dispatch(jid, move |p, ctx| p.on_page(ctx, signal));
+        }
+    }
+
+    fn cell_crossing(&mut self, node: NodeId) {
+        let now = self.sched.now();
+        let i = node.index();
+        // Schedule the next crossing regardless of death/sleep so the
+        // bookkeeping chain never breaks while the node might still live.
+        // Query from 1 µs ahead: a host sitting *exactly* on a boundary
+        // would otherwise report a 0-delay crossing forever (at 10 m/s the
+        // skipped distance is 10 µm — far below any physical relevance).
+        let from = now + SimDuration::from_micros(1);
+        if let Some((t, _)) = self.nodes[i].trace.next_cell_crossing(&self.cfg.grid, from) {
+            self.sched.schedule_at(t.max(from), Event::CellCrossing { node });
+        }
+        if !self.touch(node) {
+            return;
+        }
+        let old = self.nodes[i].cell;
+        let new = self.nodes[i].trace.cell_at(&self.cfg.grid, now);
+        if new == old {
+            return;
+        }
+        self.nodes[i].cell = new;
+        let old_idx = self.cfg.grid.cell_index(old);
+        self.occupancy[old_idx].retain(|id| *id != node);
+        self.occupancy[self.cfg.grid.cell_index(new)].push(node);
+        self.stats.cell_crossings += 1;
+        // sleeping hosts don't observe the crossing (their GPS snapshot is
+        // read when their dwell timer wakes them, §3.2)
+        if self.nodes[i].meter.mode() != RadioMode::Sleep {
+            self.dispatch(node, move |p, ctx| p.on_cell_change(ctx, old, new));
+        }
+    }
+
+    fn app_send(&mut self, flow_idx: usize, seq: u64) {
+        let flow = self.flows.flows()[flow_idx];
+        // schedule the next packet of this flow
+        if let Some(t) = flow.packet_time(seq + 1) {
+            self.sched.schedule_at(
+                t,
+                Event::AppSend {
+                    flow_idx,
+                    seq: seq + 1,
+                },
+            );
+        }
+        let src = flow.src;
+        if !self.touch(src) {
+            return; // a dead source issues nothing
+        }
+        let packet = AppPacket {
+            flow: flow.id.0,
+            seq,
+            bytes: flow.packet_bytes,
+        };
+        let now = self.sched.now();
+        self.ledger.record_sent(packet.key(), now);
+        self.record(|| TraceRecord::AppSend {
+            t: now,
+            src,
+            flow: packet.flow,
+            seq,
+        });
+        let dst = flow.dst;
+        self.dispatch(src, move |p, ctx| p.on_app_send(ctx, dst, packet));
+    }
+
+    fn sample(&mut self) {
+        let now = self.sched.now();
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            self.touch(id); // integrates energy and processes deaths
+        }
+        let t = now.as_secs_f64();
+        let alive = self.alive_fraction();
+        let aen = self.aen();
+        self.alive_series.push(t, alive);
+        self.aen_series.push(t, aen);
+        self.sched.schedule_in(self.cfg.sample_every, Event::Sample);
+    }
+}

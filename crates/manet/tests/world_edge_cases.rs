@@ -1,0 +1,258 @@
+//! Edge-case tests for the simulation framework: queue caps, crash
+//! injection, sleeping-sender semantics, trace logging.
+
+use manet::testkit::{Probe, ProbeCfg, ProbeMsg};
+use manet::{FlowSet, HostSetup, NodeId, RadioMode, SimTime, World, WorldConfig};
+use mobility::MobilityTrace;
+
+const HORIZON: SimTime = SimTime(3_000_000_000_000);
+
+fn fixed(x: f64, y: f64) -> HostSetup {
+    HostSetup::paper(MobilityTrace::stationary(geo::Point2::new(x, y), HORIZON))
+}
+
+fn world_with(hosts: Vec<HostSetup>, cfgs: Vec<ProbeCfg>) -> World<Probe> {
+    World::new(
+        WorldConfig::paper_default(42),
+        hosts,
+        FlowSet::default(),
+        move |id| Probe::new(cfgs[id.index()].clone()),
+    )
+}
+
+#[test]
+fn kill_node_is_immediate_and_final() {
+    let mut w = world_with(
+        vec![fixed(50.0, 50.0), fixed(150.0, 50.0)],
+        vec![ProbeCfg::default(); 2],
+    );
+    w.run_until(SimTime::from_secs(5));
+    assert!(w.node_alive(NodeId(0)));
+    w.kill_node(NodeId(0));
+    assert!(!w.node_alive(NodeId(0)));
+    assert_eq!(w.node_mode(NodeId(0)), RadioMode::Off);
+    let consumed = w.node_consumed_j(NodeId(0));
+    w.run_until(SimTime::from_secs(100));
+    assert!(!w.node_alive(NodeId(0)), "death is permanent");
+    assert_eq!(w.node_consumed_j(NodeId(0)), consumed, "the dead draw nothing");
+    assert_eq!(w.alive_fraction(), 0.5);
+    assert_eq!(w.stats().deaths, 1);
+}
+
+#[test]
+#[should_panic(expected = "infinite-energy")]
+fn killing_an_infinite_host_panics() {
+    let mut hosts = vec![fixed(50.0, 50.0)];
+    hosts[0].battery = manet::Battery::infinite();
+    let mut w = world_with(hosts, vec![ProbeCfg::default()]);
+    w.run_until(SimTime::from_secs(1));
+    w.kill_node(NodeId(0));
+}
+
+#[test]
+fn dead_nodes_receive_nothing_and_send_nothing() {
+    let cfgs = vec![
+        ProbeCfg::default(),
+        ProbeCfg {
+            broadcast_at_start: Some((5, 64)),
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(vec![fixed(50.0, 50.0), fixed(150.0, 50.0)], cfgs);
+    w.run_until(SimTime::from_secs(1));
+    w.kill_node(NodeId(0));
+    let heard_before = w.protocol(NodeId(0)).heard.len();
+    // node 1 keeps broadcasting via its timers? (no — one-shot) so drive
+    // another frame through a new world tick: nothing should arrive at 0
+    w.run_until(SimTime::from_secs(10));
+    assert_eq!(w.protocol(NodeId(0)).heard.len(), heard_before);
+}
+
+#[test]
+fn frames_sent_while_sleeping_are_dropped_not_queued() {
+    // probe sleeps at start, then its timer fires at t=1 and (through the
+    // testkit) does nothing; we abuse unicast_at_start ordering: sleep
+    // command applies after the send (same callback), so the send is
+    // accepted while awake.  Instead, test the reverse path: a frame
+    // enqueued while ASLEEP must be dropped (mac_drops counts it).
+    // The testkit cannot send while asleep directly, so verify via stats
+    // that sleeping senders produce no traffic.
+    let cfgs = vec![
+        ProbeCfg {
+            sleep_at_start: true,
+            timer_at_start: Some((1.0, 7)),
+            ..Default::default()
+        },
+        ProbeCfg::default(),
+    ];
+    let mut w = world_with(vec![fixed(50.0, 50.0), fixed(150.0, 50.0)], cfgs);
+    w.run_until(SimTime::from_secs(5));
+    assert_eq!(
+        w.protocol(NodeId(0)).fired_timers,
+        vec![7],
+        "timers fire during sleep"
+    );
+    assert_eq!(
+        w.node_mode(NodeId(0)),
+        RadioMode::Sleep,
+        "handler did not wake the radio"
+    );
+    assert_eq!(w.stats().tx_started, 0);
+}
+
+#[test]
+fn trace_log_records_system_events() {
+    let mut hosts = vec![fixed(50.0, 50.0)];
+    hosts[0].battery = manet::Battery::with_capacity(5.0); // dies in ~6 s
+    let mut w = world_with(hosts, vec![ProbeCfg::default()]);
+    w.enable_tracing();
+    w.run_until(SimTime::from_secs(30));
+    assert!(!w.node_alive(NodeId(0)));
+    let log = w.trace_log();
+    assert!(
+        log.iter()
+            .any(|(_, n, s)| *n == NodeId(0) && s.contains("battery exhausted")),
+        "death must be logged: {log:?}"
+    );
+}
+
+#[test]
+fn unicast_retry_energy_is_charged_to_the_sender() {
+    // sending into a sleeping host costs the sender five retransmissions
+    let cfgs = vec![
+        ProbeCfg {
+            unicast_at_start: Some((NodeId(1), 1, 512)),
+            ..Default::default()
+        },
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(vec![fixed(50.0, 50.0), fixed(150.0, 50.0)], cfgs);
+    w.run_until(SimTime::from_secs(2));
+    let audit = w.node_energy_audit(NodeId(0));
+    // 6 transmissions (1 + 5 retries) of a 564-byte frame ≈ 6 × 2.26 ms
+    assert!(
+        (0.012..0.016).contains(&audit.tx_secs),
+        "expected ~13.5 ms of tx time, got {} s",
+        audit.tx_secs
+    );
+    assert_eq!(w.stats().retransmissions, 5);
+    assert_eq!(w.stats().mac_drops, 1);
+}
+
+#[test]
+fn audit_totals_match_consumed_energy() {
+    let cfgs = vec![
+        ProbeCfg {
+            broadcast_at_start: Some((1, 256)),
+            ..Default::default()
+        },
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+        ProbeCfg::default(),
+    ];
+    let mut w = world_with(
+        vec![fixed(50.0, 50.0), fixed(150.0, 50.0), fixed(100.0, 100.0)],
+        cfgs,
+    );
+    w.run_until(SimTime::from_secs(50));
+    for i in 0..3u32 {
+        let audit = w.node_energy_audit(NodeId(i));
+        let consumed = w.node_consumed_j(NodeId(i));
+        assert!(
+            (audit.total_j() - consumed).abs() < 1e-6,
+            "node {i}: audit {} vs consumed {consumed}",
+            audit.total_j()
+        );
+    }
+    // the sleeper spent essentially all its time asleep
+    let sleeper = w.node_energy_audit(NodeId(1));
+    assert!(sleeper.sleep_secs > 49.0, "{sleeper:?}");
+    let _ = ProbeMsg::Tag { tag: 0, bytes: 0 };
+}
+
+#[test]
+fn event_trace_captures_a_packet_journey() {
+    use manet::TraceRecord;
+    use sim_engine::SimDuration;
+    use traffic::{CbrFlow, FlowId, FlowSet};
+    let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
+    let flows = FlowSet::new(vec![CbrFlow {
+        id: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(1),
+        packet_bytes: 512,
+        interval: SimDuration::from_secs(1),
+        start: SimTime::from_secs(1),
+        stop: SimTime::from_secs(2),
+    }]);
+    let mut w = World::new(WorldConfig::paper_default(42), hosts, flows, |_| {
+        Probe::new(ProbeCfg::default())
+    });
+    w.enable_event_trace();
+    w.run_until(SimTime::from_secs(3));
+    let trace = w.event_trace();
+    // the journey appears in causal order: app send -> MAC tx -> MAC rx -> app recv
+    let idx = |pred: &dyn Fn(&TraceRecord) -> bool| trace.iter().position(|r| pred(r));
+    let send = idx(&|r| matches!(r, TraceRecord::AppSend { src: NodeId(0), .. })).expect("app send");
+    let tx = idx(&|r| matches!(r, TraceRecord::TxStart { node: NodeId(0), .. })).expect("tx");
+    let rx = idx(&|r| matches!(r, TraceRecord::RxOk { node: NodeId(1), .. })).expect("rx");
+    let recv = idx(&|r| matches!(r, TraceRecord::AppRecv { dst: NodeId(1), .. })).expect("app recv");
+    assert!(
+        send < tx && tx < rx && rx <= recv,
+        "order: {send} {tx} {rx} {recv}"
+    );
+    // timestamps are non-decreasing through the journey
+    assert!(trace[send].time() <= trace[tx].time());
+    assert!(trace[tx].time() <= trace[rx].time());
+    // and the rendered form is line-per-event
+    let text = manet::render_trace(trace);
+    assert_eq!(text.lines().count(), trace.len());
+}
+
+#[test]
+fn spatial_index_matches_geometric_reachability() {
+    // scatter probes deterministically; node 0 broadcasts once; exactly
+    // the awake in-range nodes must hear it (the spatial index must not
+    // miss border cells)
+    let mut hosts = Vec::new();
+    let mut expected_hearers = Vec::new();
+    let origin = geo::Point2::new(500.0, 500.0);
+    hosts.push(fixed(500.0, 500.0)); // node 0, sender
+    let mut k = 1u32;
+    for ring in 1..=8 {
+        for arm in 0..8 {
+            let theta = arm as f64 * std::f64::consts::TAU / 8.0 + ring as f64 * 0.37;
+            let r = ring as f64 * 62.0; // rings at 62..496 m
+            let p = geo::Point2::new(500.0 + r * theta.cos(), 500.0 + r * theta.sin());
+            if !(0.0..=1000.0).contains(&p.x) || !(0.0..=1000.0).contains(&p.y) {
+                continue;
+            }
+            hosts.push(fixed(p.x, p.y));
+            if origin.distance(p) <= 250.0 {
+                expected_hearers.push(NodeId(k));
+            }
+            k += 1;
+        }
+    }
+    let n = hosts.len();
+    let mut cfgs = vec![ProbeCfg::default(); n];
+    cfgs[0].broadcast_at_start = Some((9, 64));
+    let mut w = world_with(hosts, cfgs);
+    w.run_until(SimTime::from_secs(1));
+    let mut heard: Vec<NodeId> = (1..n as u32)
+        .map(NodeId)
+        .filter(|id| !w.protocol(*id).heard.is_empty())
+        .collect();
+    heard.sort();
+    expected_hearers.sort();
+    assert_eq!(
+        heard, expected_hearers,
+        "index-based receiver set must equal the geometric one"
+    );
+    assert!(expected_hearers.len() >= 10, "test needs nontrivial coverage");
+}

@@ -1,0 +1,419 @@
+//! Integration tests for the simulation framework, driven by the
+//! instrumented `testkit::Probe` protocol.
+
+use manet::testkit::{Probe, ProbeCfg, ProbeMsg};
+use manet::{
+    Battery, FlowSet, GridCoord, HostSetup, NodeId, PageSignal, PowerProfile, RadioMode, SimDuration,
+    SimTime, World, WorldConfig,
+};
+use mobility::{MobilityTrace, Segment};
+use traffic::{CbrFlow, FlowId};
+
+const HORIZON: SimTime = SimTime(3_000_000_000_000); // 3000 s
+
+fn fixed(x: f64, y: f64) -> HostSetup {
+    HostSetup::paper(MobilityTrace::stationary(geo::Point2::new(x, y), HORIZON))
+}
+
+fn world_with(hosts: Vec<HostSetup>, cfgs: Vec<ProbeCfg>, flows: FlowSet) -> World<Probe> {
+    assert_eq!(hosts.len(), cfgs.len());
+    World::new(WorldConfig::paper_default(42), hosts, flows, move |id| {
+        Probe::new(cfgs[id.index()].clone())
+    })
+}
+
+#[test]
+fn broadcast_reaches_in_range_awake_hosts_only() {
+    // node 0 at origin broadcasts; node 1 at 100 m (in range), node 2 at
+    // 600 m (out of range), node 3 in range but asleep
+    let hosts = vec![
+        fixed(50.0, 50.0),
+        fixed(150.0, 50.0),
+        fixed(650.0, 50.0),
+        fixed(50.0, 150.0),
+    ];
+    let cfgs = vec![
+        ProbeCfg {
+            broadcast_at_start: Some((7, 64)),
+            ..Default::default()
+        },
+        ProbeCfg::default(),
+        ProbeCfg::default(),
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(1));
+    assert_eq!(w.protocol(NodeId(1)).heard.len(), 1);
+    assert_eq!(w.protocol(NodeId(1)).heard[0].0, NodeId(0));
+    assert!(w.protocol(NodeId(2)).heard.is_empty(), "out of range");
+    assert!(w.protocol(NodeId(3)).heard.is_empty(), "asleep");
+    assert_eq!(w.stats().broadcasts, 1);
+    assert_eq!(w.stats().frames_delivered, 1);
+}
+
+#[test]
+fn unicast_is_acked_without_retransmission() {
+    let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
+    let cfgs = vec![
+        ProbeCfg {
+            unicast_at_start: Some((NodeId(1), 9, 128)),
+            ..Default::default()
+        },
+        ProbeCfg::default(),
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(1));
+    assert_eq!(
+        w.protocol(NodeId(1)).heard,
+        vec![(NodeId(0), ProbeMsg::Tag { tag: 9, bytes: 128 })]
+    );
+    assert_eq!(w.stats().unicasts, 1);
+    assert_eq!(w.stats().retransmissions, 0);
+    assert_eq!(w.stats().mac_drops, 0);
+    assert!(w.protocol(NodeId(0)).failed_unicasts.is_empty());
+}
+
+#[test]
+fn unicast_to_sleeping_host_retries_then_fails() {
+    let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
+    let cfgs = vec![
+        ProbeCfg {
+            unicast_at_start: Some((NodeId(1), 9, 128)),
+            ..Default::default()
+        },
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(2));
+    assert!(w.protocol(NodeId(1)).heard.is_empty());
+    assert_eq!(w.protocol(NodeId(0)).failed_unicasts, vec![NodeId(1)]);
+    assert_eq!(w.stats().mac_drops, 1);
+    // max_retries retransmissions were attempted
+    assert_eq!(
+        w.stats().retransmissions as u32,
+        manet::MacConfig::paper_default().max_retries
+    );
+}
+
+#[test]
+fn ras_page_wakes_a_sleeping_host() {
+    let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
+    let cfgs = vec![
+        ProbeCfg {
+            page_host_at_start: Some(NodeId(1)),
+            ..Default::default()
+        },
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(1));
+    assert_eq!(w.node_mode(NodeId(1)), RadioMode::Idle);
+    assert_eq!(w.protocol(NodeId(1)).pages, vec![PageSignal::Host(NodeId(1))]);
+    assert_eq!(w.stats().pages_sent, 1);
+    assert_eq!(w.stats().pages_woken, 1);
+}
+
+#[test]
+fn ras_grid_page_wakes_everyone_in_the_grid() {
+    // nodes 1 and 2 share grid (1,0) and sleep; node 3 sleeps in (5,5)
+    let hosts = vec![
+        fixed(50.0, 50.0),
+        fixed(120.0, 50.0),
+        fixed(180.0, 50.0),
+        fixed(550.0, 550.0),
+    ];
+    let cfgs = vec![
+        ProbeCfg {
+            page_grid_at_start: Some(GridCoord::new(1, 0)),
+            ..Default::default()
+        },
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(1));
+    assert_eq!(w.node_mode(NodeId(1)), RadioMode::Idle);
+    assert_eq!(w.node_mode(NodeId(2)), RadioMode::Idle);
+    assert_eq!(
+        w.node_mode(NodeId(3)),
+        RadioMode::Sleep,
+        "other grid stays asleep"
+    );
+    assert_eq!(w.stats().pages_woken, 2);
+}
+
+#[test]
+fn hidden_terminal_broadcasts_collide_at_common_receiver() {
+    // classic hidden terminal: 0 and 2 cannot carrier-sense each other
+    // (480 m apart) but both reach 1 (240 m each); both broadcast at t=0,
+    // the transmissions overlap at 1 -> both corrupted
+    let hosts = vec![fixed(10.0, 50.0), fixed(250.0, 50.0), fixed(490.0, 50.0)];
+    let cfgs = vec![
+        ProbeCfg {
+            broadcast_at_start: Some((1, 256)),
+            ..Default::default()
+        },
+        ProbeCfg::default(),
+        ProbeCfg {
+            broadcast_at_start: Some((2, 256)),
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(1));
+    assert!(
+        w.protocol(NodeId(1)).heard.is_empty(),
+        "collision should corrupt both"
+    );
+    assert!(w.stats().corrupted >= 2);
+}
+
+#[test]
+fn idle_host_dies_at_paper_lifetime_and_sleeper_survives() {
+    let hosts = vec![fixed(50.0, 50.0), fixed(850.0, 850.0)];
+    let cfgs = vec![
+        ProbeCfg::default(),
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(2000));
+    // idle+GPS at 0.863 W drains 500 J in ~579 s
+    assert!(!w.node_alive(NodeId(0)));
+    assert!(w.node_alive(NodeId(1)), "sleeping host must outlive 2000 s");
+    let death = w.alive_series().first_time_at_or_below(0.5).unwrap();
+    assert!((570.0..=590.0).contains(&death), "death at {death}");
+    // sleeping host: 2000 s * 0.163 W = 326 J consumed
+    let j = w.node_consumed_j(NodeId(1));
+    assert!((320.0..335.0).contains(&j), "sleeper consumed {j}");
+    assert_eq!(w.stats().deaths, 1);
+}
+
+#[test]
+fn aen_series_tracks_consumption() {
+    let hosts = vec![fixed(50.0, 50.0)];
+    let cfgs = vec![ProbeCfg::default()];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(101));
+    // 100 s idle+GPS = 86.3 J of 500 J => aen ~ 0.1726
+    let aen = w.aen_series().value_at(100.0).unwrap();
+    assert!((aen - 0.1726).abs() < 0.01, "aen {aen}");
+    // monotone non-decreasing
+    let pts = w.aen_series().points();
+    assert!(pts.windows(2).all(|p| p[1].value >= p[0].value));
+}
+
+#[test]
+fn timers_fire_in_order() {
+    let hosts = vec![fixed(50.0, 50.0)];
+    let cfgs = vec![ProbeCfg {
+        timer_at_start: Some((0.5, 77)),
+        ..Default::default()
+    }];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(1));
+    assert_eq!(w.protocol(NodeId(0)).fired_timers, vec![77]);
+    assert_eq!(w.stats().timers_fired, 1);
+}
+
+#[test]
+fn awake_mover_sees_cell_changes_sleeper_does_not() {
+    // both hosts travel east from (50,50) to (450,50) at 10 m/s: 4 crossings
+    let leg = Segment::travel(
+        SimTime::ZERO,
+        geo::Point2::new(50.0, 50.0),
+        geo::Point2::new(450.0, 50.0),
+        10.0,
+    );
+    let rest = Segment::rest(leg.end, HORIZON, leg.end_position());
+    let trace = MobilityTrace::new(vec![leg, rest]);
+    let hosts = vec![HostSetup::paper(trace.clone()), HostSetup::paper(trace)];
+    let cfgs = vec![
+        ProbeCfg::default(),
+        ProbeCfg {
+            sleep_at_start: true,
+            ..Default::default()
+        },
+    ];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(60));
+    assert_eq!(w.protocol(NodeId(0)).cell_changes.len(), 4);
+    assert_eq!(
+        w.protocol(NodeId(0)).cell_changes[0],
+        (GridCoord::new(0, 0), GridCoord::new(1, 0))
+    );
+    assert!(
+        w.protocol(NodeId(1)).cell_changes.is_empty(),
+        "sleepers don't observe GPS"
+    );
+    // ...but the world still tracks the sleeper's true cell
+    assert_eq!(w.node_cell(NodeId(1)), GridCoord::new(4, 0));
+}
+
+#[test]
+fn app_flow_delivers_end_to_end() {
+    let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
+    let cfgs = vec![ProbeCfg::default(), ProbeCfg::default()];
+    let flow = CbrFlow {
+        id: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(1),
+        packet_bytes: 512,
+        interval: SimDuration::from_secs(1),
+        start: SimTime::from_secs(1),
+        stop: SimTime::from_secs(11),
+    };
+    let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
+    w.run_until(SimTime::from_secs(20));
+    let ledger = w.ledger();
+    assert_eq!(ledger.sent_count(), 10);
+    assert_eq!(ledger.delivered_count(), 10);
+    assert_eq!(ledger.delivery_rate(), Some(1.0));
+    // single hop: ~2.3 ms airtime + DIFS
+    let lat = ledger.mean_latency_ms().unwrap();
+    assert!((2.0..4.0).contains(&lat), "latency {lat} ms");
+}
+
+#[test]
+fn flow_stops_when_source_dies() {
+    // source has a finite battery and dies at ~579 s; 1 pkt/s flow for 1000 s
+    let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
+    let cfgs = vec![ProbeCfg::default(), ProbeCfg::default()];
+    let flow = CbrFlow {
+        id: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(1),
+        packet_bytes: 512,
+        interval: SimDuration::from_secs(1),
+        start: SimTime::from_secs(0),
+        stop: SimTime::from_secs(1000),
+    };
+    let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
+    w.run_until(SimTime::from_secs(1000));
+    let sent = w.ledger().sent_count();
+    assert!(
+        (550..600).contains(&(sent as i64)),
+        "sent {sent} packets before dying"
+    );
+}
+
+#[test]
+fn infinite_battery_hosts_are_excluded_from_metrics() {
+    let t1 = MobilityTrace::stationary(geo::Point2::new(50.0, 50.0), HORIZON);
+    let t2 = MobilityTrace::stationary(geo::Point2::new(150.0, 50.0), HORIZON);
+    let hosts = vec![
+        HostSetup {
+            profile: PowerProfile::paper_default(),
+            battery: Battery::infinite(),
+            trace: t1,
+        },
+        HostSetup::paper(t2),
+    ];
+    let cfgs = vec![ProbeCfg::default(), ProbeCfg::default()];
+    let mut w = world_with(hosts, cfgs, FlowSet::default());
+    w.run_until(SimTime::from_secs(1000));
+    assert!(w.node_alive(NodeId(0)), "infinite host lives");
+    assert!(!w.node_alive(NodeId(1)));
+    // alive fraction counts only the finite host
+    assert_eq!(w.alive_fraction(), 0.0);
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let build = || {
+        let hosts = vec![
+            fixed(50.0, 50.0),
+            fixed(150.0, 50.0),
+            fixed(250.0, 50.0),
+            fixed(150.0, 150.0),
+        ];
+        let cfgs = vec![
+            ProbeCfg {
+                broadcast_at_start: Some((1, 256)),
+                timer_at_start: Some((0.25, 5)),
+                ..Default::default()
+            },
+            ProbeCfg {
+                unicast_at_start: Some((NodeId(2), 2, 128)),
+                ..Default::default()
+            },
+            ProbeCfg {
+                broadcast_at_start: Some((3, 512)),
+                ..Default::default()
+            },
+            ProbeCfg::default(),
+        ];
+        let flow = CbrFlow {
+            id: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(3),
+            packet_bytes: 512,
+            interval: SimDuration::from_millis(100),
+            start: SimTime::from_secs(1),
+            stop: SimTime::from_secs(30),
+        };
+        let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
+        w.run_until(SimTime::from_secs(40));
+        (
+            *w.stats(),
+            w.ledger().sent_count(),
+            w.ledger().delivered_count(),
+            w.ledger().mean_latency_ms(),
+            (0..4).map(|i| w.node_consumed_j(NodeId(i))).collect::<Vec<_>>(),
+        )
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+    assert_eq!(a.4, b.4);
+}
+
+#[test]
+fn transmitting_costs_more_than_idling() {
+    let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
+    let cfgs = vec![ProbeCfg::default(), ProbeCfg::default()];
+    let flow = CbrFlow {
+        id: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(1),
+        packet_bytes: 512,
+        interval: SimDuration::from_millis(50), // 20 pkt/s, heavy
+        start: SimTime::ZERO,
+        stop: SimTime::from_secs(100),
+    };
+    let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
+    w.run_until(SimTime::from_secs(100));
+    let sender = w.node_consumed_j(NodeId(0));
+    let idle_baseline = 100.0 * 0.863;
+    assert!(
+        sender > idle_baseline + 1.0,
+        "sender {sender} J vs idle {idle_baseline} J"
+    );
+    // receiver also pays reception energy above idle
+    let receiver = w.node_consumed_j(NodeId(1));
+    assert!(receiver > idle_baseline + 0.5, "receiver {receiver} J");
+}

@@ -1,0 +1,208 @@
+//! Per-packet accounting: delivery rate and end-to-end latency.
+//!
+//! "The packet delivery rate is defined as the number of data packets
+//! actually received by the destination, divided by the number of packets
+//! issued by the corresponding source host.  The average packet delivery
+//! latency is defined as the average time elapsed between packet
+//! transmission and reception." (§4C)
+
+use sim_engine::SimTime;
+use std::collections::HashMap;
+
+/// Key identifying an application packet: (flow id, sequence number).
+pub type PacketKey = (u32, u64);
+
+/// Records every packet issued and delivered during a run.
+///
+/// ```
+/// use metrics::PacketLedger;
+/// use sim_engine::SimTime;
+///
+/// let mut ledger = PacketLedger::new();
+/// ledger.record_sent((0, 0), SimTime::from_millis(1000));
+/// ledger.record_sent((0, 1), SimTime::from_millis(2000));
+/// ledger.record_delivered((0, 0), SimTime::from_millis(1009));
+/// assert_eq!(ledger.delivery_rate(), Some(0.5));
+/// assert_eq!(ledger.mean_latency_ms(), Some(9.0));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PacketLedger {
+    sent: HashMap<PacketKey, SimTime>,
+    delivered: HashMap<PacketKey, SimTime>,
+    duplicates: u64,
+}
+
+impl PacketLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a packet leaving its source application.
+    pub fn record_sent(&mut self, key: PacketKey, at: SimTime) {
+        let prev = self.sent.insert(key, at);
+        debug_assert!(prev.is_none(), "packet {key:?} sent twice");
+    }
+
+    /// Record a packet arriving at its destination application.  Duplicate
+    /// deliveries (retransmission races) count once, at the first arrival.
+    pub fn record_delivered(&mut self, key: PacketKey, at: SimTime) {
+        debug_assert!(self.sent.contains_key(&key), "delivered unsent packet {key:?}");
+        match self.delivered.get(&key) {
+            Some(&prev) => {
+                self.duplicates += 1;
+                // keep the earliest delivery time
+                if at < prev {
+                    self.delivered.insert(key, at);
+                }
+            }
+            None => {
+                self.delivered.insert(key, at);
+            }
+        }
+    }
+
+    #[inline]
+    pub fn sent_count(&self) -> u64 {
+        self.sent.len() as u64
+    }
+
+    #[inline]
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered.len() as u64
+    }
+
+    #[inline]
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Packet delivery rate in `[0, 1]`; `None` when nothing was sent.
+    pub fn delivery_rate(&self) -> Option<f64> {
+        (self.sent_count() > 0).then(|| self.delivered_count() as f64 / self.sent_count() as f64)
+    }
+
+    /// Per-packet latencies in milliseconds (delivered packets only).
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .delivered
+            .iter()
+            .map(|(key, &recv)| {
+                let sent = self.sent[key];
+                recv.since(sent).as_millis_f64()
+            })
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Mean end-to-end latency in milliseconds; `None` with no deliveries.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        let lat = self.latencies_ms();
+        (!lat.is_empty()).then(|| lat.iter().sum::<f64>() / lat.len() as f64)
+    }
+
+    /// Packets sent but never delivered.
+    pub fn lost_keys(&self) -> Vec<PacketKey> {
+        let mut v: Vec<PacketKey> = self
+            .sent
+            .keys()
+            .filter(|k| !self.delivered.contains_key(*k))
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Restrict accounting to packets sent strictly before `cutoff` —
+    /// the paper compares delivery quality at simulation time 590 s
+    /// "since the network hosts that run GRID exhaust all their energy"
+    /// then.
+    pub fn before(&self, cutoff: SimTime) -> PacketLedger {
+        let sent: HashMap<PacketKey, SimTime> = self
+            .sent
+            .iter()
+            .filter(|(_, &t)| t < cutoff)
+            .map(|(k, &t)| (*k, t))
+            .collect();
+        let delivered = self
+            .delivered
+            .iter()
+            .filter(|(k, _)| sent.contains_key(*k))
+            .map(|(k, &t)| (*k, t))
+            .collect();
+        PacketLedger {
+            sent,
+            delivered,
+            duplicates: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pdr_and_latency() {
+        let mut l = PacketLedger::new();
+        l.record_sent((0, 0), t(1000));
+        l.record_sent((0, 1), t(2000));
+        l.record_sent((1, 0), t(2500));
+        l.record_delivered((0, 0), t(1008));
+        l.record_delivered((0, 1), t(2012));
+        assert_eq!(l.sent_count(), 3);
+        assert_eq!(l.delivered_count(), 2);
+        assert!((l.delivery_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((l.mean_latency_ms().unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(l.lost_keys(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn duplicates_count_once_at_first_arrival() {
+        let mut l = PacketLedger::new();
+        l.record_sent((0, 0), t(0));
+        l.record_delivered((0, 0), t(10));
+        l.record_delivered((0, 0), t(15));
+        assert_eq!(l.delivered_count(), 1);
+        assert_eq!(l.duplicate_count(), 1);
+        assert!((l.mean_latency_ms().unwrap() - 10.0).abs() < 1e-9);
+        // an even earlier duplicate (out-of-order race) keeps the earliest
+        l.record_delivered((0, 0), t(5));
+        assert!((l.mean_latency_ms().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_reports_none() {
+        let l = PacketLedger::new();
+        assert_eq!(l.delivery_rate(), None);
+        assert_eq!(l.mean_latency_ms(), None);
+        assert!(l.lost_keys().is_empty());
+    }
+
+    #[test]
+    fn cutoff_restricts_to_early_packets() {
+        let mut l = PacketLedger::new();
+        l.record_sent((0, 0), t(100));
+        l.record_delivered((0, 0), t(110));
+        l.record_sent((0, 1), t(700_000)); // after cutoff, lost
+        let early = l.before(SimTime::from_secs(590));
+        assert_eq!(early.sent_count(), 1);
+        assert_eq!(early.delivery_rate(), Some(1.0));
+        // full ledger sees the loss
+        assert_eq!(l.delivery_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn latencies_are_sorted() {
+        let mut l = PacketLedger::new();
+        l.record_sent((0, 0), t(0));
+        l.record_sent((0, 1), t(100));
+        l.record_delivered((0, 1), t(103));
+        l.record_delivered((0, 0), t(9));
+        assert_eq!(l.latencies_ms(), vec![3.0, 9.0]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Measurement: time series, packet accounting, and summary statistics —
+//! everything needed to regenerate the paper's Figs. 4–8.
+
+pub mod ledger;
+pub mod series;
+pub mod stats;
+
+pub use ledger::PacketLedger;
+pub use series::{TimePoint, TimeSeries};
+pub use stats::{mean, percentile, stddev};

@@ -1,0 +1,160 @@
+//! Sampled time series: alive-host fraction and aen curves.
+
+/// One sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimePoint {
+    pub t_secs: f64,
+    pub value: f64,
+}
+
+/// A time-ordered series of samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<TimePoint>,
+}
+
+impl TimeSeries {
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a sample; time must not go backwards.
+    pub fn push(&mut self, t_secs: f64, value: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(t_secs >= last.t_secs, "series time went backwards");
+        }
+        self.points.push(TimePoint { t_secs, value });
+    }
+
+    #[inline]
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last sampled value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|p| p.value)
+    }
+
+    /// Value at time `t` by step interpolation (last sample at or before
+    /// `t`); `None` before the first sample.
+    pub fn value_at(&self, t_secs: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|p| p.t_secs <= t_secs);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].value)
+        }
+    }
+
+    /// First time the series drops to or below `threshold`; `None` if it
+    /// never does.  (Network-death time = first time alive fraction hits 0.)
+    pub fn first_time_at_or_below(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.value <= threshold)
+            .map(|p| p.t_secs)
+    }
+
+    /// Point-wise mean of several series sampled at identical times
+    /// (replica averaging).  Panics if lengths or timestamps differ.
+    pub fn mean_of(series: &[TimeSeries]) -> TimeSeries {
+        assert!(!series.is_empty());
+        let n = series[0].len();
+        for s in series {
+            assert_eq!(s.len(), n, "replica series length mismatch");
+        }
+        let mut out = TimeSeries::new();
+        for i in 0..n {
+            let t = series[0].points[i].t_secs;
+            let mut sum = 0.0;
+            for s in series {
+                debug_assert!((s.points[i].t_secs - t).abs() < 1e-9, "sample time mismatch");
+                sum += s.points[i].value;
+            }
+            out.push(t, sum / series.len() as f64);
+        }
+        out
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let s: TimeSeries = [(0.0, 1.0), (10.0, 0.8), (20.0, 0.5)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.value_at(-1.0), None);
+        assert_eq!(s.value_at(0.0), Some(1.0));
+        assert_eq!(s.value_at(9.9), Some(1.0));
+        assert_eq!(s.value_at(10.0), Some(0.8));
+        assert_eq!(s.value_at(100.0), Some(0.5));
+        assert_eq!(s.last_value(), Some(0.5));
+    }
+
+    #[test]
+    fn death_time_detection() {
+        let s: TimeSeries = [(0.0, 1.0), (580.0, 0.2), (590.0, 0.0), (600.0, 0.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.first_time_at_or_below(0.0), Some(590.0));
+        assert_eq!(s.first_time_at_or_below(0.25), Some(580.0));
+        assert_eq!(s.first_time_at_or_below(-1.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn non_monotone_time_panics() {
+        let mut s = TimeSeries::new();
+        s.push(5.0, 1.0);
+        s.push(4.0, 1.0);
+    }
+
+    #[test]
+    fn replica_mean() {
+        let a: TimeSeries = [(0.0, 1.0), (1.0, 0.5)].into_iter().collect();
+        let b: TimeSeries = [(0.0, 0.0), (1.0, 1.5)].into_iter().collect();
+        let m = TimeSeries::mean_of(&[a, b]);
+        assert_eq!(m.points()[0].value, 0.5);
+        assert_eq!(m.points()[1].value, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn replica_mean_checks_shape() {
+        let a: TimeSeries = [(0.0, 1.0)].into_iter().collect();
+        let b: TimeSeries = [(0.0, 1.0), (1.0, 1.0)].into_iter().collect();
+        TimeSeries::mean_of(&[a, b]);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.last_value(), None);
+        assert_eq!(s.value_at(0.0), None);
+        assert_eq!(s.first_time_at_or_below(0.0), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! Small summary-statistics helpers for experiment reports.
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (n-1 denominator); `None` with fewer than two
+/// samples.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Percentile by nearest-rank on a *sorted* slice; `q` in `[0, 100]`.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(stddev(&[1.0]), None);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentile_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

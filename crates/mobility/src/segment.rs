@@ -1,0 +1,121 @@
+//! One leg of a piecewise-linear trajectory.
+
+use geo::{Point2, Vec2};
+use sim_engine::SimTime;
+
+/// Constant-velocity motion over a half-open time interval
+/// `[start, end)`; a pause is a segment with zero velocity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    pub start: SimTime,
+    pub end: SimTime,
+    pub from: Point2,
+    pub velocity: Vec2,
+}
+
+impl Segment {
+    /// A zero-velocity segment (pause or permanent rest).
+    pub fn rest(start: SimTime, end: SimTime, at: Point2) -> Self {
+        Segment {
+            start,
+            end,
+            from: at,
+            velocity: Vec2::ZERO,
+        }
+    }
+
+    /// A motion segment from `from` towards `to` at `speed` m/s.
+    /// `end` is derived from the travel time.
+    pub fn travel(start: SimTime, from: Point2, to: Point2, speed: f64) -> Self {
+        assert!(speed > 0.0, "travel requires positive speed");
+        let disp = to - from;
+        let dist = disp.norm();
+        let secs = dist / speed;
+        let velocity = if dist == 0.0 {
+            Vec2::ZERO
+        } else {
+            disp * (speed / dist)
+        };
+        Segment {
+            start,
+            end: start + sim_engine::SimDuration::from_secs_f64(secs),
+            from,
+            velocity,
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Position at `t`, clamped into the segment's interval.
+    #[inline]
+    pub fn position_at(&self, t: SimTime) -> Point2 {
+        let t = t.clamp(self.start, self.end);
+        let dt = t.since(self.start).as_secs_f64();
+        self.from + self.velocity * dt
+    }
+
+    /// Final position of the segment.
+    #[inline]
+    pub fn end_position(&self) -> Point2 {
+        self.position_at(self.end)
+    }
+
+    #[inline]
+    pub fn duration_secs(&self) -> f64 {
+        self.end.since(self.start).as_secs_f64()
+    }
+
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.velocity.norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn travel_segment_geometry() {
+        let s = Segment::travel(SimTime::ZERO, Point2::new(0.0, 0.0), Point2::new(30.0, 40.0), 5.0);
+        assert!((s.duration_secs() - 10.0).abs() < 1e-9);
+        assert!((s.speed() - 5.0).abs() < 1e-9);
+        let mid = s.position_at(SimTime::from_secs(5));
+        assert!((mid.x - 15.0).abs() < 1e-6 && (mid.y - 20.0).abs() < 1e-6);
+        let end = s.end_position();
+        assert!((end.x - 30.0).abs() < 1e-6 && (end.y - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn position_clamps_outside_interval() {
+        let s = Segment::travel(
+            SimTime::from_secs(10),
+            Point2::ORIGIN,
+            Point2::new(10.0, 0.0),
+            1.0,
+        );
+        assert_eq!(s.position_at(SimTime::ZERO), Point2::ORIGIN);
+        assert_eq!(s.position_at(SimTime::from_secs(100)).x, 10.0);
+    }
+
+    #[test]
+    fn rest_segment_never_moves() {
+        let p = Point2::new(5.0, 5.0);
+        let s = Segment::rest(SimTime::ZERO, SimTime::from_secs(60), p);
+        assert_eq!(s.position_at(SimTime::from_secs(30)), p);
+        assert_eq!(s.speed(), 0.0);
+        assert!(s.contains(SimTime::from_secs(59)));
+        assert!(!s.contains(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn zero_distance_travel_is_instant_rest() {
+        let p = Point2::new(1.0, 1.0);
+        let s = Segment::travel(SimTime::ZERO, p, p, 2.0);
+        assert_eq!(s.start, s.end);
+        assert_eq!(s.velocity, Vec2::ZERO);
+    }
+}

@@ -1,0 +1,259 @@
+//! The unit-disc channel: who hears whom, carrier sensing, collisions.
+//!
+//! Propagation is the classic ns-2 style disc: a frame from `src` reaches
+//! exactly the hosts within `range` meters of the transmitter's position at
+//! transmission start (250 m in the evaluation).  The channel keeps the
+//! set of in-flight transmissions so the MAC can carrier-sense and so
+//! receivers can detect overlapping-interferer collisions.
+
+use crate::frame::NodeId;
+use geo::Point2;
+use sim_engine::SimTime;
+
+/// One transmission on the air.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transmission {
+    pub id: u64,
+    pub src: NodeId,
+    /// Transmitter position at tx start (the disc's center).
+    pub origin: Point2,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// Tracks in-flight (and recently-ended) transmissions.
+///
+/// `gc_before` must be called periodically (the simulator does it on every
+/// transmission end) so the active list stays small; queries are linear in
+/// the number of live transmissions, which at the paper's offered load is
+/// a handful.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelState {
+    active: Vec<Transmission>,
+    range: f64,
+    next_id: u64,
+    /// Capture: an interferer within range only corrupts a reception when
+    /// its distance to the receiver is less than `capture_ratio` times the
+    /// signal's distance (ns-2's 10 dB capture threshold under two-ray
+    /// d⁻⁴ path loss gives 10^(10/40) ≈ 1.778).  `None` = every
+    /// overlapping interferer is fatal.
+    capture_ratio: Option<f64>,
+}
+
+/// ns-2's default capture threshold (10 dB) under d⁻⁴ path loss.
+pub const CAPTURE_RATIO_10DB: f64 = 1.7782794100389228;
+
+impl ChannelState {
+    pub fn new(range_m: f64) -> Self {
+        assert!(range_m > 0.0);
+        ChannelState {
+            active: Vec::new(),
+            range: range_m,
+            next_id: 0,
+            capture_ratio: Some(CAPTURE_RATIO_10DB),
+        }
+    }
+
+    /// The paper's channel: 250 m nominal range, 10 dB capture.
+    pub fn paper_default() -> Self {
+        ChannelState::new(250.0)
+    }
+
+    /// Disable/enable the capture effect (ablation).
+    pub fn set_capture_ratio(&mut self, ratio: Option<f64>) {
+        self.capture_ratio = ratio;
+    }
+
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Register a transmission; returns its channel id.
+    pub fn begin_tx(&mut self, src: NodeId, origin: Point2, start: SimTime, end: SimTime) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.active.push(Transmission {
+            id,
+            src,
+            origin,
+            start,
+            end,
+        });
+        id
+    }
+
+    /// Drop transmissions that ended at or before `now` (they can no longer
+    /// interfere with anything starting now).
+    pub fn gc_before(&mut self, now: SimTime) {
+        self.active.retain(|t| t.end > now);
+    }
+
+    /// Carrier sense at position `p` and instant `at`: latest end time of
+    /// any transmission in progress whose signal reaches `p`.  `None` means
+    /// the medium is sensed idle.
+    pub fn busy_until(&self, p: Point2, at: SimTime) -> Option<SimTime> {
+        self.active
+            .iter()
+            .filter(|t| t.start <= at && t.end > at && t.origin.within_range(p, self.range))
+            .map(|t| t.end)
+            .max()
+    }
+
+    /// Collision check for a reception at `receiver` spanning
+    /// `[start, end)` of transmission `tx_id` sent from `src_origin`:
+    /// true if any *other* transmission audible at the receiver overlaps
+    /// the interval and is strong enough to defeat capture.
+    pub fn corrupted(
+        &self,
+        tx_id: u64,
+        src_origin: Point2,
+        receiver: Point2,
+        start: SimTime,
+        end: SimTime,
+    ) -> bool {
+        let d_sig = src_origin.distance(receiver).max(1.0);
+        self.active.iter().any(|t| {
+            if t.id == tx_id || t.start >= end || t.end <= start {
+                return false;
+            }
+            if !t.origin.within_range(receiver, self.range) {
+                return false;
+            }
+            match self.capture_ratio {
+                // interferer farther than ratio·d_sig is ≥10 dB weaker:
+                // the receiver captures the intended frame
+                Some(ratio) => t.origin.distance(receiver) < ratio * d_sig,
+                None => true,
+            }
+        })
+    }
+
+    /// All node positions within range of `origin` — the delivery set of a
+    /// transmission (the caller filters by radio mode).
+    pub fn reaches(&self, origin: Point2, p: Point2) -> bool {
+        origin.within_range(p, self.range)
+    }
+
+    /// Number of in-flight transmissions (diagnostic).
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn carrier_sense_within_range_only() {
+        let mut ch = ChannelState::paper_default();
+        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), t(10), t(12));
+        // 100 m away: busy
+        assert_eq!(ch.busy_until(Point2::new(100.0, 0.0), t(11)), Some(t(12)));
+        // 300 m away: idle
+        assert_eq!(ch.busy_until(Point2::new(300.0, 0.0), t(11)), None);
+        // before it starts / after it ends: idle
+        assert_eq!(ch.busy_until(Point2::new(100.0, 0.0), t(9)), None);
+        assert_eq!(ch.busy_until(Point2::new(100.0, 0.0), t(12)), None);
+    }
+
+    #[test]
+    fn busy_until_takes_latest_end() {
+        let mut ch = ChannelState::paper_default();
+        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(50.0, 0.0), t(10), t(15));
+        assert_eq!(ch.busy_until(Point2::new(10.0, 0.0), t(11)), Some(t(15)));
+    }
+
+    #[test]
+    fn overlapping_comparable_interferer_corrupts() {
+        let mut ch = ChannelState::paper_default();
+        let src = Point2::new(0.0, 0.0);
+        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        // interferer equidistant from the receiver: no capture possible
+        ch.begin_tx(NodeId(2), Point2::new(100.0, 0.0), t(11), t(13));
+        let receiver = Point2::new(50.0, 0.0);
+        assert!(ch.corrupted(tx, src, receiver, t(10), t(12)));
+    }
+
+    #[test]
+    fn strong_signal_captures_over_weak_interferer() {
+        let mut ch = ChannelState::paper_default();
+        let src = Point2::new(0.0, 0.0);
+        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        // receiver 50 m from the source, interferer 200 m away: 4x the
+        // distance => far beyond the 10 dB capture threshold
+        ch.begin_tx(NodeId(2), Point2::new(250.0, 0.0), t(11), t(13));
+        let receiver = Point2::new(50.0, 0.0);
+        assert!(!ch.corrupted(tx, src, receiver, t(10), t(12)));
+        // without capture the same interferer is fatal
+        ch.set_capture_ratio(None);
+        assert!(ch.corrupted(tx, src, receiver, t(10), t(12)));
+    }
+
+    #[test]
+    fn far_interferer_does_not_corrupt() {
+        let mut ch = ChannelState::paper_default();
+        ch.set_capture_ratio(None);
+        let src = Point2::new(0.0, 0.0);
+        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        // interferer 400 m from the receiver: inaudible there
+        ch.begin_tx(NodeId(2), Point2::new(450.0, 0.0), t(11), t(13));
+        let receiver = Point2::new(50.0, 0.0);
+        assert!(!ch.corrupted(tx, src, receiver, t(10), t(12)));
+    }
+
+    #[test]
+    fn non_overlapping_interferer_does_not_corrupt() {
+        let mut ch = ChannelState::paper_default();
+        ch.set_capture_ratio(None);
+        let src = Point2::new(0.0, 0.0);
+        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(10.0, 0.0), t(12), t(14)); // starts when tx ends
+        let receiver = Point2::new(50.0, 0.0);
+        assert!(!ch.corrupted(tx, src, receiver, t(10), t(12)));
+    }
+
+    #[test]
+    fn own_transmission_is_not_interference() {
+        let mut ch = ChannelState::paper_default();
+        let src = Point2::new(0.0, 0.0);
+        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        assert!(!ch.corrupted(tx, src, Point2::new(50.0, 0.0), t(10), t(12)));
+    }
+
+    #[test]
+    fn gc_drops_finished_transmissions() {
+        let mut ch = ChannelState::paper_default();
+        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(0.0, 0.0), t(10), t(20));
+        assert_eq!(ch.in_flight(), 2);
+        ch.gc_before(t(15));
+        assert_eq!(ch.in_flight(), 1);
+        ch.gc_before(t(20));
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn reaches_is_inclusive_disc() {
+        let ch = ChannelState::paper_default();
+        let o = Point2::new(0.0, 0.0);
+        assert!(ch.reaches(o, Point2::new(250.0, 0.0)));
+        assert!(!ch.reaches(o, Point2::new(250.1, 0.0)));
+    }
+
+    #[test]
+    fn tx_ids_are_unique() {
+        let mut ch = ChannelState::paper_default();
+        let a = ch.begin_tx(NodeId(1), Point2::ORIGIN, t(1), t(2));
+        let b = ch.begin_tx(NodeId(1), Point2::ORIGIN, t(3), t(4));
+        assert_ne!(a, b);
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,129 @@
+//! Node identity and the on-air frame model.
+
+use std::fmt;
+
+/// A host's unique identifier ("IP address or MAC address" in the paper).
+/// Also serves as the host's RAS paging sequence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Link-layer addressing of a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Addressed to one receiver; acknowledged and retransmitted by the MAC.
+    Unicast(NodeId),
+    /// Delivered to every awake host in range; never acknowledged.
+    Broadcast,
+}
+
+impl FrameKind {
+    #[inline]
+    pub fn is_broadcast(self) -> bool {
+        matches!(self, FrameKind::Broadcast)
+    }
+
+    /// The unicast destination, if any.
+    #[inline]
+    pub fn dst(self) -> Option<NodeId> {
+        match self {
+            FrameKind::Unicast(d) => Some(d),
+            FrameKind::Broadcast => None,
+        }
+    }
+}
+
+/// Link-layer metadata of a frame in flight.  The protocol payload itself
+/// is generic and owned by the simulation layer; the radio only needs
+/// what's on the wire header and how many bytes ride behind it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameMeta {
+    pub src: NodeId,
+    pub kind: FrameKind,
+    /// Payload bytes above the MAC (protocol message or data packet).
+    pub payload_bytes: u32,
+}
+
+/// MAC + PHY framing overhead added to every frame, in bytes.
+/// 24 B 802.11 MAC header + 4 B FCS + PLCP preamble/header equivalent
+/// (192 µs at 1 Mbps ≈ 24 B at 2 Mbps).
+pub const MAC_OVERHEAD_BYTES: u32 = 52;
+
+/// Size of an 802.11 ACK control frame including PHY overhead, bytes.
+pub const ACK_BYTES: u32 = 38;
+
+impl FrameMeta {
+    /// Total bytes on the air for this frame.
+    #[inline]
+    pub fn wire_bytes(&self) -> u32 {
+        self.payload_bytes + MAC_OVERHEAD_BYTES
+    }
+
+    #[inline]
+    pub fn wire_bits(&self) -> u64 {
+        self.wire_bytes() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ordering_supports_smallest_id_election() {
+        // election rule 3: smallest ID wins
+        let mut ids = vec![NodeId(9), NodeId(2), NodeId(5)];
+        ids.sort();
+        assert_eq!(ids[0], NodeId(2));
+        assert_eq!(NodeId(3).index(), 3);
+    }
+
+    #[test]
+    fn frame_kinds() {
+        assert!(FrameKind::Broadcast.is_broadcast());
+        assert!(!FrameKind::Unicast(NodeId(1)).is_broadcast());
+        assert_eq!(FrameKind::Unicast(NodeId(7)).dst(), Some(NodeId(7)));
+        assert_eq!(FrameKind::Broadcast.dst(), None);
+    }
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let f = FrameMeta {
+            src: NodeId(0),
+            kind: FrameKind::Broadcast,
+            payload_bytes: 512,
+        };
+        assert_eq!(f.wire_bytes(), 564);
+        assert_eq!(f.wire_bits(), 4512);
+    }
+
+    #[test]
+    fn data_packet_airtime_at_2mbps_is_about_2ms() {
+        let f = FrameMeta {
+            src: NodeId(0),
+            kind: FrameKind::Broadcast,
+            payload_bytes: 512,
+        };
+        let t = sim_engine::SimDuration::for_bits(f.wire_bits(), 2_000_000);
+        let ms = t.as_millis_f64();
+        assert!((2.2..2.3).contains(&ms), "airtime {ms} ms");
+    }
+}

@@ -1,0 +1,127 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **RAS wake latency** — the paper idealizes the Remotely Activated
+//!   Switch; how sensitive are delivery latency and rate to its speed?
+//! * **PHY capture** — our MAC omits RTS/CTS; with capture disabled every
+//!   overlapping frame collides.  How much does the collision model move
+//!   the headline metrics?
+//! * **HELLO interval** — the paper attributes ECGRID's extra consumption
+//!   (vs GAF) to HELLO beaconing; sweep the beacon period.
+//!
+//! ```sh
+//! cargo run --release -p ecgrid-runner --bin ablations
+//! ```
+
+use ecgrid::{Ecgrid, EcgridConfig};
+use manet::{FlowSet, FlowSpec, HostSetup, NodeId, SimDuration, SimTime, World, WorldConfig};
+use mobility::{MobilityModel, RandomWaypoint};
+use sim_engine::RngFactory;
+
+struct Row {
+    label: String,
+    pdr: f64,
+    latency_ms: f64,
+    aen: f64,
+    corrupted: u64,
+    pages: u64,
+}
+
+fn run(label: &str, mut tweak_world: impl FnMut(&mut WorldConfig), cfg: EcgridConfig) -> Row {
+    let seed = 42;
+    let n_hosts = 100usize;
+    let end = SimTime::from_secs(400);
+    let horizon = end + SimDuration::from_secs(10);
+    let rngs = RngFactory::new(seed);
+    let model = RandomWaypoint::paper(1.0, 0.0);
+    let hosts: Vec<HostSetup> = (0..n_hosts)
+        .map(|i| HostSetup::paper(model.build_trace(&mut rngs.stream("mobility", i as u64), horizon)))
+        .collect();
+    let ids: Vec<NodeId> = (0..n_hosts as u32).map(NodeId).collect();
+    let spec = FlowSpec {
+        n_flows: 10,
+        ..FlowSpec::paper_default(end)
+    };
+    let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &ids, &spec);
+    let mut wc = WorldConfig::paper_default(seed);
+    tweak_world(&mut wc);
+    let mut w = World::new(wc, hosts, flows, |id| Ecgrid::new(cfg, id));
+    let out = w.run_until(end);
+    Row {
+        label: label.to_string(),
+        pdr: out.ledger.delivery_rate().unwrap_or(0.0),
+        latency_ms: out.ledger.mean_latency_ms().unwrap_or(f64::NAN),
+        aen: out.aen.last_value().unwrap_or(0.0),
+        corrupted: out.stats.corrupted,
+        pages: out.stats.pages_sent,
+    }
+}
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n## {title}");
+    println!(
+        "{:>28} {:>8} {:>12} {:>8} {:>10} {:>8}",
+        "variant", "PDR", "latency(ms)", "aen", "corrupted", "pages"
+    );
+    for r in rows {
+        println!(
+            "{:>28} {:>7.1}% {:>12.2} {:>8.4} {:>10} {:>8}",
+            r.label,
+            100.0 * r.pdr,
+            r.latency_ms,
+            r.aen,
+            r.corrupted,
+            r.pages
+        );
+    }
+}
+
+fn main() {
+    println!("ECGRID ablations: 100 hosts, 1 m/s, 10 flows x 1 pkt/s, 400 s");
+
+    // 1. RAS wake latency
+    let rows: Vec<Row> = [0.001, 0.005, 0.02, 0.1]
+        .iter()
+        .map(|&lat| {
+            let cfg = EcgridConfig {
+                forward_wake_wait: lat + 0.003,
+                retire_wait: lat + 0.025,
+                ..EcgridConfig::default()
+            };
+            run(
+                &format!("wake latency {} ms", lat * 1000.0),
+                |wc| {
+                    wc.ras.wake_latency = SimDuration::from_secs_f64(lat);
+                },
+                cfg,
+            )
+        })
+        .collect();
+    print_rows("RAS wake latency (paper idealizes ~0)", &rows);
+
+    // 2. PHY capture
+    let rows = vec![
+        run("capture 10 dB (default)", |_| {}, EcgridConfig::default()),
+        run(
+            "no capture",
+            |wc| wc.capture_ratio = None,
+            EcgridConfig::default(),
+        ),
+    ];
+    print_rows("PHY capture effect (MAC realism budget)", &rows);
+
+    // 3. HELLO interval
+    let rows: Vec<Row> = [0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&h| {
+            let cfg = EcgridConfig {
+                hello_interval: h,
+                election_window: h.max(1.0),
+                gateway_silence: 3.0 * h,
+                neighbor_ttl: 3.5 * h,
+                ..EcgridConfig::default()
+            };
+            run(&format!("HELLO every {h} s"), |_| {}, cfg)
+        })
+        .collect();
+    print_rows("HELLO interval (the paper's ECGRID-vs-GAF overhead)", &rows);
+}

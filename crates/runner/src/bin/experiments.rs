@@ -1,0 +1,14 @@
+//! Regenerates every figure of the paper in one go and prints the
+//! paper-vs-measured summary (EXPERIMENTS.md is derived from this output).
+fn main() {
+    let opts = runner::figures::FigOpts::from_env();
+    eprintln!(
+        "running all experiments (replicas={}, fast={})",
+        opts.replicas, opts.fast
+    );
+    print!("{}", runner::figures::fig4(&opts));
+    print!("{}", runner::figures::fig5(&opts));
+    print!("{}", runner::figures::fig6(&opts));
+    print!("{}", runner::figures::fig7(&opts));
+    print!("{}", runner::figures::fig8(&opts));
+}

@@ -1,0 +1,108 @@
+//! Extension experiment: proactive vs reactive control overhead.
+//!
+//! The paper's lineage runs DSDV (proactive, \[4\]) → AODV (reactive, \[3\])
+//! → GRID → ECGRID.  The classic trade-off: DSDV pays a constant
+//! advertisement tax regardless of traffic, AODV pays per-flow discovery
+//! floods.  This harness measures control frames per delivered packet as
+//! offered load varies, on identical 50-host scenarios.
+//!
+//! ```sh
+//! cargo run --release -p ecgrid-runner --bin ext_overhead
+//! ```
+
+use aodv::{Aodv, AodvConfig};
+use dsdv::{Dsdv, DsdvConfig};
+use manet::{FlowSet, FlowSpec, HostSetup, NodeId, SimTime, World, WorldConfig};
+use mobility::{MobilityModel, RandomWaypoint};
+use sim_engine::RngFactory;
+
+struct Row {
+    control_frames: u64,
+    delivered: u64,
+    sent: u64,
+    latency_ms: f64,
+}
+
+fn build(seed: u64, n_flows: usize, end: SimTime) -> (Vec<HostSetup>, FlowSet) {
+    let n_hosts = 50usize;
+    let horizon = end + sim_engine::SimDuration::from_secs(10);
+    let rngs = RngFactory::new(seed);
+    let model = RandomWaypoint::paper(1.0, 0.0);
+    let hosts: Vec<HostSetup> = (0..n_hosts)
+        .map(|i| HostSetup::paper(model.build_trace(&mut rngs.stream("mobility", i as u64), horizon)))
+        .collect();
+    let ids: Vec<NodeId> = (0..n_hosts as u32).map(NodeId).collect();
+    let spec = FlowSpec {
+        n_flows,
+        packet_bytes: 512,
+        rate_pps: 1.0,
+        start: SimTime::from_secs(10),
+        stop: end,
+        stagger: true,
+    };
+    let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &ids, &spec);
+    (hosts, flows)
+}
+
+fn run_aodv(seed: u64, n_flows: usize) -> Row {
+    let end = SimTime::from_secs(300);
+    let (hosts, flows) = build(seed, n_flows, end);
+    let mut w = World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
+        Aodv::new(AodvConfig::default(), id)
+    });
+    let out = w.run_until(end);
+    let control: u64 = (0..50u32)
+        .map(|i| {
+            let s = w.protocol(NodeId(i)).stats();
+            s.rreqs_sent + s.rreqs_forwarded + s.rreps_sent + s.rerrs_sent
+        })
+        .sum();
+    Row {
+        control_frames: control,
+        delivered: out.ledger.delivered_count(),
+        sent: out.ledger.sent_count(),
+        latency_ms: out.ledger.mean_latency_ms().unwrap_or(f64::NAN),
+    }
+}
+
+fn run_dsdv(seed: u64, n_flows: usize) -> Row {
+    let end = SimTime::from_secs(300);
+    let (hosts, flows) = build(seed, n_flows, end);
+    let mut w = World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
+        Dsdv::new(DsdvConfig::default(), id)
+    });
+    let out = w.run_until(end);
+    let control: u64 = (0..50u32).map(|i| w.protocol(NodeId(i)).stats.adverts_sent).sum();
+    Row {
+        control_frames: control,
+        delivered: out.ledger.delivered_count(),
+        sent: out.ledger.sent_count(),
+        latency_ms: out.ledger.mean_latency_ms().unwrap_or(f64::NAN),
+    }
+}
+
+fn main() {
+    println!("proactive (DSDV) vs reactive (AODV) overhead — 50 hosts, 1 m/s, 300 s\n");
+    println!(
+        "{:>7} {:>10} | {:>9} {:>8} {:>9} | {:>9} {:>8} {:>9}",
+        "flows", "", "AODV ctl", "pdr", "lat ms", "DSDV ctl", "pdr", "lat ms"
+    );
+    for n_flows in [1usize, 5, 10, 20] {
+        let a = run_aodv(42, n_flows);
+        let d = run_dsdv(42, n_flows);
+        println!(
+            "{:>7} {:>10} | {:>9} {:>7.1}% {:>9.2} | {:>9} {:>7.1}% {:>9.2}",
+            n_flows,
+            "",
+            a.control_frames,
+            100.0 * a.delivered as f64 / a.sent.max(1) as f64,
+            a.latency_ms,
+            d.control_frames,
+            100.0 * d.delivered as f64 / d.sent.max(1) as f64,
+            d.latency_ms,
+        );
+    }
+    println!("\nreading: DSDV's control cost is flat in load (periodic adverts);");
+    println!("AODV's grows with distinct flows (discovery floods). Reactive");
+    println!("routing wins at light load — the regime GRID/ECGRID inherit.");
+}

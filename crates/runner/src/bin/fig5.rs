@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 5. See `runner::figures`.
+fn main() {
+    let opts = runner::figures::FigOpts::from_env();
+    print!("{}", runner::figures::fig5(&opts));
+}

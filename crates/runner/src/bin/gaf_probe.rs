@@ -1,0 +1,93 @@
+//! Diagnostic: run the Fig. 4 GAF scenario and dump aggregate AODV/GAF
+//! counters (where do lost packets go?).
+
+use gaf::{GafConfig, GafProto};
+use manet::{Battery, HostSetup, NodeId, PowerProfile, SimTime, World, WorldConfig};
+use runner::{ProtocolKind, Scenario};
+
+fn main() {
+    let sc = Scenario {
+        protocol: ProtocolKind::Gaf,
+        n_hosts: 100,
+        max_speed: 1.0,
+        pause_secs: 0.0,
+        n_flows: 10,
+        flow_rate_pps: 1.0,
+        duration_secs: std::env::var("DUR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300.0),
+        seed: 7,
+        model1_endpoints: 10,
+    };
+    let end = SimTime::from_secs_f64(sc.duration_secs);
+    let horizon = end + sim_engine::SimDuration::from_secs(10);
+    let rngs = sim_engine::RngFactory::new(sc.seed);
+    let model = mobility::RandomWaypoint::paper(sc.max_speed, sc.pause_secs);
+    use mobility::MobilityModel;
+    let total = sc.n_hosts + sc.model1_endpoints;
+    let hosts: Vec<HostSetup> = (0..total)
+        .map(|i| {
+            let trace = model.build_trace(&mut rngs.stream("mobility", i as u64), horizon);
+            if i < sc.n_hosts {
+                HostSetup::paper(trace)
+            } else {
+                HostSetup {
+                    profile: PowerProfile::paper_default(),
+                    battery: Battery::infinite(),
+                    trace,
+                }
+            }
+        })
+        .collect();
+    let endpoint_ids: Vec<NodeId> = (sc.n_hosts as u32..total as u32).map(NodeId).collect();
+    let spec = traffic::FlowSpec {
+        n_flows: sc.n_flows,
+        packet_bytes: 512,
+        rate_pps: sc.flow_rate_pps,
+        start: SimTime::from_secs(5),
+        stop: end,
+        stagger: true,
+    };
+    let flows = traffic::FlowSet::random(&mut rngs.stream("traffic", 0), &endpoint_ids, &spec);
+    let n = sc.n_hosts;
+    let mut w = World::new(WorldConfig::paper_default(sc.seed), hosts, flows, move |id| {
+        if id.index() < n {
+            GafProto::new(GafConfig::default(), id)
+        } else {
+            GafProto::endpoint(GafConfig::default(), id)
+        }
+    });
+    w.run_until(end);
+
+    let mut agg = aodv::AodvStats::default();
+    let mut gstats = gaf::GafStats::default();
+    for i in 0..total as u32 {
+        let p = w.protocol(NodeId(i));
+        let a = p.aodv_stats();
+        agg.rreqs_sent += a.rreqs_sent;
+        agg.rreqs_forwarded += a.rreqs_forwarded;
+        agg.rreps_sent += a.rreps_sent;
+        agg.data_forwarded += a.data_forwarded;
+        agg.data_delivered += a.data_delivered;
+        agg.data_dropped += a.data_dropped;
+        agg.rerrs_sent += a.rerrs_sent;
+        gstats.activations += p.stats.activations;
+        gstats.sleeps += p.stats.sleeps;
+        gstats.wakeups += p.stats.wakeups;
+        gstats.beacons += p.stats.beacons;
+    }
+    println!(
+        "ledger: sent {} delivered {} pdr {:?}",
+        w.ledger().sent_count(),
+        w.ledger().delivered_count(),
+        w.ledger().delivery_rate()
+    );
+    println!("aodv:   {agg:?}");
+    println!("gaf:    {gstats:?}");
+    println!("world:  {:?}", w.stats());
+    let lat = w.ledger().latencies_ms();
+    for q in [50.0, 90.0, 95.0, 99.0, 100.0] {
+        println!("latency p{q}: {:?}", metrics::percentile(&lat, q));
+    }
+}

@@ -1,0 +1,94 @@
+//! Run a single scenario from the command line and print its summary.
+//!
+//! ```sh
+//! cargo run --release -p ecgrid-runner --bin run_one -- \
+//!     --protocol ecgrid --hosts 100 --speed 1 --pause 0 \
+//!     --flows 10 --rate 1 --duration 2000 --seed 42
+//! ```
+
+use runner::{run_scenario, ProtocolKind, Scenario};
+
+const HELP: &str = "\
+run_one — run a single ECGRID-reproduction scenario
+
+USAGE:
+    run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
+            [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
+
+Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
+pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).";
+
+fn parse_args() -> Scenario {
+    let mut sc = Scenario::paper_base(ProtocolKind::Ecgrid, 1.0, 42);
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        std::process::exit(0);
+    }
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let (k, v) = (&args[i], &args[i + 1]);
+        match k.as_str() {
+            "--protocol" => {
+                sc.protocol = match v.to_lowercase().as_str() {
+                    "grid" => ProtocolKind::Grid,
+                    "ecgrid" => ProtocolKind::Ecgrid,
+                    "gaf" => ProtocolKind::Gaf,
+                    "span" => ProtocolKind::Span,
+                    other => panic!("unknown protocol {other}"),
+                }
+            }
+            "--hosts" => sc.n_hosts = v.parse().expect("--hosts"),
+            "--speed" => sc.max_speed = v.parse().expect("--speed"),
+            "--pause" => sc.pause_secs = v.parse().expect("--pause"),
+            "--flows" => sc.n_flows = v.parse().expect("--flows"),
+            "--rate" => sc.flow_rate_pps = v.parse().expect("--rate"),
+            "--duration" => sc.duration_secs = v.parse().expect("--duration"),
+            "--seed" => sc.seed = v.parse().expect("--seed"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    sc
+}
+
+fn main() {
+    let sc = parse_args();
+    eprintln!("running: {}", sc.label());
+    let start = std::time::Instant::now();
+    let r = run_scenario(&sc);
+    eprintln!(
+        "({} s simulated in {:.1} s wall)",
+        sc.duration_secs,
+        start.elapsed().as_secs_f64()
+    );
+
+    println!("protocol:        {}", sc.protocol.name());
+    println!("packets sent:    {}", r.ledger.sent_count());
+    println!(
+        "delivered:       {} ({:.2}%)",
+        r.ledger.delivered_count(),
+        100.0 * r.pdr.unwrap_or(0.0)
+    );
+    println!(
+        "mean latency:    {} ms",
+        r.latency_ms
+            .map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "pdr (<590s):     {}",
+        r.pdr_590
+            .map(|x| format!("{:.2}%", 100.0 * x))
+            .unwrap_or_else(|| "-".into())
+    );
+    println!("alive at end:    {:.2}", r.alive.last_value().unwrap_or(1.0));
+    println!("aen at end:      {:.4}", r.aen.last_value().unwrap_or(0.0));
+    println!(
+        "network death:   {}",
+        r.network_death_s
+            .map(|t| format!("{t:.0} s"))
+            .unwrap_or_else(|| "none".into())
+    );
+    println!("world stats:     {:?}", r.stats);
+}

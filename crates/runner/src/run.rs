@@ -1,0 +1,223 @@
+//! Building and running one scenario.
+
+use crate::scenario::{ProtocolKind, Scenario};
+use ecgrid::{Ecgrid, EcgridConfig};
+use gaf::{GafConfig, GafProto};
+use grid_routing::{GridConfig, GridProto};
+use manet::{Battery, FlowSet, FlowSpec, HostSetup, NodeId, PowerProfile, SimTime, World, WorldConfig};
+use metrics::{PacketLedger, TimeSeries};
+use mobility::{MobilityModel, RandomWaypoint};
+use sim_engine::RngFactory;
+use span::{SpanConfig, SpanProto};
+
+/// Everything a figure needs from one finished run.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    pub scenario: Scenario,
+    /// Alive fraction over time (finite-battery hosts only).
+    pub alive: TimeSeries,
+    /// aen over time.
+    pub aen: TimeSeries,
+    /// Full packet accounting.
+    pub ledger: PacketLedger,
+    /// Delivery rate over the whole run.
+    pub pdr: Option<f64>,
+    /// Mean latency (ms) over the whole run.
+    pub latency_ms: Option<f64>,
+    /// Delivery rate restricted to packets sent before 590 s (the paper's
+    /// comparison horizon in Figs. 6–7).
+    pub pdr_590: Option<f64>,
+    /// Mean latency (ms) restricted to the same horizon.
+    pub latency_ms_590: Option<f64>,
+    /// First time the alive fraction reached zero, if it did.
+    pub network_death_s: Option<f64>,
+    pub stats: manet::WorldStats,
+}
+
+/// Build the mobility traces for `count` hosts, identical across protocols
+/// for a given seed.
+fn build_traces(sc: &Scenario, count: usize, horizon: SimTime) -> Vec<mobility::MobilityTrace> {
+    let rngs = RngFactory::new(sc.seed);
+    let model = RandomWaypoint::paper(sc.max_speed, sc.pause_secs);
+    (0..count)
+        .map(|i| model.build_trace(&mut rngs.stream("mobility", i as u64), horizon))
+        .collect()
+}
+
+/// Build the flow set.  Endpoints are chosen among `endpoint_ids`,
+/// identically across protocols for a given seed.
+fn build_flows(sc: &Scenario, endpoint_ids: &[NodeId], stop: SimTime) -> FlowSet {
+    let rngs = RngFactory::new(sc.seed);
+    let spec = FlowSpec {
+        n_flows: sc.n_flows,
+        packet_bytes: 512,
+        rate_pps: sc.flow_rate_pps,
+        start: SimTime::from_secs(5),
+        stop,
+        stagger: true,
+    };
+    FlowSet::random(&mut rngs.stream("traffic", 0), endpoint_ids, &spec)
+}
+
+fn finish<P: manet::Protocol>(sc: &Scenario, mut world: World<P>, end: SimTime) -> ScenarioResult {
+    let out = world.run_until(end);
+    let cutoff = SimTime::from_secs(590);
+    let early = out.ledger.before(cutoff);
+    ScenarioResult {
+        scenario: *sc,
+        pdr: out.ledger.delivery_rate(),
+        latency_ms: out.ledger.mean_latency_ms(),
+        pdr_590: early.delivery_rate(),
+        latency_ms_590: early.mean_latency_ms(),
+        network_death_s: out.alive.first_time_at_or_below(0.0),
+        alive: out.alive,
+        aen: out.aen,
+        ledger: out.ledger,
+        stats: out.stats,
+    }
+}
+
+/// Run one scenario to completion.
+pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    let end = SimTime::from_secs_f64(sc.duration_secs);
+    // traces must outlive the run comfortably
+    let horizon = end + sim_engine::SimDuration::from_secs(10);
+    let cfg = WorldConfig::paper_default(sc.seed);
+
+    match sc.protocol {
+        ProtocolKind::Grid | ProtocolKind::Ecgrid => {
+            // Model 2: endpoints are ordinary finite-battery hosts
+            let traces = build_traces(sc, sc.n_hosts, horizon);
+            let hosts: Vec<HostSetup> = traces.into_iter().map(HostSetup::paper).collect();
+            let all_ids: Vec<NodeId> = (0..sc.n_hosts as u32).map(NodeId).collect();
+            let flows = build_flows(sc, &all_ids, end);
+            match sc.protocol {
+                ProtocolKind::Grid => {
+                    let world = World::new(cfg, hosts, flows, |id| GridProto::new(GridConfig::default(), id));
+                    finish(sc, world, end)
+                }
+                ProtocolKind::Ecgrid => {
+                    let world = World::new(cfg, hosts, flows, |id| Ecgrid::new(EcgridConfig::default(), id));
+                    finish(sc, world, end)
+                }
+                ProtocolKind::Gaf | ProtocolKind::Span => unreachable!(),
+            }
+        }
+        ProtocolKind::Gaf | ProtocolKind::Span => {
+            // Model 1: n_hosts duty-cycling hosts (metered) + endpoints
+            // with infinite energy that neither duty-cycle nor forward.
+            // Span is not location-aware, so its hosts carry no GPS.
+            let total = sc.n_hosts + sc.model1_endpoints;
+            let traces = build_traces(sc, total, horizon);
+            let n = sc.n_hosts;
+            let profile = if sc.protocol == ProtocolKind::Span {
+                PowerProfile::paper_no_gps()
+            } else {
+                PowerProfile::paper_default()
+            };
+            let hosts: Vec<HostSetup> = traces
+                .into_iter()
+                .enumerate()
+                .map(|(i, trace)| HostSetup {
+                    profile,
+                    battery: if i < n {
+                        Battery::paper_default()
+                    } else {
+                        Battery::infinite()
+                    },
+                    trace,
+                })
+                .collect();
+            let endpoint_ids: Vec<NodeId> = (n as u32..total as u32).map(NodeId).collect();
+            let flows = build_flows(sc, &endpoint_ids, end);
+            match sc.protocol {
+                ProtocolKind::Gaf => {
+                    let world = World::new(cfg, hosts, flows, move |id| {
+                        if id.index() < n {
+                            GafProto::new(GafConfig::default(), id)
+                        } else {
+                            GafProto::endpoint(GafConfig::default(), id)
+                        }
+                    });
+                    finish(sc, world, end)
+                }
+                ProtocolKind::Span => {
+                    let world = World::new(cfg, hosts, flows, move |id| {
+                        if id.index() < n {
+                            SpanProto::new(SpanConfig::default(), id)
+                        } else {
+                            SpanProto::endpoint(SpanConfig::default(), id)
+                        }
+                    });
+                    finish(sc, world, end)
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(protocol: ProtocolKind) -> Scenario {
+        Scenario {
+            protocol,
+            n_hosts: 40,
+            max_speed: 1.0,
+            pause_secs: 0.0,
+            n_flows: 3,
+            flow_rate_pps: 1.0,
+            duration_secs: 60.0,
+            seed: 7,
+            model1_endpoints: 4,
+        }
+    }
+
+    #[test]
+    fn all_protocols_run_a_tiny_scenario() {
+        for p in ProtocolKind::ALL {
+            let r = run_scenario(&tiny(p));
+            assert!(
+                r.ledger.sent_count() > 100,
+                "{p:?} sent {}",
+                r.ledger.sent_count()
+            );
+            // 40 hosts over 100 cells is still sparse (mean degree ~8);
+            // partitions cost some delivery, so this is a liveness floor,
+            // not the paper's dense-network PDR
+            let pdr = r.pdr.unwrap();
+            assert!(pdr > 0.4, "{p:?} pdr {pdr}");
+            assert!(!r.alive.is_empty());
+            assert_eq!(r.alive.points()[0].value, 1.0);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_results() {
+        let a = run_scenario(&tiny(ProtocolKind::Ecgrid));
+        let b = run_scenario(&tiny(ProtocolKind::Ecgrid));
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.pdr, b.pdr);
+        assert_eq!(a.latency_ms, b.latency_ms);
+    }
+
+    #[test]
+    fn protocols_share_the_same_mobility_per_seed() {
+        let sc = tiny(ProtocolKind::Grid);
+        let horizon = SimTime::from_secs(70);
+        let a = build_traces(&sc, 20, horizon);
+        let sc2 = Scenario {
+            protocol: ProtocolKind::Ecgrid,
+            ..sc
+        };
+        let b = build_traces(&sc2, 20, horizon);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.position_at(SimTime::from_secs(33)),
+                y.position_at(SimTime::from_secs(33))
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Scenario definitions mirroring §4's simulation environment.
+
+use serde::{Deserialize, Serialize};
+
+/// Which protocol a scenario runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The GRID baseline (no energy conservation).
+    Grid,
+    /// The paper's contribution.
+    Ecgrid,
+    /// GAF over AODV, with Model-1 endpoints.
+    Gaf,
+    /// Span (extension baseline, §1): coordinators + PSM duty cycling,
+    /// not location-aware; Model-1 endpoints like GAF.
+    Span,
+}
+
+impl ProtocolKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Grid => "GRID",
+            ProtocolKind::Ecgrid => "ECGRID",
+            ProtocolKind::Gaf => "GAF",
+            ProtocolKind::Span => "Span",
+        }
+    }
+
+    /// The paper's three evaluated protocols (Figs. 4–8).
+    pub const ALL: [ProtocolKind; 3] = [ProtocolKind::Grid, ProtocolKind::Ecgrid, ProtocolKind::Gaf];
+
+    /// All implemented protocols, including the Span extension.
+    pub const ALL_EXT: [ProtocolKind; 4] = [
+        ProtocolKind::Grid,
+        ProtocolKind::Ecgrid,
+        ProtocolKind::Gaf,
+        ProtocolKind::Span,
+    ];
+}
+
+/// One experiment configuration (§4 defaults unless noted).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    pub protocol: ProtocolKind,
+    /// Finite-battery hosts running the protocol (50–200 in Fig. 8).
+    pub n_hosts: usize,
+    /// Random-waypoint speed: uniform in (0, max_speed] m/s (1 or 10).
+    pub max_speed: f64,
+    /// Random-waypoint pause time, seconds (0–600 in Figs. 6–7).
+    pub pause_secs: f64,
+    /// Concurrent CBR flows.
+    pub n_flows: usize,
+    /// Packets per second per flow ("one or ten 512-byte packets per
+    /// second"); 10 flows x 1 pkt/s = the 10 pkt/s network load.
+    pub flow_rate_pps: f64,
+    /// Simulated time, seconds (2000 in Figs. 4–5, 590 horizon in 6–7).
+    pub duration_secs: f64,
+    /// Master seed (mobility, traffic, protocol jitter all derive from it,
+    /// so two protocols with the same seed see identical scenarios).
+    pub seed: u64,
+    /// Model-1 endpoints added for GAF: infinite-energy hosts that neither
+    /// run GAF nor forward (the paper uses 10).
+    pub model1_endpoints: usize,
+}
+
+impl Scenario {
+    /// §4 base configuration: 100 hosts, 10 flows x 1 pkt/s, pause 0.
+    pub fn paper_base(protocol: ProtocolKind, max_speed: f64, seed: u64) -> Self {
+        Scenario {
+            protocol,
+            n_hosts: 100,
+            max_speed,
+            pause_secs: 0.0,
+            n_flows: 10,
+            flow_rate_pps: 1.0,
+            duration_secs: 2000.0,
+            seed,
+            model1_endpoints: 10,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        format!(
+            "{} n={} v={}m/s pause={}s load={}pps",
+            self.protocol.name(),
+            self.n_hosts,
+            self.max_speed,
+            self.pause_secs,
+            self.n_flows as f64 * self.flow_rate_pps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_matches_section4() {
+        let s = Scenario::paper_base(ProtocolKind::Ecgrid, 1.0, 42);
+        assert_eq!(s.n_hosts, 100);
+        assert_eq!(s.n_flows as f64 * s.flow_rate_pps, 10.0);
+        assert_eq!(s.pause_secs, 0.0);
+        assert_eq!(s.duration_secs, 2000.0);
+        assert_eq!(s.model1_endpoints, 10);
+    }
+
+    #[test]
+    fn labels_name_the_protocol() {
+        for p in ProtocolKind::ALL {
+            assert!(Scenario::paper_base(p, 1.0, 0).label().contains(p.name()));
+        }
+    }
+}

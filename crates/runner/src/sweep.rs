@@ -1,0 +1,125 @@
+//! Parallel multi-seed sweeps (rayon) and replica averaging.
+
+use crate::run::{run_scenario, ScenarioResult};
+use crate::scenario::Scenario;
+use metrics::TimeSeries;
+use rayon::prelude::*;
+
+/// A scenario's metrics averaged over replicas (seeds).
+#[derive(Clone, Debug)]
+pub struct AveragedResult {
+    pub scenario: Scenario,
+    pub replicas: usize,
+    pub alive: TimeSeries,
+    pub aen: TimeSeries,
+    pub pdr: Option<f64>,
+    pub latency_ms: Option<f64>,
+    pub pdr_590: Option<f64>,
+    pub latency_ms_590: Option<f64>,
+    /// Mean network-death time over replicas where the network died.
+    pub network_death_s: Option<f64>,
+    /// Replica-to-replica standard deviations (sample sd; `None` with
+    /// fewer than two replicas or no data).
+    pub pdr_sd: Option<f64>,
+    pub latency_sd: Option<f64>,
+    pub network_death_sd: Option<f64>,
+}
+
+fn mean_opt(xs: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    let v: Vec<f64> = xs.flatten().collect();
+    metrics::mean(&v)
+}
+
+fn sd_opt(xs: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    let v: Vec<f64> = xs.flatten().collect();
+    metrics::stddev(&v)
+}
+
+/// Average the per-replica results of ONE scenario (same config, varying
+/// seed).
+pub fn average_results(results: &[ScenarioResult]) -> AveragedResult {
+    assert!(!results.is_empty());
+    let alive: Vec<TimeSeries> = results.iter().map(|r| r.alive.clone()).collect();
+    let aen: Vec<TimeSeries> = results.iter().map(|r| r.aen.clone()).collect();
+    AveragedResult {
+        scenario: results[0].scenario,
+        replicas: results.len(),
+        alive: TimeSeries::mean_of(&alive),
+        aen: TimeSeries::mean_of(&aen),
+        pdr: mean_opt(results.iter().map(|r| r.pdr)),
+        latency_ms: mean_opt(results.iter().map(|r| r.latency_ms)),
+        pdr_590: mean_opt(results.iter().map(|r| r.pdr_590)),
+        latency_ms_590: mean_opt(results.iter().map(|r| r.latency_ms_590)),
+        network_death_s: mean_opt(results.iter().map(|r| r.network_death_s)),
+        pdr_sd: sd_opt(results.iter().map(|r| r.pdr)),
+        latency_sd: sd_opt(results.iter().map(|r| r.latency_ms)),
+        network_death_sd: sd_opt(results.iter().map(|r| r.network_death_s)),
+    }
+}
+
+/// Run every (scenario × replica) pair in parallel and average per
+/// scenario.  Replica `k` of a scenario uses seed `scenario.seed + k`.
+pub fn sweep(scenarios: &[Scenario], replicas: usize) -> Vec<AveragedResult> {
+    assert!(replicas >= 1);
+    let jobs: Vec<Scenario> = scenarios
+        .iter()
+        .flat_map(|sc| {
+            (0..replicas as u64).map(move |k| Scenario {
+                seed: sc.seed + k,
+                ..*sc
+            })
+        })
+        .collect();
+    let results: Vec<ScenarioResult> = jobs.par_iter().map(run_scenario).collect();
+    results.chunks(replicas).map(average_results).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ProtocolKind;
+
+    fn tiny(seed: u64) -> Scenario {
+        Scenario {
+            protocol: ProtocolKind::Ecgrid,
+            n_hosts: 12,
+            max_speed: 1.0,
+            pause_secs: 0.0,
+            n_flows: 2,
+            flow_rate_pps: 1.0,
+            duration_secs: 30.0,
+            seed,
+            model1_endpoints: 2,
+        }
+    }
+
+    #[test]
+    fn sweep_runs_replicas_and_averages() {
+        let out = sweep(&[tiny(1)], 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].replicas, 2);
+        assert!(!out[0].alive.is_empty());
+        assert!(out[0].pdr.is_some());
+        // with two replicas a spread is defined (may be zero, never NaN)
+        if let Some(sd) = out[0].pdr_sd {
+            assert!(sd.is_finite() && sd >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_replica_has_no_spread() {
+        let out = sweep(&[tiny(5)], 1);
+        assert!(out[0].pdr_sd.is_none());
+        assert!(out[0].latency_sd.is_none());
+    }
+
+    #[test]
+    fn averaging_is_pointwise() {
+        let a = run_scenario(&tiny(1));
+        let b = run_scenario(&tiny(2));
+        let avg = average_results(&[a.clone(), b.clone()]);
+        let t = avg.alive.points()[0].t_secs;
+        let expect = (a.alive.points()[0].value + b.alive.points()[0].value) / 2.0;
+        assert_eq!(avg.alive.value_at(t), Some(expect));
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! This crate plays the role ns-2's scheduler played for the paper: a
+//! virtual clock, a pending-event set, and reproducible randomness.
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! * [`EventQueue`] — binary-heap pending-event set with strict FIFO
+//!   tie-breaking, so runs are bit-reproducible.
+//! * [`CalendarQueue`] — a Brown calendar queue with the same interface;
+//!   O(1) amortized hold operations under stationary event populations
+//!   (the classic DES data structure; benchmarked against the heap).
+//! * [`Scheduler`] — clock + queue + lazy cancellation handles.
+//! * [`rng`] — a master seed fanned out into independent, stable streams
+//!   per (domain, index), so adding a consumer never perturbs others.
+
+pub mod calendar;
+pub mod queue;
+pub mod rng;
+pub mod sched;
+pub mod time;
+
+pub use calendar::CalendarQueue;
+pub use queue::{EventQueue, PendingEvents};
+pub use rng::{derive_seed, RngFactory, SplitMix64};
+pub use sched::{EventHandle, Scheduler};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,167 @@
+//! The pending-event set: a binary heap with strict FIFO tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Interface shared by the heap-based [`EventQueue`] and the
+/// [`CalendarQueue`](crate::CalendarQueue), so schedulers and benchmarks can
+/// swap implementations.
+pub trait PendingEvents<E> {
+    /// Insert an event; returns a monotonically-increasing sequence number
+    /// that doubles as the FIFO tie-break key and a cancellation handle.
+    fn insert(&mut self, at: SimTime, event: E) -> u64;
+    /// Remove and return the earliest event (FIFO among equal timestamps).
+    fn pop_next(&mut self) -> Option<(SimTime, u64, E)>;
+    /// Timestamp of the earliest pending event.
+    fn next_time(&self) -> Option<SimTime>;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Reverse ordering so BinaryHeap (a max-heap) pops the *earliest* entry;
+// equal timestamps break ties by insertion order (lower seq first).
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// Binary-heap pending-event set.
+///
+/// `O(log n)` insert/pop, deterministic order: events with equal timestamps
+/// come out in insertion order.  This is the default scheduler backend.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> PendingEvents<E> for EventQueue<E> {
+    fn insert(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        seq
+    }
+
+    fn pop_next(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|e| (e.at, e.seq, e.event))
+    }
+
+    fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.insert(SimTime::from_secs(3), "c");
+        q.insert(SimTime::from_secs(1), "a");
+        q.insert(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.insert(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seq_numbers_are_unique_and_monotone() {
+        let mut q = EventQueue::new();
+        let s1 = q.insert(SimTime::from_secs(5), ());
+        let s2 = q.insert(SimTime::from_secs(1), ());
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn next_time_peeks_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.insert(SimTime::from_secs(9), ());
+        q.insert(SimTime::from_secs(4), ());
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop_next().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_insert_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.insert(SimTime::from_secs(10), 10);
+        q.insert(SimTime::from_secs(5), 5);
+        assert_eq!(q.pop_next().unwrap().2, 5);
+        q.insert(SimTime::from_secs(7), 7);
+        q.insert(SimTime::from_secs(1), 1);
+        assert_eq!(q.pop_next().unwrap().2, 1);
+        assert_eq!(q.pop_next().unwrap().2, 7);
+        assert_eq!(q.pop_next().unwrap().2, 10);
+    }
+}

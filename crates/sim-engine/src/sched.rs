@@ -1,0 +1,223 @@
+//! The scheduler: virtual clock + pending events + lazy cancellation.
+
+use crate::queue::{EventQueue, PendingEvents};
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// Handle returned by [`Scheduler::schedule_at`]; pass it to
+/// [`Scheduler::cancel`] to revoke the event before it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// A virtual clock driving a pending-event set, with O(1) lazy
+/// cancellation: cancelled sequence numbers are skipped at pop time.
+///
+/// ```
+/// use sim_engine::{Scheduler, SimDuration, SimTime};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_at(SimTime::from_secs(2), "beacon");
+/// let doomed = sched.schedule_in(SimDuration::from_secs(1), "cancelled");
+/// sched.cancel(doomed);
+///
+/// let (t, ev) = sched.next().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(2), "beacon"));
+/// assert!(sched.next().is_none());
+/// ```
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at absolute time `at`.  Panics if `at` is in the
+    /// past — causality violations are always simulator bugs.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {:?} < {:?}",
+            at,
+            self.now
+        );
+        EventHandle(self.queue.insert(at, event))
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventHandle {
+        let at = self.now.checked_add(delay).expect("virtual time overflow");
+        EventHandle(self.queue.insert(at, event))
+    }
+
+    /// Revoke a pending event.  Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        while let Some((at, seq, ev)) = self.queue.pop_next() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            debug_assert!(at >= self.now);
+            self.now = at;
+            self.processed += 1;
+            return Some((at, ev));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // drop leading cancelled events so the peek is accurate
+        while let Some(t) = self.queue.next_time() {
+            let (at, seq, ev) = self.queue.pop_next().unwrap();
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            // push back the live event; seq changes but ordering among
+            // equal timestamps is preserved because it is re-inserted
+            // before anything else at the same time can be inserted ahead.
+            // To keep strict FIFO semantics we avoid this path in the hot
+            // loop and only use peek for idle/termination checks.
+            let _ = t;
+            self.requeue_front(at, seq, ev);
+            return Some(at);
+        }
+        None
+    }
+
+    // Reinsert an entry preserving its original sequence number ordering.
+    fn requeue_front(&mut self, at: SimTime, _orig_seq: u64, ev: E) {
+        // EventQueue has no keyed reinsert; emulate by inserting and
+        // recording nothing: all entries at `at` inserted *after* this call
+        // get larger seqs, so FIFO order relative to them is preserved.
+        // Order relative to other entries already queued at the same
+        // timestamp could in principle change, which is why `next()` never
+        // uses this path.
+        self.queue.insert(at, ev);
+    }
+
+    /// Number of pending (possibly cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_idle(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), "five");
+        s.schedule_at(SimTime::from_secs(2), "two");
+        assert_eq!(s.now(), SimTime::ZERO);
+        let (t, e) = s.next().unwrap();
+        assert_eq!((t, e), (SimTime::from_secs(2), "two"));
+        assert_eq!(s.now(), SimTime::from_secs(2));
+        let (t, e) = s.next().unwrap();
+        assert_eq!((t, e), (SimTime::from_secs(5), "five"));
+        assert!(s.next().is_none());
+        assert_eq!(s.processed(), 2);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), "a");
+        s.next().unwrap();
+        s.schedule_in(SimDuration::from_secs(5), "b");
+        let (t, _) = s.next().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_at(SimTime::from_secs(1), "dead");
+        s.schedule_at(SimTime::from_secs(2), "alive");
+        s.cancel(h);
+        let (_, e) = s.next().unwrap();
+        assert_eq!(e, "alive");
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut s = Scheduler::new();
+        let h = s.schedule_at(SimTime::from_secs(1), ());
+        s.cancel(h);
+        s.cancel(h);
+        assert!(s.next().is_none());
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), ());
+        s.next();
+        s.schedule_at(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            s.schedule_at(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(s.next().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn is_idle_ignores_cancelled_tail() {
+        let mut s = Scheduler::new();
+        let h1 = s.schedule_at(SimTime::from_secs(1), ());
+        let h2 = s.schedule_at(SimTime::from_secs(2), ());
+        s.cancel(h1);
+        s.cancel(h2);
+        assert!(s.is_idle());
+        assert_eq!(s.pending(), 0);
+    }
+}

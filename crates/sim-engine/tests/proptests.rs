@@ -1,0 +1,91 @@
+//! Property tests for the discrete-event core.
+
+use proptest::prelude::*;
+use sim_engine::{CalendarQueue, EventQueue, PendingEvents, Scheduler, SimDuration, SimTime};
+
+proptest! {
+    /// The calendar queue and the binary heap dequeue identical sequences
+    /// for any insertion schedule (including duplicates and bursts).
+    #[test]
+    fn calendar_equals_heap(times in proptest::collection::vec(0u64..5_000_000u64, 1..300)) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            heap.insert(SimTime(t), i);
+            cal.insert(SimTime(t), i);
+        }
+        loop {
+            match (heap.pop_next(), cal.pop_next()) {
+                (None, None) => break,
+                (Some((ta, _, va)), Some((tb, _, vb))) => {
+                    prop_assert_eq!(ta, tb);
+                    prop_assert_eq!(va, vb);
+                }
+                _ => prop_assert!(false, "queues disagree on length"),
+            }
+        }
+    }
+
+    /// Dequeue order is non-decreasing in time and FIFO within a timestamp,
+    /// no matter the insertion order.
+    #[test]
+    fn heap_order_invariant(times in proptest::collection::vec(0u64..1000u64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.insert(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, _, v)) = q.pop_next() {
+            if let Some((lt, lv)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(v > lv, "FIFO violated at {t:?}");
+                }
+            }
+            last = Some((t, v));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(1u64..1000u64, 1..100),
+        kill_mask in proptest::collection::vec(any::<bool>(), 100)
+    ) {
+        let mut s = Scheduler::new();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let h = s.schedule_at(SimTime(t), i);
+            if kill_mask[i % kill_mask.len()] {
+                s.cancel(h);
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, v)) = s.next() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Duration arithmetic round-trips through seconds for representable
+    /// values.
+    #[test]
+    fn duration_roundtrip(ms in 0u64..10_000_000u64) {
+        let d = SimDuration::from_millis(ms);
+        let d2 = SimDuration::from_secs_f64(d.as_secs_f64());
+        prop_assert_eq!(d, d2);
+    }
+
+    /// for_bits never undercounts airtime: bits / rate <= airtime.
+    #[test]
+    fn airtime_rounds_up(bits in 1u64..10_000_000u64, rate in 1_000u64..100_000_000u64) {
+        let d = SimDuration::for_bits(bits, rate);
+        let exact_ns = bits as f64 * 1e9 / rate as f64;
+        prop_assert!(d.as_nanos() as f64 >= exact_ns - 1e-6);
+        prop_assert!((d.as_nanos() as f64) < exact_ns + 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Application traffic: constant-bit-rate flows.
+//!
+//! "Each source host sends a CBR flow with one or ten 512-byte packets per
+//! second" (§4).  The evaluation's network load of 10 pkt/s is realized as
+//! ten concurrent 1 pkt/s flows (matching Model 1's ten endpoint hosts);
+//! both the per-flow rate and the flow count are parameters.
+
+use radio::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sim_engine::{SimDuration, SimTime};
+
+/// Identifier of one CBR flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// One constant-bit-rate flow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CbrFlow {
+    pub id: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Application payload per packet (512 B in the paper).
+    pub packet_bytes: u32,
+    /// Inter-packet gap (1 s for 1 pkt/s).
+    pub interval: SimDuration,
+    /// First packet instant.
+    pub start: SimTime,
+    /// No packets at or after this instant.
+    pub stop: SimTime,
+}
+
+impl CbrFlow {
+    /// Packets per second.
+    pub fn rate_pps(&self) -> f64 {
+        1.0 / self.interval.as_secs_f64()
+    }
+
+    /// Number of packets this flow emits in `[start, stop)`.
+    pub fn packet_count(&self) -> u64 {
+        if self.stop <= self.start {
+            return 0;
+        }
+        let span = self.stop.since(self.start).as_nanos();
+        // packets at start, start+i*interval, ... strictly before stop
+        1 + (span - 1) / self.interval.as_nanos()
+    }
+
+    /// Emission time of packet `seq` (0-based); `None` past the stop time.
+    pub fn packet_time(&self, seq: u64) -> Option<SimTime> {
+        let at = self.start.checked_add(SimDuration::from_nanos(
+            seq.checked_mul(self.interval.as_nanos())?,
+        ))?;
+        (at < self.stop).then_some(at)
+    }
+}
+
+/// Specification for building a randomized flow set.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    pub n_flows: usize,
+    pub packet_bytes: u32,
+    pub rate_pps: f64,
+    pub start: SimTime,
+    pub stop: SimTime,
+    /// Small per-flow start jitter spread over one interval, so ten 1 pkt/s
+    /// flows don't all fire in the same microsecond.
+    pub stagger: bool,
+}
+
+impl FlowSpec {
+    /// Paper default: 10 flows x 1 pkt/s x 512 B = 10 pkt/s offered load.
+    pub fn paper_default(stop: SimTime) -> Self {
+        FlowSpec {
+            n_flows: 10,
+            packet_bytes: 512,
+            rate_pps: 1.0,
+            start: SimTime::from_secs(5),
+            stop,
+            stagger: true,
+        }
+    }
+}
+
+/// A set of flows with distinct (src, dst) endpoints.
+#[derive(Clone, Debug, Default)]
+pub struct FlowSet {
+    flows: Vec<CbrFlow>,
+}
+
+impl FlowSet {
+    pub fn new(flows: Vec<CbrFlow>) -> Self {
+        FlowSet { flows }
+    }
+
+    /// Build a random flow set over `endpoints`.
+    ///
+    /// Sources are distinct hosts; destinations are distinct from their
+    /// source (self-flows are useless).  Endpoint hosts may appear in
+    /// multiple flows if there are fewer endpoints than 2×flows, matching
+    /// Model 1 where ten hosts serve as both sources and destinations.
+    pub fn random<R: Rng>(rng: &mut R, endpoints: &[NodeId], spec: &FlowSpec) -> Self {
+        assert!(endpoints.len() >= 2, "need at least two endpoint hosts");
+        let interval = SimDuration::from_secs_f64(1.0 / spec.rate_pps);
+        let mut pool = endpoints.to_vec();
+        pool.shuffle(rng);
+        let mut flows = Vec::with_capacity(spec.n_flows);
+        for i in 0..spec.n_flows {
+            // walk the shuffled pool round-robin for sources; pick any
+            // different host as destination
+            let src = pool[i % pool.len()];
+            let dst = loop {
+                let d = endpoints[rng.gen_range(0..endpoints.len())];
+                if d != src {
+                    break d;
+                }
+            };
+            let jitter = if spec.stagger {
+                SimDuration::from_nanos(rng.gen_range(0..interval.as_nanos().max(1)))
+            } else {
+                SimDuration::ZERO
+            };
+            flows.push(CbrFlow {
+                id: FlowId(i as u32),
+                src,
+                dst,
+                packet_bytes: spec.packet_bytes,
+                interval,
+                start: spec.start + jitter,
+                stop: spec.stop,
+            });
+        }
+        FlowSet { flows }
+    }
+
+    #[inline]
+    pub fn flows(&self) -> &[CbrFlow] {
+        &self.flows
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    pub fn get(&self, id: FlowId) -> Option<&CbrFlow> {
+        self.flows.iter().find(|f| f.id == id)
+    }
+
+    /// Total offered load in packets per second.
+    pub fn offered_load_pps(&self) -> f64 {
+        self.flows.iter().map(|f| f.rate_pps()).sum()
+    }
+
+    /// Every host that is a source or destination of some flow.
+    pub fn endpoint_hosts(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.flows.iter().flat_map(|f| [f.src, f.dst]).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flow(rate: f64, start_s: u64, stop_s: u64) -> CbrFlow {
+        CbrFlow {
+            id: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            packet_bytes: 512,
+            interval: SimDuration::from_secs_f64(1.0 / rate),
+            start: SimTime::from_secs(start_s),
+            stop: SimTime::from_secs(stop_s),
+        }
+    }
+
+    #[test]
+    fn packet_schedule() {
+        let f = flow(1.0, 10, 15);
+        assert_eq!(f.packet_count(), 5);
+        assert_eq!(f.packet_time(0), Some(SimTime::from_secs(10)));
+        assert_eq!(f.packet_time(4), Some(SimTime::from_secs(14)));
+        assert_eq!(f.packet_time(5), None);
+        assert_eq!(f.rate_pps(), 1.0);
+    }
+
+    #[test]
+    fn ten_pps_flow() {
+        let f = flow(10.0, 0, 1);
+        assert_eq!(f.packet_count(), 10);
+        assert_eq!(f.packet_time(9), Some(SimTime::from_millis(900)));
+        assert_eq!(f.packet_time(10), None);
+    }
+
+    #[test]
+    fn empty_window_has_no_packets() {
+        let f = flow(1.0, 10, 10);
+        assert_eq!(f.packet_count(), 0);
+        assert_eq!(f.packet_time(0), None);
+    }
+
+    #[test]
+    fn random_set_avoids_self_flows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hosts: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let spec = FlowSpec::paper_default(SimTime::from_secs(100));
+        let set = FlowSet::random(&mut rng, &hosts, &spec);
+        assert_eq!(set.len(), 10);
+        for f in set.flows() {
+            assert_ne!(f.src, f.dst);
+            assert!(hosts.contains(&f.src) && hosts.contains(&f.dst));
+        }
+        assert!((set.offered_load_pps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_set_is_seed_deterministic() {
+        let hosts: Vec<NodeId> = (0..50).map(NodeId).collect();
+        let spec = FlowSpec::paper_default(SimTime::from_secs(100));
+        let a = FlowSet::random(&mut StdRng::seed_from_u64(7), &hosts, &spec);
+        let b = FlowSet::random(&mut StdRng::seed_from_u64(7), &hosts, &spec);
+        assert_eq!(a.flows(), b.flows());
+    }
+
+    #[test]
+    fn stagger_spreads_starts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hosts: Vec<NodeId> = (0..20).map(NodeId).collect();
+        let spec = FlowSpec::paper_default(SimTime::from_secs(100));
+        let set = FlowSet::random(&mut rng, &hosts, &spec);
+        let starts: std::collections::HashSet<_> = set.flows().iter().map(|f| f.start).collect();
+        assert!(starts.len() > 5, "starts should be jittered");
+    }
+
+    #[test]
+    fn endpoint_hosts_dedups() {
+        let f1 = flow(1.0, 0, 10);
+        let mut f2 = flow(1.0, 0, 10);
+        f2.id = FlowId(1);
+        f2.src = NodeId(1);
+        f2.dst = NodeId(0);
+        let set = FlowSet::new(vec![f1, f2]);
+        assert_eq!(set.endpoint_hosts(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(set.get(FlowId(1)).unwrap().src, NodeId(1));
+    }
+}

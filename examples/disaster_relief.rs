@@ -1,0 +1,55 @@
+//! A motivating scenario from the paper's introduction: an ad hoc network
+//! deployed where infrastructure is gone (disaster relief).  Rescue teams
+//! roam a 1 km² zone; command posts exchange status traffic.  We compare
+//! how long each protocol keeps the network alive and how well it
+//! delivers.
+//!
+//! ```sh
+//! cargo run --release --example disaster_relief
+//! ```
+
+use ecgrid_suite::runner::{run_scenario, ProtocolKind, Scenario};
+
+fn main() {
+    println!("== disaster-relief comparison: GRID vs ECGRID vs GAF ==");
+    println!("60 rescue-team hosts, speeds up to 2 m/s, 6 status flows, 900 s\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>14} {:>16}",
+        "proto", "PDR", "latency(ms)", "aen@end", "alive@end", "net death (s)"
+    );
+
+    for p in ProtocolKind::ALL {
+        let sc = Scenario {
+            protocol: p,
+            n_hosts: 60,
+            max_speed: 2.0,
+            pause_secs: 30.0,
+            n_flows: 6,
+            flow_rate_pps: 1.0,
+            duration_secs: 900.0,
+            seed: 2026,
+            model1_endpoints: 6,
+        };
+        let r = run_scenario(&sc);
+        println!(
+            "{:>8} {:>10} {:>12} {:>12.3} {:>14.2} {:>16}",
+            p.name(),
+            r.pdr
+                .map(|x| format!("{:.1}%", 100.0 * x))
+                .unwrap_or_else(|| "-".into()),
+            r.latency_ms
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            r.aen.last_value().unwrap_or(0.0),
+            r.alive.last_value().unwrap_or(1.0),
+            r.network_death_s
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "survived".into()),
+        );
+    }
+
+    println!("\nGRID burns idle power on every host and the whole network dies");
+    println!("at ~10 minutes; ECGRID keeps most teams reachable through the");
+    println!("entire exercise by sleeping everyone but one gateway per grid,");
+    println!("waking hosts on demand via their RAS pagers.");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a small ECGRID network, run it, inspect what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ecgrid_suite::ecgrid::{Ecgrid, EcgridConfig};
+use ecgrid_suite::manet::{FlowSet, HostSetup, NodeId, SimTime, World, WorldConfig};
+use ecgrid_suite::mobility::{MobilityModel, RandomWaypoint};
+use ecgrid_suite::sim_engine::RngFactory;
+use ecgrid_suite::traffic::FlowSpec;
+
+fn main() {
+    // 40 hosts roaming a 1000x1000 m field at up to 1 m/s (paper defaults:
+    // 100 m grid cells, 250 m radio, 2 Mbps, 500 J batteries).
+    let seed = 7;
+    let n_hosts = 40;
+    let end = SimTime::from_secs(300);
+
+    let rngs = RngFactory::new(seed);
+    let model = RandomWaypoint::paper(1.0, 0.0);
+    let hosts: Vec<HostSetup> = (0..n_hosts)
+        .map(|i| {
+            HostSetup::paper(model.build_trace(
+                &mut rngs.stream("mobility", i),
+                end + ecgrid_suite::sim_engine::SimDuration::from_secs(10),
+            ))
+        })
+        .collect();
+
+    // 4 CBR flows of 1 pkt/s between random hosts
+    let endpoints: Vec<NodeId> = (0..n_hosts as u32).map(NodeId).collect();
+    let spec = FlowSpec {
+        n_flows: 4,
+        ..FlowSpec::paper_default(end)
+    };
+    let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &endpoints, &spec);
+
+    let mut world = World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
+        Ecgrid::new(EcgridConfig::default(), id)
+    });
+    let out = world.run_until(end);
+
+    println!("== ECGRID quickstart: {n_hosts} hosts, 300 s ==\n");
+    println!("gateways by grid:");
+    let mut gateways: Vec<(String, NodeId)> = (0..n_hosts as u32)
+        .map(NodeId)
+        .filter(|id| world.protocol(*id).is_gateway())
+        .map(|id| (world.protocol(id).grid().to_string(), id))
+        .collect();
+    gateways.sort();
+    for (grid, id) in &gateways {
+        println!("  grid {grid}: host {id}");
+    }
+    let sleeping = (0..n_hosts as u32)
+        .map(NodeId)
+        .filter(|id| world.node_mode(*id) == ecgrid_suite::manet::RadioMode::Sleep)
+        .count();
+    println!("\n{} gateways awake, {} hosts sleeping", gateways.len(), sleeping);
+
+    println!(
+        "\ntraffic: {} packets sent, {} delivered (PDR {:.1}%)",
+        out.ledger.sent_count(),
+        out.ledger.delivered_count(),
+        100.0 * out.ledger.delivery_rate().unwrap_or(0.0)
+    );
+    if let Some(lat) = out.ledger.mean_latency_ms() {
+        println!("mean end-to-end latency: {lat:.2} ms");
+    }
+    println!(
+        "\nenergy: aen = {:.4} (fraction of total battery consumed)",
+        out.aen.last_value().unwrap_or(0.0)
+    );
+    println!("alive fraction: {:.2}", out.alive.last_value().unwrap_or(1.0));
+    println!("\nframe stats: {:?}", out.stats);
+}

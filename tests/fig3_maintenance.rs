@@ -1,0 +1,108 @@
+//! The paper's Fig. 3 route-maintenance situations: a streaming source
+//! (initially a gateway) roams out of its grid; the abandoned grid
+//! re-elects, the source re-anchors, and the flow survives.
+
+use ecgrid_suite::ecgrid::{Ecgrid, EcgridConfig};
+use ecgrid_suite::manet::{
+    FlowSet, GridCoord, HostSetup, NodeId, Point2, SimDuration, SimTime, World, WorldConfig,
+};
+use ecgrid_suite::mobility::{MobilityTrace, Segment};
+use ecgrid_suite::traffic::{CbrFlow, FlowId};
+
+const HORIZON: SimTime = SimTime(500_000_000_000);
+
+fn still(x: f64, y: f64) -> HostSetup {
+    HostSetup::paper(MobilityTrace::stationary(Point2::new(x, y), HORIZON))
+}
+
+/// Source dwells at the center of grid (1,2) for 30 s, then drives east
+/// along the route's corridor (Fig. 3(a): roaming into the next grid on
+/// the route).
+fn roaming_source() -> HostSetup {
+    let dwell = Segment::rest(SimTime::ZERO, SimTime::from_secs(30), Point2::new(150.0, 250.0));
+    let roam = Segment::travel(dwell.end, dwell.from, Point2::new(380.0, 250.0), 2.0);
+    let rest = Segment::rest(roam.end, HORIZON, roam.end_position());
+    HostSetup::paper(MobilityTrace::new(vec![dwell, roam, rest]))
+}
+
+fn maintenance_world() -> World<Ecgrid> {
+    let hosts = vec![
+        roaming_source(),    // 0: S
+        still(130.0, 270.0), // 1: stays to inherit grid (1,2)
+        still(250.0, 250.0), // 2: B, gateway (2,2)
+        still(350.0, 250.0), // 3: E, gateway (3,2)
+        still(450.0, 250.0), // 4: F, gateway (4,2)
+        still(550.0, 250.0), // 5: D, destination (5,2)
+    ];
+    let flows = FlowSet::new(vec![CbrFlow {
+        id: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(5),
+        packet_bytes: 512,
+        interval: SimDuration::from_secs(1),
+        start: SimTime::from_secs(5),
+        stop: SimTime::from_secs(180),
+    }]);
+    World::new(WorldConfig::paper_default(9), hosts, flows, |id| {
+        Ecgrid::new(EcgridConfig::default(), id)
+    })
+}
+
+#[test]
+fn roaming_gateway_source_keeps_the_flow_alive() {
+    let mut w = maintenance_world();
+    w.run_until(SimTime::from_secs(25));
+    // before roaming: S is the gateway of (1,2) and the flow runs
+    assert!(w.protocol(NodeId(0)).is_gateway());
+    assert_eq!(w.node_cell(NodeId(0)), GridCoord::new(1, 2));
+    let early = w.ledger().delivery_rate().unwrap();
+    assert!(early >= 0.9, "pdr before roaming {early}");
+
+    w.run_until(SimTime::from_secs(190));
+    // S crossed several grids: it must have retired from (1,2)
+    assert!(
+        w.protocol(NodeId(0)).stats.retires >= 1,
+        "departing gateway must RETIRE"
+    );
+    assert!(w.node_cell(NodeId(0)).x >= 3);
+    // the abandoned grid re-elected its remaining host
+    assert!(
+        w.protocol(NodeId(1)).is_gateway() && w.node_cell(NodeId(1)) == GridCoord::new(1, 2),
+        "host 1 must inherit grid (1,2), got {:?} in {}",
+        w.protocol(NodeId(1)).role(),
+        w.node_cell(NodeId(1))
+    );
+    // and the stream survived the handoffs end-to-end
+    let pdr = w.ledger().delivery_rate().unwrap();
+    assert!(pdr >= 0.85, "pdr across roaming {pdr}");
+    assert_eq!(w.ledger().sent_count(), 175);
+}
+
+#[test]
+fn roaming_member_notifies_gateway_with_leave() {
+    // a *member* (not gateway) roams away: §3.2 says it unicasts its
+    // departure; the old gateway drops it from the host table
+    let dwell = Segment::rest(SimTime::ZERO, SimTime::from_secs(20), Point2::new(130.0, 230.0));
+    let roam = Segment::travel(dwell.end, dwell.from, Point2::new(330.0, 230.0), 5.0);
+    let rest = Segment::rest(roam.end, HORIZON, roam.end_position());
+    let hosts = vec![
+        still(150.0, 250.0), // 0: gateway of (1,2) (center-closest)
+        HostSetup::paper(MobilityTrace::new(vec![dwell, roam, rest])), // 1: roams with a dwell-waking sleep
+        still(250.0, 250.0), // 2: gateway of (2,2)
+        still(350.0, 250.0), // 3: gateway of (3,2)
+    ];
+    let mut w = World::new(WorldConfig::paper_default(4), hosts, FlowSet::default(), |id| {
+        Ecgrid::new(EcgridConfig::default(), id)
+    });
+    w.run_until(SimTime::from_secs(80));
+    // the mover ended in grid (3,2) and is integrated there (member or
+    // even gateway after elections)
+    assert_eq!(w.node_cell(NodeId(1)), GridCoord::new(3, 2));
+    let role = w.protocol(NodeId(1)).role();
+    assert!(
+        role != ecgrid_suite::ecgrid::Role::Electing,
+        "mover must have settled, got {role:?}"
+    );
+    // it woke via its dwell timer at least once while crossing
+    assert!(w.stats().cell_crossings >= 2);
+}
