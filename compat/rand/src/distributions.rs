@@ -1,0 +1,232 @@
+//! Distributions: `Standard`, `Uniform`, and the sampling traits.
+
+use crate::{Rng, RngCore};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled from a distribution `D`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: Rng,
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Iterator returned by [`Distribution::sample_iter`].
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: Rng, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" uniform distribution of a type: full range for
+/// integers, `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u8> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with a 53-bit mantissa.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with a 24-bit mantissa.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges.
+
+    use super::*;
+
+    /// Types `gen_range` can produce.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform sample from `[low, high)`; `high` is exclusive.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform sample from `[low, high]`; `high` is inclusive.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range arguments accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "gen_range: empty inclusive range");
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    /// Widening-multiply range reduction (Lemire).  The modulo bias over
+    /// a 64-bit draw is at most 2⁻⁶⁴ · span — irrelevant for simulation,
+    /// and crucially deterministic (exactly one draw per sample, so RNG
+    /// stream alignment never depends on rejection luck).
+    #[inline]
+    fn reduce(word: u64, span: u64) -> u64 {
+        ((word as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as i128 - low as i128) as u64;
+                    low.wrapping_add(reduce(rng.next_u64(), span) as $t)
+                }
+
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // the only full-width case is `T::MIN..=T::MAX`
+                        return rng.next_u64() as $t;
+                    }
+                    low.wrapping_add(reduce(rng.next_u64(), span as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $t = Standard.sample(rng);
+                    let x = low + (high - low) * unit;
+                    // floating rounding can land exactly on `high`; fold back
+                    if x >= high {
+                        // the next representable value below `high`
+                        <$t>::from_bits(high.to_bits() - 1)
+                    } else {
+                        x
+                    }
+                }
+
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit: $t = Standard.sample(rng);
+                    let x = low + (high - low) * unit;
+                    if x > high {
+                        high
+                    } else {
+                        x
+                    }
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+}
+
+/// A pre-built uniform range distribution (constructed from a range).
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    pub fn new(low: T, high: T) -> Self {
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            T::sample_inclusive(rng, self.low, self.high)
+        } else {
+            T::sample_half_open(rng, self.low, self.high)
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++.
+///
+/// Not bit-compatible with upstream `StdRng` (ChaCha12), but
+/// deterministic per seed, platform-independent, and statistically
+/// strong — which is all the simulator requires.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Raw output word (test hook).
+    #[cfg(test)]
+    pub(crate) fn next_u64_raw(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // an all-zero state is the xoshiro fixed point; nudge it
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E3779B97F4A7C15,
+                0x6A09E667F3BCC909,
+                0xBB67AE8584CAA73B,
+                0x3C6EF372FE94F82B,
+            ];
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one pattern this workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with *real*
+//! parallelism on `std::thread::scope`.  Work is split into contiguous
+//! chunks, one per available core, and results are reassembled in input
+//! order, so output ordering is identical to the serial path no matter
+//! how many threads run (the property the golden-trace determinism
+//! tests pin down).
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+use std::thread;
+
+/// `.par_iter()` — entry point, mirrors rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// The operations our parallel iterators support.
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+        Self: ExecutableParallel,
+        Self::Item: Send,
+    {
+        C::from_par(self.run())
+    }
+}
+
+/// Internal: iterators that know how to execute themselves to a `Vec`.
+pub trait ExecutableParallel: ParallelIterator {
+    fn run(self) -> Vec<Self::Item>;
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    fn from_par(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// A borrowed slice as a parallel iterator.
+pub struct ParSlice<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+}
+
+impl<'data, T: Sync> ExecutableParallel for ParSlice<'data, T> {
+    fn run(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// A mapped parallel iterator — the stage that actually fans out.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<'data, T, F, R> ParallelIterator for Map<ParSlice<'data, T>, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+}
+
+impl<'data, T, F, R> ExecutableParallel for Map<ParSlice<'data, T>, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    fn run(self) -> Vec<R> {
+        parallel_map(self.base.slice, &self.f)
+    }
+}
+
+/// Split `items` into one contiguous chunk per worker, run chunks on
+/// scoped threads, and reassemble the outputs in input order.
+fn parallel_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-compat worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_and_empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..64).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let n = ids.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(
+            n > 1 || cores == 1,
+            "expected multi-threaded execution, saw {n} thread(s)"
+        );
+    }
+}

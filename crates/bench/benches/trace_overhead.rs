@@ -1,0 +1,39 @@
+//! Cost of the observability layer on the full stack.
+//!
+//! Three settings of the same scenario: recorder absent (the default every
+//! figure run uses), digest-only (golden-trace mode, O(1) memory), and full
+//! buffering (JSONL export mode).  The "off" case must track the pre-trace
+//! baseline — emission sites compile to a branch on an `Option`
+//! discriminant and construct no event when it is `None`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecgrid_bench::bench_scenario;
+use manet::trace::TraceMode;
+use runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    let sc = Scenario {
+        duration_secs: 60.0,
+        ..bench_scenario(ProtocolKind::Ecgrid, 42)
+    };
+    let run = |opts: RunOptions| {
+        let r = run_scenario_with(&sc, opts);
+        (r.stats.tx_started, r.trace_digest)
+    };
+    g.bench_function("off", |b| b.iter(|| run(RunOptions::default())));
+    g.bench_function("digest_only", |b| b.iter(|| run(RunOptions::digest())));
+    g.bench_function("full_buffer", |b| {
+        b.iter(|| {
+            run(RunOptions {
+                trace: Some(TraceMode::Full),
+                ..RunOptions::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

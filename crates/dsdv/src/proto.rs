@@ -285,7 +285,7 @@ impl Protocol for Dsdv {
         match timer {
             DsdvTimer::Advertise => {
                 self.advert_count += 1;
-                let full = self.advert_count % self.cfg.full_dump_every == 0;
+                let full = self.advert_count.is_multiple_of(self.cfg.full_dump_every);
                 self.advertise(ctx, full);
                 let jitter = 1.0 + 0.1 * (ctx.rng().gen::<f64>() * 2.0 - 1.0);
                 ctx.set_timer_secs(self.cfg.advert_interval * jitter, DsdvTimer::Advertise);

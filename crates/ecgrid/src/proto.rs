@@ -6,8 +6,8 @@ use grid_common::{
     elect_gateway, HelloInfo, NeighborGateways, RouteSnapshot, RouteTable, Rrep, Rreq, RreqSeen,
 };
 use manet::{
-    AppPacket, Ctx, EnergyLevel, FrameKind, GridCoord, GridRect, NodeId, PageSignal, Protocol, SimDuration,
-    SimTime,
+    AppPacket, Ctx, EnergyLevel, EventKind, FrameKind, GridCoord, GridRect, NodeId, PageSignal, Protocol,
+    SimDuration, SimTime,
 };
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
@@ -113,6 +113,9 @@ pub struct Ecgrid {
     hello_epoch: u32,
     /// Snapshot carried from gateway duty into a pending RETIRE.
     retiring: Option<(GridCoord, RouteSnapshot, Vec<NodeId>)>,
+    /// The cell this host's trace recorder believes it is gateway of
+    /// (keeps GatewayElect/GatewayRetire strictly alternating per host).
+    gw_traced: Option<GridCoord>,
     pub stats: EcStats,
 }
 
@@ -147,6 +150,7 @@ impl Ecgrid {
             last_own_hello: SimTime::ZERO,
             hello_epoch: 0,
             retiring: None,
+            gw_traced: None,
             stats: EcStats::default(),
         }
     }
@@ -179,6 +183,33 @@ impl Ecgrid {
     }
 
     // ----- small helpers ----------------------------------------------
+
+    /// Reconcile the trace's view of this host's gateway tenure with
+    /// `role`.  Called after every role transition; emits GatewayElect /
+    /// GatewayRetire so the two strictly alternate per (host, cell) — the
+    /// invariant the trace test-suite checks.
+    fn sync_gateway_trace(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let me = self.me;
+        let now_gw = self.role == Role::Gateway;
+        match (self.gw_traced, now_gw) {
+            (None, true) => {
+                let cell = self.my_grid;
+                self.gw_traced = Some(cell);
+                ctx.emit(|| EventKind::GatewayElect { node: me, cell });
+            }
+            (Some(old), false) => {
+                self.gw_traced = None;
+                ctx.emit(|| EventKind::GatewayRetire { node: me, cell: old });
+            }
+            (Some(old), true) if old != self.my_grid => {
+                let cell = self.my_grid;
+                self.gw_traced = Some(cell);
+                ctx.emit(|| EventKind::GatewayRetire { node: me, cell: old });
+                ctx.emit(|| EventKind::GatewayElect { node: me, cell });
+            }
+            _ => {}
+        }
+    }
 
     fn my_hello(&self, ctx: &mut Ctx<'_, Self>, gflag: bool) -> HelloInfo {
         HelloInfo {
@@ -231,6 +262,7 @@ impl Ecgrid {
             },
         );
         ctx.note(|| "election started".into());
+        self.sync_gateway_trace(ctx);
     }
 
     fn no_gateway_event(&mut self, ctx: &mut Ctx<'_, Self>, why: &str) {
@@ -261,6 +293,7 @@ impl Ecgrid {
 
     fn become_member(&mut self, ctx: &mut Ctx<'_, Self>, gateway: NodeId) {
         self.role = Role::Member;
+        self.sync_gateway_trace(ctx);
         self.gateway = Some(gateway);
         self.last_gw_hello = ctx.now();
         self.host_table.clear();
@@ -272,6 +305,7 @@ impl Ecgrid {
     fn become_gateway(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.stats.became_gateway += 1;
         self.role = Role::Gateway;
+        self.sync_gateway_trace(ctx);
         self.gateway = Some(self.me);
         self.level_at_election = ctx.level();
         self.send_hello(ctx, true);
@@ -369,6 +403,7 @@ impl Ecgrid {
         self.host_table.clear();
         self.gateway = None;
         self.role = Role::Electing;
+        self.sync_gateway_trace(ctx);
         self.candidates.clear();
         self.election_epoch += 1;
         self.send_hello(ctx, false);
@@ -464,6 +499,12 @@ impl Ecgrid {
             };
             let next = self.neighbors.get(route.next_grid, now).unwrap_or(route.via_node);
             self.stats.data_forwarded += 1;
+            let me = self.me;
+            ctx.emit(|| EventKind::PacketForwarded {
+                node: me,
+                flow: packet.flow,
+                seq: packet.seq,
+            });
             ctx.unicast(next, fwd);
             return;
         }
@@ -964,8 +1005,13 @@ impl Protocol for Ecgrid {
                     return;
                 }
                 self.host_table.insert(dst, HostEntry::awake(ctx.now()));
+                let me = self.me;
                 for msg in q {
                     self.stats.data_forwarded += 1;
+                    if let EcMsg::Data { packet, .. } = &msg {
+                        let (flow, seq) = (packet.flow, packet.seq);
+                        ctx.emit(|| EventKind::PacketForwarded { node: me, flow, seq });
+                    }
                     ctx.unicast(dst, msg);
                 }
             }
@@ -1140,7 +1186,7 @@ impl Protocol for Ecgrid {
                 self.neighbors.forget_node(dst);
                 self.routes.remove_via(dst);
                 self.host_table.remove(&dst);
-                if Some(dst) == self.gateway.map(|g| g) && self.role == Role::Member {
+                if Some(dst) == self.gateway && self.role == Role::Member {
                     // my own gateway vanished
                     self.pending_own.push((*final_dst, *packet));
                     self.no_gateway_event(ctx, "gateway unreachable");

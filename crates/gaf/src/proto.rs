@@ -1,7 +1,7 @@
 //! The GAF duty-cycle state machine over an embedded AODV core.
 
 use aodv::{Action, AodvConfig, AodvCore, AodvMsg, AodvStats, AodvTimer};
-use manet::{AppPacket, Ctx, FrameKind, GridCoord, NodeId, Protocol, WireSize};
+use manet::{AppPacket, Ctx, EventKind, FrameKind, GridCoord, NodeId, Protocol, WireSize};
 use rand::Rng;
 
 /// GAF parameters (times in seconds).
@@ -142,6 +142,10 @@ pub struct GafProto {
     active_until: f64,
     epoch: u32,
     core: AodvCore,
+    /// The cell the trace recorder believes this host is the active
+    /// router of (GAF's analogue of a gateway; keeps GatewayElect /
+    /// GatewayRetire strictly alternating per host).
+    gw_traced: Option<GridCoord>,
     pub stats: GafStats,
 }
 
@@ -155,6 +159,7 @@ impl GafProto {
             active_until: 0.0,
             epoch: 0,
             core: AodvCore::new(cfg.aodv, me),
+            gw_traced: None,
             stats: GafStats::default(),
         }
     }
@@ -176,16 +181,52 @@ impl GafProto {
         &self.core.stats
     }
 
-    fn run(ctx: &mut Ctx<'_, Self>, actions: Vec<Action>) {
+    fn run(&self, ctx: &mut Ctx<'_, Self>, actions: Vec<Action>) {
         for a in actions {
             match a {
                 Action::Broadcast(m) => ctx.broadcast(GafMsg::Aodv(m)),
-                Action::Unicast(to, m) => ctx.unicast(to, GafMsg::Aodv(m)),
+                Action::Unicast(to, m) => {
+                    // a Data unicast whose source is someone else is this
+                    // router relaying a foreign packet — a forward
+                    if let AodvMsg::Data { packet, src, .. } = &m {
+                        if *src != self.me {
+                            let me = self.me;
+                            let (flow, seq) = (packet.flow, packet.seq);
+                            ctx.emit(|| EventKind::PacketForwarded { node: me, flow, seq });
+                        }
+                    }
+                    ctx.unicast(to, GafMsg::Aodv(m));
+                }
                 Action::Deliver(p) => ctx.deliver_app(p),
                 Action::Timer(secs, t) => {
                     ctx.set_timer_secs(secs, GafTimer::Aodv(t));
                 }
             }
+        }
+    }
+
+    /// Reconcile the trace's view of this host's router tenure with
+    /// `state` (see the equivalent helper in `ecgrid`).
+    fn sync_gateway_trace(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let me = self.me;
+        let now_gw = self.state == GafState::Active;
+        match (self.gw_traced, now_gw) {
+            (None, true) => {
+                let cell = self.my_grid;
+                self.gw_traced = Some(cell);
+                ctx.emit(|| EventKind::GatewayElect { node: me, cell });
+            }
+            (Some(old), false) => {
+                self.gw_traced = None;
+                ctx.emit(|| EventKind::GatewayRetire { node: me, cell: old });
+            }
+            (Some(old), true) if old != self.my_grid => {
+                let cell = self.my_grid;
+                self.gw_traced = Some(cell);
+                ctx.emit(|| EventKind::GatewayRetire { node: me, cell: old });
+                ctx.emit(|| EventKind::GatewayElect { node: me, cell });
+            }
+            _ => {}
         }
     }
 
@@ -208,6 +249,7 @@ impl GafProto {
 
     fn enter_discovery(&mut self, ctx: &mut Ctx<'_, Self>, after_duty: bool) {
         self.state = GafState::Discovery;
+        self.sync_gateway_trace(ctx);
         self.my_grid = ctx.cell();
         self.epoch += 1;
         self.send_disc(ctx);
@@ -222,6 +264,7 @@ impl GafProto {
 
     fn enter_active(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.state = GafState::Active;
+        self.sync_gateway_trace(ctx);
         self.stats.activations += 1;
         self.epoch += 1;
         self.active_until = ctx.now().as_secs_f64() + self.cfg.active_time;
@@ -232,6 +275,7 @@ impl GafProto {
 
     fn enter_sleep(&mut self, ctx: &mut Ctx<'_, Self>, winner_remaining: f64) {
         self.state = GafState::Sleeping;
+        self.sync_gateway_trace(ctx);
         self.stats.sleeps += 1;
         self.epoch += 1;
         let base = winner_remaining.max(1.0);
@@ -314,7 +358,7 @@ impl Protocol for GafProto {
                     }
                 }
                 let acts = self.core.on_msg(ctx.now(), src, m);
-                Self::run(ctx, acts);
+                self.run(ctx, acts);
             }
         }
     }
@@ -347,7 +391,7 @@ impl Protocol for GafProto {
             }
             GafTimer::Aodv(t) => {
                 let acts = self.core.on_timer(ctx.now(), t);
-                Self::run(ctx, acts);
+                self.run(ctx, acts);
             }
         }
     }
@@ -368,13 +412,13 @@ impl Protocol for GafProto {
             self.enter_discovery(ctx, false);
         }
         let acts = self.core.send_data(ctx.now(), dst, packet);
-        Self::run(ctx, acts);
+        self.run(ctx, acts);
     }
 
     fn on_unicast_failed(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, msg: &GafMsg) {
         if let GafMsg::Aodv(m) = msg {
             let acts = self.core.on_link_failure(ctx.now(), dst, m);
-            Self::run(ctx, acts);
+            self.run(ctx, acts);
         }
     }
 }

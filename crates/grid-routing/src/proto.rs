@@ -6,7 +6,8 @@ use grid_common::{
     SearchStrategy,
 };
 use manet::{
-    AppPacket, Ctx, FrameKind, GridCoord, GridRect, NodeId, Protocol, SimDuration, SimTime, WireSize,
+    AppPacket, Ctx, EventKind, FrameKind, GridCoord, GridRect, NodeId, Protocol, SimDuration, SimTime,
+    WireSize,
 };
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
@@ -141,6 +142,9 @@ pub struct GridProto {
     dst_hints: HashMap<NodeId, GridCoord>,
     last_gw_hello: SimTime,
     last_own_hello: SimTime,
+    /// The cell the trace recorder believes this host is gateway of
+    /// (keeps GatewayElect/GatewayRetire strictly alternating per host).
+    gw_traced: Option<GridCoord>,
     pub stats: GridStats,
 }
 
@@ -167,6 +171,7 @@ impl GridProto {
             dst_hints: HashMap::new(),
             last_gw_hello: SimTime::ZERO,
             last_own_hello: SimTime::ZERO,
+            gw_traced: None,
             stats: GridStats::default(),
         }
     }
@@ -193,6 +198,31 @@ impl GridProto {
     }
 
     // ----- helpers -----------------------------------------------------
+
+    /// Reconcile the trace's view of this host's gateway tenure with
+    /// `role` (see the equivalent helper in `ecgrid`).
+    fn sync_gateway_trace(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let me = self.me;
+        let now_gw = self.role == GridRole::Gateway;
+        match (self.gw_traced, now_gw) {
+            (None, true) => {
+                let cell = self.my_grid;
+                self.gw_traced = Some(cell);
+                ctx.emit(|| EventKind::GatewayElect { node: me, cell });
+            }
+            (Some(old), false) => {
+                self.gw_traced = None;
+                ctx.emit(|| EventKind::GatewayRetire { node: me, cell: old });
+            }
+            (Some(old), true) if old != self.my_grid => {
+                let cell = self.my_grid;
+                self.gw_traced = Some(cell);
+                ctx.emit(|| EventKind::GatewayRetire { node: me, cell: old });
+                ctx.emit(|| EventKind::GatewayElect { node: me, cell });
+            }
+            _ => {}
+        }
+    }
 
     fn my_hello(&self, ctx: &mut Ctx<'_, Self>, gflag: bool) -> HelloInfo {
         // level is carried but ignored by GRID's election (energy_aware=false)
@@ -224,6 +254,7 @@ impl GridProto {
                 epoch: self.election_epoch,
             },
         );
+        self.sync_gateway_trace(ctx);
     }
 
     fn arm_gateway_watch(&mut self, ctx: &mut Ctx<'_, Self>) {
@@ -238,6 +269,7 @@ impl GridProto {
 
     fn become_member(&mut self, ctx: &mut Ctx<'_, Self>, gateway: NodeId) {
         self.role = GridRole::Member;
+        self.sync_gateway_trace(ctx);
         self.gateway = Some(gateway);
         self.last_gw_hello = ctx.now();
         self.host_table.clear();
@@ -248,6 +280,7 @@ impl GridProto {
     fn become_gateway(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.stats.became_gateway += 1;
         self.role = GridRole::Gateway;
+        self.sync_gateway_trace(ctx);
         self.gateway = Some(self.me);
         self.send_hello(ctx, true);
         let now = ctx.now();
@@ -292,6 +325,7 @@ impl GridProto {
         self.host_table.clear();
         self.gateway = None;
         self.role = GridRole::Electing;
+        self.sync_gateway_trace(ctx);
         self.candidates.clear();
         self.election_epoch += 1;
         self.send_hello(ctx, false);
@@ -329,6 +363,12 @@ impl GridProto {
         if self.host_table.contains_key(&dst) {
             // everyone is always on in GRID: deliver directly
             self.stats.data_forwarded += 1;
+            let me = self.me;
+            ctx.emit(|| EventKind::PacketForwarded {
+                node: me,
+                flow: packet.flow,
+                seq: packet.seq,
+            });
             ctx.unicast(
                 dst,
                 GridMsg::Data {
@@ -344,6 +384,12 @@ impl GridProto {
         if let Some(route) = self.routes.lookup(dst, now) {
             let next = self.neighbors.get(route.next_grid, now).unwrap_or(route.via_node);
             self.stats.data_forwarded += 1;
+            let me = self.me;
+            ctx.emit(|| EventKind::PacketForwarded {
+                node: me,
+                flow: packet.flow,
+                seq: packet.seq,
+            });
             ctx.unicast(
                 next,
                 GridMsg::Data {

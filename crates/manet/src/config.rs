@@ -4,7 +4,7 @@ use energy::{Battery, PowerProfile};
 use geo::GridMap;
 use mobility::MobilityTrace;
 use radio::{MacConfig, RasConfig};
-use sim_engine::SimDuration;
+use sim_engine::{Backend, SimDuration};
 
 /// Global simulation parameters.
 #[derive(Clone, Debug)]
@@ -28,6 +28,10 @@ pub struct WorldConfig {
     /// `radio::channel::CAPTURE_RATIO_10DB`); `None` makes every
     /// overlapping interferer fatal (ablation knob).
     pub capture_ratio: Option<f64>,
+    /// Pending-event-set backend of the scheduler.  Both backends obey the
+    /// same FIFO contract, so results are identical; the knob exists for
+    /// benchmarking and for the golden-trace cross-backend tests.
+    pub backend: Backend,
 }
 
 impl WorldConfig {
@@ -41,7 +45,14 @@ impl WorldConfig {
             sample_every: SimDuration::from_secs(10),
             seed,
             capture_ratio: Some(radio::channel::CAPTURE_RATIO_10DB),
+            backend: Backend::Heap,
         }
+    }
+
+    /// Same configuration on a different scheduler backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 

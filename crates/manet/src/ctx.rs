@@ -65,6 +65,9 @@ pub(crate) enum Cmd<P: Protocol> {
     CancelTimer(TimerId),
     DeliverApp(AppPacket),
     Note(String),
+    /// A structured trace event from the protocol layer (gateway
+    /// elections, forwards, …); timestamped and recorded by the world.
+    Emit(trace::EventKind),
 }
 
 /// The command/query interface a protocol uses during a callback.
@@ -76,6 +79,7 @@ pub struct Ctx<'a, P: Protocol> {
     pub(crate) next_timer_id: &'a mut u64,
     pub(crate) cmds: Vec<Cmd<P>>,
     pub(crate) tracing: bool,
+    pub(crate) emitting: bool,
 }
 
 impl<'a, P: Protocol> Ctx<'a, P> {
@@ -228,6 +232,17 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         if self.tracing {
             let s = text();
             self.cmds.push(Cmd::Note(s));
+        }
+    }
+
+    /// Record a structured trace event (no-op unless the world's event
+    /// recorder is enabled — same zero-cost discipline as [`Ctx::note`]).
+    /// Protocols use this for control-plane observables the world cannot
+    /// see itself: gateway elections/retirements, packet forwards.
+    pub fn emit(&mut self, event: impl FnOnce() -> trace::EventKind) {
+        if self.emitting {
+            let e = event();
+            self.cmds.push(Cmd::Emit(e));
         }
     }
 }

@@ -27,28 +27,34 @@
 //! ACK + bounded retransmit for unicasts), integrates every host's energy
 //! meter through the radio-mode transitions, and samples the alive
 //! fraction and *aen* series the paper plots.
+//!
+//! Observability lives in the `trace` crate (re-exported here): enable a
+//! [`trace::Recorder`] on the World to capture a typed, digestable event
+//! stream across every layer (MAC, radio, energy, RAS, routing, app).
 
 pub mod config;
 pub mod ctx;
 pub mod protocol;
 pub mod stats;
 pub mod testkit;
-pub mod trace;
 pub mod world;
 
 pub use config::{HostSetup, WorldConfig};
 pub use ctx::{AppPacket, Ctx, NodeView, TimerId};
 pub use protocol::{Protocol, WireSize};
 pub use stats::WorldStats;
-pub use trace::{render_trace, TraceRecord};
+pub use trace::{render_trace, Event, EventKind, Recorder, TraceDigest, TraceMode};
 pub use world::{RunOutput, World};
+
+/// The observability layer (events, recorder, digest, registry, profile).
+pub use trace;
 
 // Re-export the vocabulary types protocols need, so protocol crates can
 // depend on `manet` alone.
 pub use energy::{Battery, EnergyAudit, EnergyLevel, EnergyMeter, PowerProfile, RadioMode};
 pub use geo::{GridCoord, GridMap, GridRect, Point2, Vec2};
 pub use radio::{FrameKind, MacConfig, NodeId, PageSignal, RasConfig};
-pub use sim_engine::{SimDuration, SimTime};
+pub use sim_engine::{Backend, SimDuration, SimTime};
 
 /// Re-export of the whole engine crate (deterministic RNG streams etc.)
 /// so protocol crates and tests don't need a separate dependency.

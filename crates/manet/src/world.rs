@@ -5,8 +5,7 @@ use crate::config::{HostSetup, WorldConfig};
 use crate::ctx::{AppPacket, Cmd, Ctx, NodeView, TimerId};
 use crate::protocol::{Protocol, WireSize};
 use crate::stats::WorldStats;
-use crate::trace::TraceRecord;
-use energy::{EnergyMeter, RadioMode};
+use energy::{EnergyLevel, EnergyMeter, RadioMode};
 use geo::{GridCoord, Point2};
 use metrics::{PacketLedger, TimeSeries};
 use mobility::MobilityTrace;
@@ -16,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use sim_engine::{EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
+use trace::{Event as TraceEvent, EventKind, Recorder, TraceDigest, TraceMode};
 
 /// How long ended transmissions are kept for collision back-checks.
 const CHANNEL_GC_GRACE: SimDuration = SimDuration(50_000_000); // 50 ms
@@ -43,6 +43,23 @@ enum Event {
     Sample,
     /// Sentinel terminating `run_until`.
     EndOfRun,
+}
+
+impl Event {
+    /// Scheduler-profiling domain of this event.
+    fn domain(&self) -> &'static str {
+        match self {
+            Event::MacTryTx { .. } => "mac_try_tx",
+            Event::TxEnd { .. } => "tx_end",
+            Event::AckDone { .. } => "ack_done",
+            Event::Timer { .. } => "timer",
+            Event::Page { .. } => "page",
+            Event::CellCrossing { .. } => "cell_crossing",
+            Event::AppSend { .. } => "app_send",
+            Event::Sample => "sample",
+            Event::EndOfRun => "end_of_run",
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +113,9 @@ struct NodeState<P: Protocol> {
     trace: MobilityTrace,
     cell: GridCoord,
     rng: StdRng,
+    /// Battery level class as last observed by the trace layer (detects
+    /// class-boundary crossings in `touch`).
+    last_level: EnergyLevel,
     mac: Mac<P::Msg>,
     /// Number of concurrent receptions in progress (radio in Rx while > 0).
     rx_refs: u32,
@@ -133,7 +153,7 @@ pub struct World<P: Protocol> {
     timers: HashMap<u64, (P::Timer, EventHandle)>,
     next_timer_id: u64,
     trace_log: Option<Vec<(SimTime, NodeId, String)>>,
-    event_trace: Option<Vec<TraceRecord>>,
+    recorder: Option<Recorder>,
     /// Spatial index: grid cell index -> nodes currently in that cell
     /// (maintained by the cell-crossing events; dead nodes are filtered at
     /// query time).  Receiver scans only visit the cells a transmission
@@ -166,12 +186,15 @@ impl<P: Protocol> World<P> {
                 let id = NodeId(i as u32);
                 let cell = cfg.grid.cell_of(h.trace.position_at(SimTime::ZERO));
                 occupancy[cfg.grid.cell_index(cell)].push(id);
+                let meter = EnergyMeter::new(h.profile, h.battery);
+                let last_level = meter.level();
                 NodeState {
                     proto: factory(id),
-                    meter: EnergyMeter::new(h.profile, h.battery),
+                    meter,
                     trace: h.trace,
                     cell,
                     rng: rngs.stream("node", i as u64),
+                    last_level,
                     mac: Mac::default(),
                     rx_refs: 0,
                     sleep_pending: false,
@@ -179,10 +202,11 @@ impl<P: Protocol> World<P> {
                 }
             })
             .collect();
+        let backend = cfg.backend;
         World {
             cfg,
             nodes,
-            sched: Scheduler::new(),
+            sched: Scheduler::with_backend(backend),
             channel,
             flights: HashMap::new(),
             flows,
@@ -193,7 +217,7 @@ impl<P: Protocol> World<P> {
             timers: HashMap::new(),
             next_timer_id: 0,
             trace_log: None,
-            event_trace: None,
+            recorder: None,
             occupancy,
             reach_cells,
             started: false,
@@ -222,22 +246,48 @@ impl<P: Protocol> World<P> {
         self.trace_log = Some(Vec::new());
     }
 
-    /// Record a structured MAC/application event trace (ns-2-style; see
-    /// [`crate::trace`]).  Intended for focused scenarios — long dense
-    /// runs produce millions of records.
+    /// Attach a structured event recorder (see the `trace` crate).  In
+    /// [`TraceMode::DigestOnly`] only the canonical digest is maintained
+    /// (O(1) memory); in [`TraceMode::Full`] every event is also buffered
+    /// — long dense runs produce millions of events, so buffer only for
+    /// focused scenarios and exports.
+    pub fn enable_trace(&mut self, mode: TraceMode) {
+        self.recorder = Some(Recorder::new(mode));
+    }
+
+    /// Convenience: full (buffered) event tracing.
     pub fn enable_event_trace(&mut self) {
-        self.event_trace = Some(Vec::new());
+        self.enable_trace(TraceMode::Full);
     }
 
-    /// The recorded event trace (empty unless enabled).
-    pub fn event_trace(&self) -> &[TraceRecord] {
-        self.event_trace.as_deref().unwrap_or(&[])
+    /// The buffered event trace (empty unless full tracing is enabled).
+    pub fn event_trace(&self) -> &[TraceEvent] {
+        self.recorder.as_ref().map(|r| r.events()).unwrap_or(&[])
     }
 
+    /// Canonical digest of the event stream so far (`None` when tracing
+    /// is disabled).
+    pub fn trace_digest(&self) -> Option<TraceDigest> {
+        self.recorder.as_ref().map(|r| r.digest())
+    }
+
+    /// The live recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detach and return the recorder (for post-run export).
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// Record an event at the current virtual time.  With tracing disabled
+    /// this is a single branch and the closure never runs.
     #[inline]
-    fn record(&mut self, make: impl FnOnce() -> TraceRecord) {
-        if let Some(tr) = &mut self.event_trace {
-            tr.push(make());
+    fn emit(&mut self, make: impl FnOnce() -> EventKind) {
+        if let Some(rec) = &mut self.recorder {
+            let t = self.sched.now();
+            rec.record(TraceEvent { t, kind: make() });
         }
     }
 
@@ -382,6 +432,12 @@ impl<P: Protocol> World<P> {
                 last_t = t;
                 same_t = 0;
             }
+            if let Some(rec) = &mut self.recorder {
+                let depth = self.sched.pending();
+                let prof = rec.profile_mut();
+                prof.bump(ev.domain());
+                prof.observe_depth(depth);
+            }
             match ev {
                 Event::EndOfRun => break,
                 other => self.handle(other),
@@ -453,22 +509,36 @@ impl<P: Protocol> World<P> {
     /// Returns true if the node is (still) alive.
     fn touch(&mut self, node: NodeId) -> bool {
         let now = self.sched.now();
+        let tracing = self.recorder.is_some();
         let n = &mut self.nodes[node.index()];
         n.meter.advance(now);
-        if n.meter.is_alive() {
-            true
-        } else {
-            if !n.dead_handled {
-                n.dead_handled = true;
-                n.mac.queue.clear();
-                n.mac.phase = MacPhase::Idle;
-                n.rx_refs = 0;
-                self.stats.deaths += 1;
-                self.log_system(node, "battery exhausted");
-                self.record(|| TraceRecord::Death { t: now, node });
+        // battery level-class boundary crossings only need detecting when a
+        // recorder is attached (level() divides; touch is the hottest path)
+        let mut level_change = None;
+        if tracing {
+            let level = n.meter.level();
+            if level != n.last_level {
+                level_change = Some((n.last_level, level));
+                n.last_level = level;
             }
-            false
         }
+        let alive = n.meter.is_alive();
+        let newly_dead = !alive && !n.dead_handled;
+        if newly_dead {
+            n.dead_handled = true;
+            n.mac.queue.clear();
+            n.mac.phase = MacPhase::Idle;
+            n.rx_refs = 0;
+            self.stats.deaths += 1;
+        }
+        if let Some((from, to)) = level_change {
+            self.emit(|| EventKind::BatteryLevel { node, from, to });
+        }
+        if newly_dead {
+            self.log_system(node, "battery exhausted");
+            self.emit(|| EventKind::NodeDeath { node });
+        }
+        alive
     }
 
     fn log_system(&mut self, node: NodeId, text: &str) {
@@ -485,6 +555,7 @@ impl<P: Protocol> World<P> {
         }
         let now = self.sched.now();
         let tracing = self.trace_log.is_some();
+        let emitting = self.recorder.is_some();
         let i = node.index();
         let n = &mut self.nodes[i];
         let pos = n.trace.position_at(now);
@@ -507,6 +578,7 @@ impl<P: Protocol> World<P> {
             next_timer_id: &mut self.next_timer_id,
             cmds: Vec::new(),
             tracing,
+            emitting,
         };
         f(&mut n.proto, &mut ctx);
         let cmds = ctx.cmds;
@@ -523,8 +595,7 @@ impl<P: Protocol> World<P> {
                 Cmd::PageHost(id) => {
                     self.stats.pages_sent += 1;
                     let origin = self.nodes[node.index()].trace.position_at(now);
-                    self.record(|| TraceRecord::Page {
-                        t: now,
+                    self.emit(|| EventKind::RasPage {
                         by: node,
                         signal: PageSignal::Host(id),
                     });
@@ -539,8 +610,7 @@ impl<P: Protocol> World<P> {
                 Cmd::PageGrid(cell) => {
                     self.stats.pages_sent += 1;
                     let origin = self.nodes[node.index()].trace.position_at(now);
-                    self.record(|| TraceRecord::Page {
-                        t: now,
+                    self.emit(|| EventKind::RasPage {
                         by: node,
                         signal: PageSignal::Grid(cell),
                     });
@@ -563,9 +633,8 @@ impl<P: Protocol> World<P> {
                 }
                 Cmd::DeliverApp(packet) => {
                     self.ledger.record_delivered(packet.key(), now);
-                    self.record(|| TraceRecord::AppRecv {
-                        t: now,
-                        dst: node,
+                    self.emit(|| EventKind::PacketDelivered {
+                        node,
                         flow: packet.flow,
                         seq: packet.seq,
                     });
@@ -573,6 +642,11 @@ impl<P: Protocol> World<P> {
                 Cmd::Note(text) => {
                     if let Some(log) = &mut self.trace_log {
                         log.push((now, node, text));
+                    }
+                }
+                Cmd::Emit(kind) => {
+                    if let Some(rec) = &mut self.recorder {
+                        rec.record(TraceEvent { t: now, kind });
                     }
                 }
             }
@@ -583,7 +657,17 @@ impl<P: Protocol> World<P> {
 
     fn set_mode(&mut self, node: NodeId, mode: RadioMode) {
         let now = self.sched.now();
-        self.nodes[node.index()].meter.set_mode(now, mode);
+        let meter = &mut self.nodes[node.index()].meter;
+        let old = meter.mode();
+        // the meter refuses transitions out of Off, so read back what stuck
+        let new = meter.set_mode(now, mode);
+        if old != new {
+            self.emit(|| EventKind::RadioMode {
+                node,
+                from: old,
+                to: new,
+            });
+        }
     }
 
     fn node_sleep(&mut self, node: NodeId) {
@@ -751,11 +835,10 @@ impl<P: Protocol> World<P> {
             FrameKind::Broadcast => self.stats.broadcasts += 1,
             FrameKind::Unicast(_) => self.stats.unicasts += 1,
         }
-        self.record(|| TraceRecord::TxStart {
-            t: now,
+        self.emit(|| EventKind::MacTx {
             node,
-            kind,
-            wire_bytes: meta.wire_bytes(),
+            dst: kind.dst(),
+            bytes: meta.wire_bytes(),
         });
         self.flights.insert(
             tx_id,
@@ -808,11 +891,7 @@ impl<P: Protocol> World<P> {
             {
                 self.stats.corrupted += 1;
                 let from = flight.src;
-                self.record(|| TraceRecord::RxCollision {
-                    t: now,
-                    node: r,
-                    from,
-                });
+                self.emit(|| EventKind::MacCollision { node: r, from });
                 continue;
             }
             successes.push(r);
@@ -824,11 +903,11 @@ impl<P: Protocol> World<P> {
                     self.stats.frames_delivered += 1;
                     let (src, msg) = (flight.src, flight.msg.clone());
                     let bytes = msg.wire_bytes();
-                    self.record(|| TraceRecord::RxOk {
-                        t: now,
-                        node: *r,
+                    let rr = *r;
+                    self.emit(|| EventKind::MacRx {
+                        node: rr,
                         from: src,
-                        wire_bytes: bytes,
+                        bytes,
                     });
                     self.dispatch(*r, move |p, ctx| p.on_frame(ctx, src, FrameKind::Broadcast, &msg));
                 }
@@ -856,11 +935,10 @@ impl<P: Protocol> World<P> {
                     }
                     let (src, msg) = (flight.src, flight.msg.clone());
                     let bytes = msg.wire_bytes();
-                    self.record(|| TraceRecord::RxOk {
-                        t: now,
+                    self.emit(|| EventKind::MacRx {
                         node: dst,
                         from: src,
-                        wire_bytes: bytes,
+                        bytes,
                     });
                     self.dispatch(dst, move |p, ctx| {
                         p.on_frame(ctx, src, FrameKind::Unicast(dst), &msg)
@@ -900,8 +978,7 @@ impl<P: Protocol> World<P> {
             self.stats.mac_drops += 1;
             let frame = self.nodes[i].mac.queue.pop_front().expect("head frame");
             if let FrameKind::Unicast(d) = frame.kind {
-                let t = self.sched.now();
-                self.record(|| TraceRecord::MacDrop { t, node, dst: d });
+                self.emit(|| EventKind::MacDrop { node, dst: Some(d) });
             }
             self.nodes[i].mac.attempt = 0;
             self.nodes[i].mac.phase = MacPhase::Idle;
@@ -918,6 +995,7 @@ impl<P: Protocol> World<P> {
         } else {
             self.stats.retransmissions += 1;
             let attempt = self.nodes[i].mac.attempt;
+            self.emit(|| EventKind::MacRetry { node, attempt });
             let cw = self.cfg.mac.cw_for_attempt(attempt);
             let slots = self.nodes[i].rng.gen_range(0..=cw);
             let delay = self.cfg.mac.difs + self.cfg.mac.backoff(slots);
@@ -1009,6 +1087,11 @@ impl<P: Protocol> World<P> {
         self.occupancy[old_idx].retain(|id| *id != node);
         self.occupancy[self.cfg.grid.cell_index(new)].push(node);
         self.stats.cell_crossings += 1;
+        self.emit(|| EventKind::CellChange {
+            node,
+            from: old,
+            to: new,
+        });
         // sleeping hosts don't observe the crossing (their GPS snapshot is
         // read when their dwell timer wakes them, §3.2)
         if self.nodes[i].meter.mode() != RadioMode::Sleep {
@@ -1039,8 +1122,7 @@ impl<P: Protocol> World<P> {
         };
         let now = self.sched.now();
         self.ledger.record_sent(packet.key(), now);
-        self.record(|| TraceRecord::AppSend {
-            t: now,
+        self.emit(|| EventKind::PacketSent {
             src,
             flow: packet.flow,
             seq,

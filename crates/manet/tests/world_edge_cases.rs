@@ -177,7 +177,7 @@ fn audit_totals_match_consumed_energy() {
 
 #[test]
 fn event_trace_captures_a_packet_journey() {
-    use manet::TraceRecord;
+    use manet::EventKind;
     use sim_engine::SimDuration;
     use traffic::{CbrFlow, FlowId, FlowSet};
     let hosts = vec![fixed(50.0, 50.0), fixed(150.0, 50.0)];
@@ -197,18 +197,21 @@ fn event_trace_captures_a_packet_journey() {
     w.run_until(SimTime::from_secs(3));
     let trace = w.event_trace();
     // the journey appears in causal order: app send -> MAC tx -> MAC rx -> app recv
-    let idx = |pred: &dyn Fn(&TraceRecord) -> bool| trace.iter().position(|r| pred(r));
-    let send = idx(&|r| matches!(r, TraceRecord::AppSend { src: NodeId(0), .. })).expect("app send");
-    let tx = idx(&|r| matches!(r, TraceRecord::TxStart { node: NodeId(0), .. })).expect("tx");
-    let rx = idx(&|r| matches!(r, TraceRecord::RxOk { node: NodeId(1), .. })).expect("rx");
-    let recv = idx(&|r| matches!(r, TraceRecord::AppRecv { dst: NodeId(1), .. })).expect("app recv");
+    let idx = |pred: &dyn Fn(&EventKind) -> bool| trace.iter().position(|e| pred(&e.kind));
+    let send = idx(&|k| matches!(k, EventKind::PacketSent { src: NodeId(0), .. })).expect("app send");
+    let tx = idx(&|k| matches!(k, EventKind::MacTx { node: NodeId(0), .. })).expect("tx");
+    let rx = idx(&|k| matches!(k, EventKind::MacRx { node: NodeId(1), .. })).expect("rx");
+    let recv = idx(&|k| matches!(k, EventKind::PacketDelivered { node: NodeId(1), .. })).expect("app recv");
     assert!(
         send < tx && tx < rx && rx <= recv,
         "order: {send} {tx} {rx} {recv}"
     );
     // timestamps are non-decreasing through the journey
-    assert!(trace[send].time() <= trace[tx].time());
-    assert!(trace[tx].time() <= trace[rx].time());
+    assert!(trace[send].t <= trace[tx].t);
+    assert!(trace[tx].t <= trace[rx].t);
+    // a digest exists and is non-trivial
+    let digest = w.trace_digest().expect("recorder enabled");
+    assert_ne!(digest.0, 0);
     // and the rendered form is line-per-event
     let text = manet::render_trace(trace);
     assert_eq!(text.lines().count(), trace.len());

@@ -165,16 +165,19 @@ fn ras_grid_page_wakes_everyone_in_the_grid() {
 fn hidden_terminal_broadcasts_collide_at_common_receiver() {
     // classic hidden terminal: 0 and 2 cannot carrier-sense each other
     // (480 m apart) but both reach 1 (240 m each); both broadcast at t=0,
-    // the transmissions overlap at 1 -> both corrupted
+    // the transmissions overlap at 1 -> both corrupted.  The frames are
+    // sized so their airtime (2048 B ~ 8.2 ms at 2 Mb/s) exceeds the
+    // widest possible broadcast backoff spread (255 slots ~ 5.1 ms), so
+    // the overlap is guaranteed for every backoff draw.
     let hosts = vec![fixed(10.0, 50.0), fixed(250.0, 50.0), fixed(490.0, 50.0)];
     let cfgs = vec![
         ProbeCfg {
-            broadcast_at_start: Some((1, 256)),
+            broadcast_at_start: Some((1, 2048)),
             ..Default::default()
         },
         ProbeCfg::default(),
         ProbeCfg {
-            broadcast_at_start: Some((2, 256)),
+            broadcast_at_start: Some((2, 2048)),
             ..Default::default()
         },
     ];

@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn node_id_ordering_supports_smallest_id_election() {
         // election rule 3: smallest ID wins
-        let mut ids = vec![NodeId(9), NodeId(2), NodeId(5)];
+        let mut ids = [NodeId(9), NodeId(2), NodeId(5)];
         ids.sort();
         assert_eq!(ids[0], NodeId(2));
         assert_eq!(NodeId(3).index(), 3);

@@ -3,10 +3,15 @@
 //! ```sh
 //! cargo run --release -p ecgrid-runner --bin run_one -- \
 //!     --protocol ecgrid --hosts 100 --speed 1 --pause 0 \
-//!     --flows 10 --rate 1 --duration 2000 --seed 42
+//!     --flows 10 --rate 1 --duration 2000 --seed 42 \
+//!     --backend heap --trace out.jsonl
 //! ```
 
-use runner::{run_scenario, ProtocolKind, Scenario};
+use manet::trace::TraceMode;
+use manet::Backend;
+use runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
+use std::fs::File;
+use std::io::BufWriter;
 
 const HELP: &str = "\
 run_one — run a single ECGRID-reproduction scenario
@@ -14,20 +19,38 @@ run_one — run a single ECGRID-reproduction scenario
 USAGE:
     run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
+            [--backend heap|calendar] [--trace FILE.jsonl] [--digest]
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
-pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).";
+pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
 
-fn parse_args() -> Scenario {
+--trace FILE   record the full event stream and export it as JSONL
+--digest       record in digest-only mode (O(1) memory; prints the digest)
+--backend      pending-event-set implementation (results are identical)";
+
+fn parse_args() -> (Scenario, RunOptions, Option<String>) {
     let mut sc = Scenario::paper_base(ProtocolKind::Ecgrid, 1.0, 42);
+    let mut opts = RunOptions::default();
+    let mut trace_path = None;
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{HELP}");
         std::process::exit(0);
     }
     let mut i = 1;
-    while i + 1 < args.len() {
-        let (k, v) = (&args[i], &args[i + 1]);
+    while i < args.len() {
+        let k = &args[i];
+        // flags without a value
+        if k == "--digest" {
+            if opts.trace.is_none() {
+                opts.trace = Some(TraceMode::DigestOnly);
+            }
+            i += 1;
+            continue;
+        }
+        let Some(v) = args.get(i + 1) else {
+            panic!("flag {k} needs a value (see --help)");
+        };
         match k.as_str() {
             "--protocol" => {
                 sc.protocol = match v.to_lowercase().as_str() {
@@ -45,23 +68,25 @@ fn parse_args() -> Scenario {
             "--rate" => sc.flow_rate_pps = v.parse().expect("--rate"),
             "--duration" => sc.duration_secs = v.parse().expect("--duration"),
             "--seed" => sc.seed = v.parse().expect("--seed"),
+            "--backend" => opts.backend = Backend::parse(v).expect("--backend heap|calendar"),
+            "--trace" => {
+                opts.trace = Some(TraceMode::Full);
+                trace_path = Some(v.clone());
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 2;
     }
-    sc
+    (sc, opts, trace_path)
 }
 
 fn main() {
-    let sc = parse_args();
-    eprintln!("running: {}", sc.label());
+    let (sc, opts, trace_path) = parse_args();
+    eprintln!("running: {} [{}]", sc.label(), opts.backend.name());
     let start = std::time::Instant::now();
-    let r = run_scenario(&sc);
-    eprintln!(
-        "({} s simulated in {:.1} s wall)",
-        sc.duration_secs,
-        start.elapsed().as_secs_f64()
-    );
+    let r = run_scenario_with(&sc, opts);
+    let wall = start.elapsed().as_secs_f64();
+    eprintln!("({} s simulated in {wall:.1} s wall)", sc.duration_secs);
 
     println!("protocol:        {}", sc.protocol.name());
     println!("packets sent:    {}", r.ledger.sent_count());
@@ -91,4 +116,25 @@ fn main() {
             .unwrap_or_else(|| "none".into())
     );
     println!("world stats:     {:?}", r.stats);
+
+    if let Some(rec) = &r.recorder {
+        println!("trace digest:    {}", rec.digest());
+        println!("trace events:    {}", rec.count());
+        let prof = rec.profile();
+        println!(
+            "sched profile:   {} events dispatched, {:.0} events/s wall, max queue depth {}",
+            prof.dispatched,
+            prof.events_per_sec(wall),
+            prof.max_queue_depth
+        );
+        for (domain, n) in prof.by_domain() {
+            println!("    {domain:<14} {n}");
+        }
+        if let Some(path) = trace_path {
+            let f = File::create(&path).expect("create trace file");
+            let mut w = BufWriter::new(f);
+            let n = rec.write_jsonl(sc.protocol.name(), &mut w).expect("write trace");
+            eprintln!("wrote {n} events to {path}");
+        }
+    }
 }

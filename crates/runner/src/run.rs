@@ -4,11 +4,40 @@ use crate::scenario::{ProtocolKind, Scenario};
 use ecgrid::{Ecgrid, EcgridConfig};
 use gaf::{GafConfig, GafProto};
 use grid_routing::{GridConfig, GridProto};
-use manet::{Battery, FlowSet, FlowSpec, HostSetup, NodeId, PowerProfile, SimTime, World, WorldConfig};
+use manet::trace::{Recorder, TraceDigest, TraceMode};
+use manet::{
+    Backend, Battery, FlowSet, FlowSpec, HostSetup, NodeId, PowerProfile, SimTime, World, WorldConfig,
+};
 use metrics::{PacketLedger, TimeSeries};
 use mobility::{MobilityModel, RandomWaypoint};
+use rayon::prelude::*;
 use sim_engine::RngFactory;
 use span::{SpanConfig, SpanProto};
+
+/// Knobs orthogonal to the scenario itself: which scheduler backend the
+/// world runs on and whether a trace recorder is attached.  The defaults
+/// (heap backend, no tracing) reproduce `run_scenario` exactly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    pub backend: Backend,
+    pub trace: Option<TraceMode>,
+}
+
+impl RunOptions {
+    /// Digest-only tracing on the default backend — what the golden-trace
+    /// tests use.
+    pub fn digest() -> Self {
+        RunOptions {
+            backend: Backend::Heap,
+            trace: Some(TraceMode::DigestOnly),
+        }
+    }
+
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
 
 /// Everything a figure needs from one finished run.
 #[derive(Clone, Debug)]
@@ -32,6 +61,13 @@ pub struct ScenarioResult {
     /// First time the alive fraction reached zero, if it did.
     pub network_death_s: Option<f64>,
     pub stats: manet::WorldStats,
+    /// Canonical digest of the run's trace (`None` unless tracing was
+    /// requested).  Identical for identical (scenario, seed) regardless of
+    /// scheduler backend or sweep parallelism.
+    pub trace_digest: Option<TraceDigest>,
+    /// The full recorder (events in [`TraceMode::Full`], profiling data in
+    /// either mode; `None` unless tracing was requested).
+    pub recorder: Option<Recorder>,
 }
 
 /// Build the mobility traces for `count` hosts, identical across protocols
@@ -59,8 +95,17 @@ fn build_flows(sc: &Scenario, endpoint_ids: &[NodeId], stop: SimTime) -> FlowSet
     FlowSet::random(&mut rngs.stream("traffic", 0), endpoint_ids, &spec)
 }
 
-fn finish<P: manet::Protocol>(sc: &Scenario, mut world: World<P>, end: SimTime) -> ScenarioResult {
+fn finish<P: manet::Protocol>(
+    sc: &Scenario,
+    opts: RunOptions,
+    mut world: World<P>,
+    end: SimTime,
+) -> ScenarioResult {
+    if let Some(mode) = opts.trace {
+        world.enable_trace(mode);
+    }
     let out = world.run_until(end);
+    let recorder = world.take_recorder();
     let cutoff = SimTime::from_secs(590);
     let early = out.ledger.before(cutoff);
     ScenarioResult {
@@ -74,15 +119,22 @@ fn finish<P: manet::Protocol>(sc: &Scenario, mut world: World<P>, end: SimTime) 
         aen: out.aen,
         ledger: out.ledger,
         stats: out.stats,
+        trace_digest: recorder.as_ref().map(|r| r.digest()),
+        recorder,
     }
 }
 
-/// Run one scenario to completion.
+/// Run one scenario to completion with default options.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    run_scenario_with(sc, RunOptions::default())
+}
+
+/// Run one scenario to completion on an explicit backend / trace setting.
+pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
     let end = SimTime::from_secs_f64(sc.duration_secs);
     // traces must outlive the run comfortably
     let horizon = end + sim_engine::SimDuration::from_secs(10);
-    let cfg = WorldConfig::paper_default(sc.seed);
+    let cfg = WorldConfig::paper_default(sc.seed).with_backend(opts.backend);
 
     match sc.protocol {
         ProtocolKind::Grid | ProtocolKind::Ecgrid => {
@@ -94,11 +146,11 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
             match sc.protocol {
                 ProtocolKind::Grid => {
                     let world = World::new(cfg, hosts, flows, |id| GridProto::new(GridConfig::default(), id));
-                    finish(sc, world, end)
+                    finish(sc, opts, world, end)
                 }
                 ProtocolKind::Ecgrid => {
                     let world = World::new(cfg, hosts, flows, |id| Ecgrid::new(EcgridConfig::default(), id));
-                    finish(sc, world, end)
+                    finish(sc, opts, world, end)
                 }
                 ProtocolKind::Gaf | ProtocolKind::Span => unreachable!(),
             }
@@ -139,7 +191,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
                             GafProto::endpoint(GafConfig::default(), id)
                         }
                     });
-                    finish(sc, world, end)
+                    finish(sc, opts, world, end)
                 }
                 ProtocolKind::Span => {
                     let world = World::new(cfg, hosts, flows, move |id| {
@@ -149,11 +201,30 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
                             SpanProto::endpoint(SpanConfig::default(), id)
                         }
                     });
-                    finish(sc, world, end)
+                    finish(sc, opts, world, end)
                 }
                 _ => unreachable!(),
             }
         }
+    }
+}
+
+/// Run `replicas` copies of one scenario (replica `k` uses seed
+/// `sc.seed + k`), either serially or fanned out across threads.  A run's
+/// result — including its trace digest — is a pure function of
+/// (scenario, seed, options), so both paths return identical results; the
+/// golden-trace tests hold this to account.
+pub fn run_replicas(sc: &Scenario, replicas: usize, opts: RunOptions, parallel: bool) -> Vec<ScenarioResult> {
+    let jobs: Vec<Scenario> = (0..replicas as u64)
+        .map(|k| Scenario {
+            seed: sc.seed + k,
+            ..*sc
+        })
+        .collect();
+    if parallel {
+        jobs.par_iter().map(|j| run_scenario_with(j, opts)).collect()
+    } else {
+        jobs.iter().map(|j| run_scenario_with(j, opts)).collect()
     }
 }
 

@@ -1,9 +1,7 @@
 //! Scenario definitions mirroring §4's simulation environment.
 
-use serde::{Deserialize, Serialize};
-
 /// Which protocol a scenario runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// The GRID baseline (no energy conservation).
     Grid,
@@ -39,7 +37,7 @@ impl ProtocolKind {
 }
 
 /// One experiment configuration (§4 defaults unless noted).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Scenario {
     pub protocol: ProtocolKind,
     /// Finite-battery hosts running the protocol (50–200 in Fig. 8).

@@ -252,7 +252,7 @@ mod tests {
         let mut heap = EventQueue::new();
         let mut x: u64 = 0x2545F4914F6CDD1D;
         let mut now = 0u64;
-        let mut step = |x: &mut u64| {
+        let step = |x: &mut u64| {
             *x = x
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);

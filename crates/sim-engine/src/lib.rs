@@ -13,12 +13,14 @@
 //! * [`rng`] — a master seed fanned out into independent, stable streams
 //!   per (domain, index), so adding a consumer never perturbs others.
 
+pub mod backend;
 pub mod calendar;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod time;
 
+pub use backend::{AnyQueue, Backend};
 pub use calendar::CalendarQueue;
 pub use queue::{EventQueue, PendingEvents};
 pub use rng::{derive_seed, RngFactory, SplitMix64};

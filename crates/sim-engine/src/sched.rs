@@ -1,6 +1,7 @@
 //! The scheduler: virtual clock + pending events + lazy cancellation.
 
-use crate::queue::{EventQueue, PendingEvents};
+use crate::backend::{AnyQueue, Backend};
+use crate::queue::PendingEvents;
 use crate::time::{SimDuration, SimTime};
 use std::collections::HashSet;
 
@@ -25,10 +26,11 @@ pub struct EventHandle(u64);
 /// assert!(sched.next().is_none());
 /// ```
 pub struct Scheduler<E> {
-    queue: EventQueue<E>,
+    queue: AnyQueue<E>,
     cancelled: HashSet<u64>,
     now: SimTime,
     processed: u64,
+    max_pending: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -39,12 +41,25 @@ impl<E> Default for Scheduler<E> {
 
 impl<E> Scheduler<E> {
     pub fn new() -> Self {
+        Self::with_backend(Backend::Heap)
+    }
+
+    /// Build a scheduler on an explicit pending-event-set backend.  Both
+    /// backends implement the same FIFO tie-break contract, so a run is
+    /// bit-identical on either (enforced by the golden-trace tests).
+    pub fn with_backend(backend: Backend) -> Self {
         Scheduler {
-            queue: EventQueue::new(),
+            queue: AnyQueue::new(backend),
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             processed: 0,
+            max_pending: 0,
         }
+    }
+
+    /// Which backend this scheduler runs on.
+    pub fn backend(&self) -> Backend {
+        self.queue.backend()
     }
 
     /// Current virtual time.
@@ -59,6 +74,21 @@ impl<E> Scheduler<E> {
         self.processed
     }
 
+    /// High-water mark of the pending-event set (includes events awaiting
+    /// lazy cancellation, like `pending`).
+    #[inline]
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    #[inline]
+    fn note_depth(&mut self) {
+        let d = self.queue.len();
+        if d > self.max_pending {
+            self.max_pending = d;
+        }
+    }
+
     /// Schedule `event` at absolute time `at`.  Panics if `at` is in the
     /// past — causality violations are always simulator bugs.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
@@ -68,13 +98,17 @@ impl<E> Scheduler<E> {
             at,
             self.now
         );
-        EventHandle(self.queue.insert(at, event))
+        let h = EventHandle(self.queue.insert(at, event));
+        self.note_depth();
+        h
     }
 
     /// Schedule `event` after a relative delay.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventHandle {
         let at = self.now.checked_add(delay).expect("virtual time overflow");
-        EventHandle(self.queue.insert(at, event))
+        let h = EventHandle(self.queue.insert(at, event));
+        self.note_depth();
+        h
     }
 
     /// Revoke a pending event.  Cancelling an already-fired or
@@ -84,6 +118,10 @@ impl<E> Scheduler<E> {
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
+    /// Deliberately named like `Iterator::next` — the scheduler is the
+    /// event loop's source of truth, but it is not an `Iterator` (each call
+    /// mutates the clock).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         while let Some((at, seq, ev)) = self.queue.pop_next() {
             if self.cancelled.remove(&seq) {
@@ -208,6 +246,32 @@ mod tests {
         for i in 0..10 {
             assert_eq!(s.next().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn backends_dispatch_identically() {
+        let run = |backend: Backend| -> Vec<(SimTime, u32)> {
+            let mut s = Scheduler::with_backend(backend);
+            assert_eq!(s.backend(), backend);
+            for i in 0..200u32 {
+                s.schedule_at(SimTime::from_millis((i as u64 * 7919) % 100), i);
+            }
+            let doomed = s.schedule_at(SimTime::from_millis(50), 999);
+            s.cancel(doomed);
+            std::iter::from_fn(|| s.next()).collect()
+        };
+        assert_eq!(run(Backend::Heap), run(Backend::Calendar));
+    }
+
+    #[test]
+    fn max_pending_tracks_high_water() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_secs(i), ());
+        }
+        while s.next().is_some() {}
+        assert_eq!(s.max_pending(), 10);
+        assert_eq!(s.pending(), 0);
     }
 
     #[test]

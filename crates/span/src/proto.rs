@@ -337,7 +337,7 @@ impl SpanProto {
                 }
                 // beacon roughly once a second so neighbour tables stay
                 // fresh without paying a full hello every 300 ms window
-                if self.stats.psm_cycles % 3 == 0 {
+                if self.stats.psm_cycles.is_multiple_of(3) {
                     self.send_hello(ctx);
                     self.maybe_contend(ctx);
                 }

@@ -1,0 +1,653 @@
+//! Typed simulation events and their labels.
+//!
+//! Every event carries a timestamp plus an [`EventKind`] with the fields
+//! that matter for that kind.  Three derived views exist:
+//!
+//! * a canonical byte encoding folded into the [`TraceDigest`](crate::TraceDigest)
+//!   (`fold` — one tag byte, then fixed-width little-endian fields),
+//! * a JSONL rendering with the hierarchical labels spelled out
+//!   (`to_jsonl`), and
+//! * a compact ns-2-flavoured line (`to_line`) for eyeballing and diffing.
+//!
+//! Tag bytes and field order are part of the golden-digest contract:
+//! changing them invalidates the fixtures under `tests/golden/` and must
+//! be done deliberately.
+
+use crate::digest::Fnv64;
+use energy::{EnergyLevel, RadioMode};
+use geo::GridCoord;
+use radio::{FrameKind, NodeId, PageSignal};
+use sim_engine::SimTime;
+use std::fmt::Write as _;
+
+/// Which layer of the stack an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Discrete-event scheduler.
+    Sched,
+    /// CSMA/CA MAC.
+    Mac,
+    /// Transceiver power state.
+    Radio,
+    /// Battery / energy model.
+    Energy,
+    /// Remote-activated-switch paging channel.
+    Ras,
+    /// Routing / gateway control plane.
+    Route,
+    /// Application (CBR) layer.
+    App,
+}
+
+impl Layer {
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Sched => "sched",
+            Layer::Mac => "mac",
+            Layer::Radio => "radio",
+            Layer::Energy => "energy",
+            Layer::Ras => "ras",
+            Layer::Route => "route",
+            Layer::App => "app",
+        }
+    }
+}
+
+/// The hierarchical label set of one event: `protocol` (run-wide), then
+/// `layer`, then the optional `node` and `cell` the event is about.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Labels<'a> {
+    pub protocol: &'a str,
+    pub layer: Layer,
+    pub node: Option<NodeId>,
+    pub cell: Option<GridCoord>,
+}
+
+/// One traced event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    pub t: SimTime,
+    pub kind: EventKind,
+}
+
+/// Every event kind the simulator emits.  `dst: None` means broadcast.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A frame was put on the air.
+    MacTx {
+        node: NodeId,
+        dst: Option<NodeId>,
+        bytes: u32,
+    },
+    /// A frame was received successfully.
+    MacRx { node: NodeId, from: NodeId, bytes: u32 },
+    /// A reception was destroyed by a collision.
+    MacCollision { node: NodeId, from: NodeId },
+    /// A unicast missed its ACK and is being retried (`attempt` ≥ 1).
+    MacRetry { node: NodeId, attempt: u32 },
+    /// A unicast was dropped after exhausting its retransmission budget.
+    MacDrop { node: NodeId, dst: Option<NodeId> },
+    /// The transceiver changed power state.
+    RadioMode {
+        node: NodeId,
+        from: RadioMode,
+        to: RadioMode,
+    },
+    /// The battery crossed a level-class boundary (Eq. 1 classes).
+    BatteryLevel {
+        node: NodeId,
+        from: EnergyLevel,
+        to: EnergyLevel,
+    },
+    /// `node` became the gateway of `cell`.
+    GatewayElect { node: NodeId, cell: GridCoord },
+    /// `node` stopped being the gateway of `cell`.
+    GatewayRetire { node: NodeId, cell: GridCoord },
+    /// A RAS page was transmitted by `by`.
+    RasPage { by: NodeId, signal: PageSignal },
+    /// The application at `src` emitted packet (flow, seq).
+    PacketSent { src: NodeId, flow: u32, seq: u64 },
+    /// A router relayed packet (flow, seq) toward its destination.
+    PacketForwarded { node: NodeId, flow: u32, seq: u64 },
+    /// The application at `node` received packet (flow, seq).
+    PacketDelivered { node: NodeId, flow: u32, seq: u64 },
+    /// The host's battery ran out.
+    NodeDeath { node: NodeId },
+    /// The host crossed a grid boundary.
+    CellChange {
+        node: NodeId,
+        from: GridCoord,
+        to: GridCoord,
+    },
+}
+
+#[inline]
+fn mode_tag(m: RadioMode) -> u8 {
+    match m {
+        RadioMode::Tx => 0,
+        RadioMode::Rx => 1,
+        RadioMode::Idle => 2,
+        RadioMode::Sleep => 3,
+        RadioMode::Off => 4,
+    }
+}
+
+#[inline]
+fn level_tag(l: EnergyLevel) -> u8 {
+    match l {
+        EnergyLevel::Lower => 0,
+        EnergyLevel::Boundary => 1,
+        EnergyLevel::Upper => 2,
+    }
+}
+
+#[inline]
+fn fold_opt_node(h: &mut Fnv64, n: Option<NodeId>) {
+    // u32::MAX is an impossible node id (hosts are numbered from 0 and a
+    // world never holds 4 billion of them): safe broadcast sentinel.
+    h.write_u32(n.map(|n| n.0).unwrap_or(u32::MAX));
+}
+
+#[inline]
+fn fold_cell(h: &mut Fnv64, c: GridCoord) {
+    h.write_i32(c.x);
+    h.write_i32(c.y);
+}
+
+impl EventKind {
+    /// Stable one-byte tag of this kind (part of the digest contract).
+    pub fn tag(&self) -> u8 {
+        match self {
+            EventKind::MacTx { .. } => 1,
+            EventKind::MacRx { .. } => 2,
+            EventKind::MacCollision { .. } => 3,
+            EventKind::MacRetry { .. } => 4,
+            EventKind::MacDrop { .. } => 5,
+            EventKind::RadioMode { .. } => 6,
+            EventKind::BatteryLevel { .. } => 7,
+            EventKind::GatewayElect { .. } => 8,
+            EventKind::GatewayRetire { .. } => 9,
+            EventKind::RasPage { .. } => 10,
+            EventKind::PacketSent { .. } => 11,
+            EventKind::PacketForwarded { .. } => 12,
+            EventKind::PacketDelivered { .. } => 13,
+            EventKind::NodeDeath { .. } => 14,
+            EventKind::CellChange { .. } => 15,
+        }
+    }
+
+    /// Short kind name (used in JSONL and for per-kind counting).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MacTx { .. } => "mac_tx",
+            EventKind::MacRx { .. } => "mac_rx",
+            EventKind::MacCollision { .. } => "mac_collision",
+            EventKind::MacRetry { .. } => "mac_retry",
+            EventKind::MacDrop { .. } => "mac_drop",
+            EventKind::RadioMode { .. } => "radio_mode",
+            EventKind::BatteryLevel { .. } => "battery_level",
+            EventKind::GatewayElect { .. } => "gateway_elect",
+            EventKind::GatewayRetire { .. } => "gateway_retire",
+            EventKind::RasPage { .. } => "ras_page",
+            EventKind::PacketSent { .. } => "packet_sent",
+            EventKind::PacketForwarded { .. } => "packet_forwarded",
+            EventKind::PacketDelivered { .. } => "packet_delivered",
+            EventKind::NodeDeath { .. } => "node_death",
+            EventKind::CellChange { .. } => "cell_change",
+        }
+    }
+
+    /// The stack layer this event belongs to.
+    pub fn layer(&self) -> Layer {
+        match self {
+            EventKind::MacTx { .. }
+            | EventKind::MacRx { .. }
+            | EventKind::MacCollision { .. }
+            | EventKind::MacRetry { .. }
+            | EventKind::MacDrop { .. } => Layer::Mac,
+            EventKind::RadioMode { .. } => Layer::Radio,
+            EventKind::BatteryLevel { .. } | EventKind::NodeDeath { .. } => Layer::Energy,
+            EventKind::GatewayElect { .. }
+            | EventKind::GatewayRetire { .. }
+            | EventKind::PacketForwarded { .. }
+            | EventKind::CellChange { .. } => Layer::Route,
+            EventKind::RasPage { .. } => Layer::Ras,
+            EventKind::PacketSent { .. } | EventKind::PacketDelivered { .. } => Layer::App,
+        }
+    }
+
+    /// The node the event is about (its primary label).
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            EventKind::MacTx { node, .. }
+            | EventKind::MacRx { node, .. }
+            | EventKind::MacCollision { node, .. }
+            | EventKind::MacRetry { node, .. }
+            | EventKind::MacDrop { node, .. }
+            | EventKind::RadioMode { node, .. }
+            | EventKind::BatteryLevel { node, .. }
+            | EventKind::GatewayElect { node, .. }
+            | EventKind::GatewayRetire { node, .. }
+            | EventKind::PacketForwarded { node, .. }
+            | EventKind::PacketDelivered { node, .. }
+            | EventKind::NodeDeath { node }
+            | EventKind::CellChange { node, .. } => Some(node),
+            EventKind::RasPage { by, .. } => Some(by),
+            EventKind::PacketSent { src, .. } => Some(src),
+        }
+    }
+
+    /// The grid cell the event is about, when one is inherent to it.
+    pub fn cell(&self) -> Option<GridCoord> {
+        match *self {
+            EventKind::GatewayElect { cell, .. } | EventKind::GatewayRetire { cell, .. } => Some(cell),
+            EventKind::CellChange { to, .. } => Some(to),
+            EventKind::RasPage {
+                signal: PageSignal::Grid(cell),
+                ..
+            } => Some(cell),
+            _ => None,
+        }
+    }
+}
+
+impl Event {
+    /// Label view of this event under a run-wide `protocol` label.
+    pub fn labels<'a>(&self, protocol: &'a str) -> Labels<'a> {
+        Labels {
+            protocol,
+            layer: self.kind.layer(),
+            node: self.kind.node(),
+            cell: self.kind.cell(),
+        }
+    }
+
+    /// Fold the canonical encoding of this event into `h`.
+    pub fn fold(&self, h: &mut Fnv64) {
+        h.write_u64(self.t.as_nanos());
+        h.write_u8(self.kind.tag());
+        match self.kind {
+            EventKind::MacTx { node, dst, bytes } => {
+                h.write_u32(node.0);
+                fold_opt_node(h, dst);
+                h.write_u32(bytes);
+            }
+            EventKind::MacRx { node, from, bytes } => {
+                h.write_u32(node.0);
+                h.write_u32(from.0);
+                h.write_u32(bytes);
+            }
+            EventKind::MacCollision { node, from } => {
+                h.write_u32(node.0);
+                h.write_u32(from.0);
+            }
+            EventKind::MacRetry { node, attempt } => {
+                h.write_u32(node.0);
+                h.write_u32(attempt);
+            }
+            EventKind::MacDrop { node, dst } => {
+                h.write_u32(node.0);
+                fold_opt_node(h, dst);
+            }
+            EventKind::RadioMode { node, from, to } => {
+                h.write_u32(node.0);
+                h.write_u8(mode_tag(from));
+                h.write_u8(mode_tag(to));
+            }
+            EventKind::BatteryLevel { node, from, to } => {
+                h.write_u32(node.0);
+                h.write_u8(level_tag(from));
+                h.write_u8(level_tag(to));
+            }
+            EventKind::GatewayElect { node, cell } | EventKind::GatewayRetire { node, cell } => {
+                h.write_u32(node.0);
+                fold_cell(h, cell);
+            }
+            EventKind::RasPage { by, signal } => {
+                h.write_u32(by.0);
+                match signal {
+                    PageSignal::Host(id) => {
+                        h.write_u8(0);
+                        h.write_u32(id.0);
+                    }
+                    PageSignal::Grid(c) => {
+                        h.write_u8(1);
+                        fold_cell(h, c);
+                    }
+                }
+            }
+            EventKind::PacketSent { src, flow, seq } => {
+                h.write_u32(src.0);
+                h.write_u32(flow);
+                h.write_u64(seq);
+            }
+            EventKind::PacketForwarded { node, flow, seq }
+            | EventKind::PacketDelivered { node, flow, seq } => {
+                h.write_u32(node.0);
+                h.write_u32(flow);
+                h.write_u64(seq);
+            }
+            EventKind::NodeDeath { node } => {
+                h.write_u32(node.0);
+            }
+            EventKind::CellChange { node, from, to } => {
+                h.write_u32(node.0);
+                fold_cell(h, from);
+                fold_cell(h, to);
+            }
+        }
+    }
+
+    /// One JSONL object.  Time is integer nanoseconds (`t_ns`) so the
+    /// rendering is exact and diffable; labels come first, then the
+    /// kind-specific fields.  No external JSON dependency is needed — every
+    /// emitted value is a number, a plain identifier-like string, or a
+    /// two-element int array.
+    pub fn to_jsonl(&self, protocol: &str) -> String {
+        let l = self.labels(protocol);
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"t_ns\":{},\"kind\":\"{}\",\"layer\":\"{}\",\"protocol\":\"{}\"",
+            self.t.as_nanos(),
+            self.kind.name(),
+            l.layer.name(),
+            protocol
+        );
+        if let Some(n) = l.node {
+            let _ = write!(s, ",\"node\":{}", n.0);
+        }
+        if let Some(c) = l.cell {
+            let _ = write!(s, ",\"cell\":[{},{}]", c.x, c.y);
+        }
+        match self.kind {
+            EventKind::MacTx { dst, bytes, .. } => {
+                match dst {
+                    Some(d) => {
+                        let _ = write!(s, ",\"dst\":{}", d.0);
+                    }
+                    None => s.push_str(",\"dst\":\"*\""),
+                }
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            EventKind::MacRx { from, bytes, .. } => {
+                let _ = write!(s, ",\"from\":{},\"bytes\":{}", from.0, bytes);
+            }
+            EventKind::MacCollision { from, .. } => {
+                let _ = write!(s, ",\"from\":{}", from.0);
+            }
+            EventKind::MacRetry { attempt, .. } => {
+                let _ = write!(s, ",\"attempt\":{attempt}");
+            }
+            EventKind::MacDrop { dst, .. } => match dst {
+                Some(d) => {
+                    let _ = write!(s, ",\"dst\":{}", d.0);
+                }
+                None => s.push_str(",\"dst\":\"*\""),
+            },
+            EventKind::RadioMode { from, to, .. } => {
+                let _ = write!(s, ",\"from\":\"{from:?}\",\"to\":\"{to:?}\"");
+            }
+            EventKind::BatteryLevel { from, to, .. } => {
+                let _ = write!(s, ",\"from\":\"{from:?}\",\"to\":\"{to:?}\"");
+            }
+            EventKind::RasPage { signal, .. } => match signal {
+                PageSignal::Host(id) => {
+                    let _ = write!(s, ",\"target_host\":{}", id.0);
+                }
+                PageSignal::Grid(c) => {
+                    let _ = write!(s, ",\"target_grid\":[{},{}]", c.x, c.y);
+                }
+            },
+            EventKind::PacketSent { flow, seq, .. }
+            | EventKind::PacketForwarded { flow, seq, .. }
+            | EventKind::PacketDelivered { flow, seq, .. } => {
+                let _ = write!(s, ",\"flow\":{flow},\"seq\":{seq}");
+            }
+            EventKind::CellChange { from, .. } => {
+                let _ = write!(s, ",\"from_cell\":[{},{}]", from.x, from.y);
+            }
+            EventKind::GatewayElect { .. }
+            | EventKind::GatewayRetire { .. }
+            | EventKind::NodeDeath { .. } => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// ns-2-flavoured single-line rendering: `<op> <time> _<node>_ <details>`.
+    pub fn to_line(&self) -> String {
+        let t = self.t.as_secs_f64();
+        let mut s = String::new();
+        match self.kind {
+            EventKind::MacTx { node, dst, bytes } => {
+                let dst = match dst {
+                    None => "*".to_string(),
+                    Some(d) => d.to_string(),
+                };
+                let _ = write!(s, "s {t:.6} _{node}_ MAC {dst} {bytes} bytes");
+            }
+            EventKind::MacRx { node, from, bytes } => {
+                let _ = write!(s, "r {t:.6} _{node}_ MAC {from} {bytes} bytes");
+            }
+            EventKind::MacCollision { node, from } => {
+                let _ = write!(s, "D {t:.6} _{node}_ COL {from}");
+            }
+            EventKind::MacRetry { node, attempt } => {
+                let _ = write!(s, "R {t:.6} _{node}_ RET attempt {attempt}");
+            }
+            EventKind::MacDrop { node, dst } => {
+                let dst = match dst {
+                    None => "*".to_string(),
+                    Some(d) => d.to_string(),
+                };
+                let _ = write!(s, "D {t:.6} _{node}_ RET {dst}");
+            }
+            EventKind::RadioMode { node, from, to } => {
+                let _ = write!(s, "m {t:.6} _{node}_ PHY {from:?}>{to:?}");
+            }
+            EventKind::BatteryLevel { node, from, to } => {
+                let _ = write!(s, "e {t:.6} _{node}_ LVL {from:?}>{to:?}");
+            }
+            EventKind::GatewayElect { node, cell } => {
+                let _ = write!(s, "g {t:.6} _{node}_ GW elect {cell}");
+            }
+            EventKind::GatewayRetire { node, cell } => {
+                let _ = write!(s, "g {t:.6} _{node}_ GW retire {cell}");
+            }
+            EventKind::RasPage { by, signal } => {
+                let what = match signal {
+                    PageSignal::Host(h) => format!("host {h}"),
+                    PageSignal::Grid(g) => format!("grid {g}"),
+                };
+                let _ = write!(s, "p {t:.6} _{by}_ RAS {what}");
+            }
+            EventKind::PacketSent { src, flow, seq } => {
+                let _ = write!(s, "s {t:.6} _{src}_ AGT {flow}:{seq}");
+            }
+            EventKind::PacketForwarded { node, flow, seq } => {
+                let _ = write!(s, "f {t:.6} _{node}_ RTR {flow}:{seq}");
+            }
+            EventKind::PacketDelivered { node, flow, seq } => {
+                let _ = write!(s, "r {t:.6} _{node}_ AGT {flow}:{seq}");
+            }
+            EventKind::NodeDeath { node } => {
+                let _ = write!(s, "x {t:.6} _{node}_ ENE battery");
+            }
+            EventKind::CellChange { node, from, to } => {
+                let _ = write!(s, "c {t:.6} _{node}_ GRID {from}>{to}");
+            }
+        }
+        s
+    }
+
+    /// Convenience: MAC tx from the link-layer frame addressing.
+    pub fn mac_tx(t: SimTime, node: NodeId, kind: FrameKind, bytes: u32) -> Event {
+        Event {
+            t,
+            kind: EventKind::MacTx {
+                node,
+                dst: kind.dst(),
+                bytes,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn labels_follow_the_hierarchy() {
+        let e = Event {
+            t: at(10),
+            kind: EventKind::GatewayElect {
+                node: NodeId(7),
+                cell: GridCoord::new(2, 3),
+            },
+        };
+        let l = e.labels("ECGRID");
+        assert_eq!(l.protocol, "ECGRID");
+        assert_eq!(l.layer, Layer::Route);
+        assert_eq!(l.node, Some(NodeId(7)));
+        assert_eq!(l.cell, Some(GridCoord::new(2, 3)));
+    }
+
+    #[test]
+    fn every_kind_has_distinct_tag_and_name() {
+        let kinds = [
+            EventKind::MacTx {
+                node: NodeId(0),
+                dst: None,
+                bytes: 1,
+            },
+            EventKind::MacRx {
+                node: NodeId(0),
+                from: NodeId(1),
+                bytes: 1,
+            },
+            EventKind::MacCollision {
+                node: NodeId(0),
+                from: NodeId(1),
+            },
+            EventKind::MacRetry {
+                node: NodeId(0),
+                attempt: 1,
+            },
+            EventKind::MacDrop {
+                node: NodeId(0),
+                dst: Some(NodeId(1)),
+            },
+            EventKind::RadioMode {
+                node: NodeId(0),
+                from: RadioMode::Idle,
+                to: RadioMode::Tx,
+            },
+            EventKind::BatteryLevel {
+                node: NodeId(0),
+                from: EnergyLevel::Upper,
+                to: EnergyLevel::Boundary,
+            },
+            EventKind::GatewayElect {
+                node: NodeId(0),
+                cell: GridCoord::new(0, 0),
+            },
+            EventKind::GatewayRetire {
+                node: NodeId(0),
+                cell: GridCoord::new(0, 0),
+            },
+            EventKind::RasPage {
+                by: NodeId(0),
+                signal: PageSignal::Host(NodeId(1)),
+            },
+            EventKind::PacketSent {
+                src: NodeId(0),
+                flow: 0,
+                seq: 0,
+            },
+            EventKind::PacketForwarded {
+                node: NodeId(0),
+                flow: 0,
+                seq: 0,
+            },
+            EventKind::PacketDelivered {
+                node: NodeId(0),
+                flow: 0,
+                seq: 0,
+            },
+            EventKind::NodeDeath { node: NodeId(0) },
+            EventKind::CellChange {
+                node: NodeId(0),
+                from: GridCoord::new(0, 0),
+                to: GridCoord::new(0, 1),
+            },
+        ];
+        let mut tags: Vec<u8> = kinds.iter().map(|k| k.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), kinds.len(), "tags must be distinct");
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len(), "names must be distinct");
+    }
+
+    #[test]
+    fn jsonl_is_one_flat_object() {
+        let e = Event {
+            t: SimTime::from_millis(1500),
+            kind: EventKind::MacTx {
+                node: NodeId(3),
+                dst: Some(NodeId(5)),
+                bytes: 564,
+            },
+        };
+        let j = e.to_jsonl("GRID");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"t_ns\":1500000000"));
+        assert!(j.contains("\"kind\":\"mac_tx\""));
+        assert!(j.contains("\"layer\":\"mac\""));
+        assert!(j.contains("\"protocol\":\"GRID\""));
+        assert!(j.contains("\"node\":3"));
+        assert!(j.contains("\"dst\":5"));
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn broadcast_tx_renders_star() {
+        let e = Event::mac_tx(at(5), NodeId(0), FrameKind::Broadcast, 72);
+        assert_eq!(e.to_line(), "s 0.005000 _0_ MAC * 72 bytes");
+        assert!(e.to_jsonl("ECGRID").contains("\"dst\":\"*\""));
+    }
+
+    #[test]
+    fn digest_encoding_separates_similar_events() {
+        // Same fields, different kind tag -> different digest.
+        let a = Event {
+            t: at(1),
+            kind: EventKind::PacketSent {
+                src: NodeId(1),
+                flow: 2,
+                seq: 3,
+            },
+        };
+        let b = Event {
+            t: at(1),
+            kind: EventKind::PacketDelivered {
+                node: NodeId(1),
+                flow: 2,
+                seq: 3,
+            },
+        };
+        let mut ha = Fnv64::new();
+        a.fold(&mut ha);
+        let mut hb = Fnv64::new();
+        b.fold(&mut hb);
+        assert_ne!(ha.finish(), hb.finish());
+    }
+}

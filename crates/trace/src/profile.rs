@@ -1,0 +1,107 @@
+//! Scheduler profiling: what the event loop spent its dispatches on.
+//!
+//! Profiling data is intentionally **not** part of the trace digest — it
+//! describes how the host machine executed the run (queue depths, wall
+//! rates), not what the simulated network did, and must never perturb the
+//! replay oracle.
+
+/// Per-run scheduler profile.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SchedProfile {
+    /// (domain name, dispatch count), in first-seen order.  Domains are
+    /// the world's event kinds ("mac_try_tx", "timer", …); the set is
+    /// small, so a linear scan beats hashing.
+    domains: Vec<(&'static str, u64)>,
+    /// Total events dispatched.
+    pub dispatched: u64,
+    /// High-water mark of the pending-event queue.
+    pub max_queue_depth: usize,
+}
+
+impl SchedProfile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one dispatch under `domain`.
+    #[inline]
+    pub fn bump(&mut self, domain: &'static str) {
+        self.dispatched += 1;
+        for d in &mut self.domains {
+            if d.0 == domain {
+                d.1 += 1;
+                return;
+            }
+        }
+        self.domains.push((domain, 1));
+    }
+
+    /// Record an observed queue depth (keeps the maximum).
+    #[inline]
+    pub fn observe_depth(&mut self, depth: usize) {
+        if depth > self.max_queue_depth {
+            self.max_queue_depth = depth;
+        }
+    }
+
+    /// Dispatch count of one domain.
+    pub fn count(&self, domain: &str) -> u64 {
+        self.domains
+            .iter()
+            .find(|d| d.0 == domain)
+            .map(|d| d.1)
+            .unwrap_or(0)
+    }
+
+    /// All (domain, count) pairs, sorted by descending count then name —
+    /// a deterministic order for reports.
+    pub fn by_domain(&self) -> Vec<(&'static str, u64)> {
+        let mut v = self.domains.clone();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Dispatched events per wall-clock second.
+    pub fn events_per_sec(&self, wall_secs: f64) -> f64 {
+        if wall_secs > 0.0 {
+            self.dispatched as f64 / wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_accumulates_per_domain() {
+        let mut p = SchedProfile::new();
+        p.bump("timer");
+        p.bump("mac_try_tx");
+        p.bump("timer");
+        assert_eq!(p.dispatched, 3);
+        assert_eq!(p.count("timer"), 2);
+        assert_eq!(p.count("mac_try_tx"), 1);
+        assert_eq!(p.count("unknown"), 0);
+        assert_eq!(p.by_domain()[0], ("timer", 2));
+    }
+
+    #[test]
+    fn depth_keeps_high_water() {
+        let mut p = SchedProfile::new();
+        p.observe_depth(5);
+        p.observe_depth(3);
+        p.observe_depth(9);
+        assert_eq!(p.max_queue_depth, 9);
+    }
+
+    #[test]
+    fn rate_is_guarded_against_zero_wall() {
+        let mut p = SchedProfile::new();
+        p.bump("x");
+        assert_eq!(p.events_per_sec(0.0), 0.0);
+        assert_eq!(p.events_per_sec(0.5), 2.0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Follow one packet hop by hop: the World's ns-2-style event trace.
+//! Follow one packet hop by hop: the World's structured event trace.
 //!
 //! ```sh
 //! cargo run --release --example packet_trace
@@ -6,7 +6,7 @@
 
 use ecgrid_suite::ecgrid::{Ecgrid, EcgridConfig};
 use ecgrid_suite::manet::{
-    FlowSet, HostSetup, NodeId, Point2, SimDuration, SimTime, TraceRecord, World, WorldConfig,
+    EventKind, FlowSet, HostSetup, NodeId, Point2, SimDuration, SimTime, World, WorldConfig,
 };
 use ecgrid_suite::mobility::MobilityTrace;
 use ecgrid_suite::traffic::{CbrFlow, FlowId};
@@ -44,21 +44,22 @@ fn main() {
     // skip the election chatter; show everything from just before the send
     let from = SimTime::from_secs_f64(4.9);
     let mut shown = 0;
-    for r in w.event_trace() {
-        if r.time() < from {
+    for ev in w.event_trace() {
+        if ev.t < from {
             continue;
         }
         // HELLO beacons clutter the picture; keep MAC data frames (>100 B),
         // pages, and application events
-        let keep = match r {
-            TraceRecord::TxStart { wire_bytes, .. } | TraceRecord::RxOk { wire_bytes, .. } => {
-                *wire_bytes > 100
-            }
-            TraceRecord::AppSend { .. } | TraceRecord::AppRecv { .. } | TraceRecord::Page { .. } => true,
+        let keep = match ev.kind {
+            EventKind::MacTx { bytes, .. } | EventKind::MacRx { bytes, .. } => bytes > 100,
+            EventKind::PacketSent { .. }
+            | EventKind::PacketForwarded { .. }
+            | EventKind::PacketDelivered { .. }
+            | EventKind::RasPage { .. } => true,
             _ => false,
         };
         if keep {
-            println!("  {}", r.to_line());
+            println!("  {}", ev.to_line());
             shown += 1;
         }
     }
@@ -66,6 +67,7 @@ fn main() {
         "\n({shown} events shown; {} recorded in total)",
         w.event_trace().len()
     );
+    println!("trace digest: {}", w.trace_digest().expect("recorder enabled"));
     println!(
         "delivered {}/{} — the 'p … RAS host 3' line is the gateway paging \
          the sleeping destination before flushing its buffer.",

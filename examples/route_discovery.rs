@@ -71,16 +71,10 @@ fn main() {
 
     println!("== Fig. 2 walkthrough: RREQ flood + RREP reverse path ==\n");
     println!("roles after election:");
-    for i in 0..names.len() {
+    for (i, name) in names.iter().enumerate() {
         let id = NodeId(i as u32);
         let p = world.protocol(id);
-        println!(
-            "  {:>2} (host {:>2}) grid {}: {:?}",
-            names[i],
-            i,
-            p.grid(),
-            p.role()
-        );
+        println!("  {:>2} (host {:>2}) grid {}: {:?}", name, i, p.grid(), p.role());
     }
 
     println!("\nprotocol trace:");

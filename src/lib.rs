@@ -18,4 +18,5 @@ pub use radio;
 pub use runner;
 pub use sim_engine;
 pub use span;
+pub use trace;
 pub use traffic;

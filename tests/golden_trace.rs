@@ -1,0 +1,150 @@
+//! Golden-trace regression harness.
+//!
+//! The trace digest is a canonical FNV-1a 64 over every semantic event of a
+//! run (tag byte + fixed-width little-endian fields, see `crates/trace`).
+//! These tests hold the simulator to the determinism contract:
+//!
+//! * the digest is a pure function of (scenario, seed) — repeated runs agree,
+//! * it does not depend on the scheduler backend (binary heap vs calendar
+//!   queue),
+//! * it does not depend on whether replicas run serially or fanned out
+//!   across threads, and
+//! * it matches the committed fixtures under `tests/golden/`, one per
+//!   protocol, so *any* behavioural drift anywhere in the stack shows up as
+//!   a failing diff here.
+//!
+//! To regenerate the fixtures after a deliberate behaviour change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+
+use ecgrid_suite::manet::trace::TraceMode;
+use ecgrid_suite::manet::Backend;
+use ecgrid_suite::runner::{run_replicas, run_scenario_with, ProtocolKind, RunOptions, Scenario};
+use std::path::PathBuf;
+
+/// The canonical golden scenario: small enough to run in seconds in debug
+/// builds, busy enough to exercise MAC contention, gateway churn, paging and
+/// multi-hop forwarding.
+fn golden(protocol: ProtocolKind) -> Scenario {
+    Scenario {
+        protocol,
+        n_hosts: 30,
+        max_speed: 1.0,
+        pause_secs: 0.0,
+        n_flows: 3,
+        flow_rate_pps: 1.0,
+        duration_secs: 40.0,
+        seed: 11,
+        model1_endpoints: 4,
+    }
+}
+
+const GOLDEN_PROTOCOLS: [ProtocolKind; 3] = [ProtocolKind::Ecgrid, ProtocolKind::Grid, ProtocolKind::Gaf];
+
+fn fixture_path(p: ProtocolKind) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.digest", p.name().to_lowercase()))
+}
+
+#[test]
+fn repeated_runs_produce_identical_digests() {
+    for p in GOLDEN_PROTOCOLS {
+        let sc = golden(p);
+        let a = run_scenario_with(&sc, RunOptions::digest());
+        let b = run_scenario_with(&sc, RunOptions::digest());
+        let da = a.trace_digest.expect("tracing was enabled");
+        let db = b.trace_digest.expect("tracing was enabled");
+        assert_eq!(da, db, "{p:?}: same (scenario, seed) must replay bit-identically");
+        assert_ne!(da.0, 0, "{p:?}: a non-empty run has a non-trivial digest");
+    }
+}
+
+#[test]
+fn digest_is_independent_of_scheduler_backend() {
+    for p in GOLDEN_PROTOCOLS {
+        let sc = golden(p);
+        let heap = run_scenario_with(&sc, RunOptions::digest().with_backend(Backend::Heap));
+        let cal = run_scenario_with(&sc, RunOptions::digest().with_backend(Backend::Calendar));
+        assert_eq!(
+            heap.trace_digest, cal.trace_digest,
+            "{p:?}: heap and calendar backends must schedule identically"
+        );
+        // The digest covers semantics only — backends may differ in queue
+        // profile, never in outcome.
+        assert_eq!(heap.pdr, cal.pdr, "{p:?}");
+        assert_eq!(heap.stats, cal.stats, "{p:?}");
+    }
+}
+
+#[test]
+fn digest_is_independent_of_sweep_parallelism() {
+    // Replica k runs seed sc.seed + k; fanning the replicas out across
+    // rayon threads must not change any of them.
+    let sc = golden(ProtocolKind::Ecgrid);
+    let serial = run_replicas(&sc, 3, RunOptions::digest(), false);
+    let parallel = run_replicas(&sc, 3, RunOptions::digest(), true);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.scenario.seed, p.scenario.seed);
+        assert_eq!(
+            s.trace_digest, p.trace_digest,
+            "seed {}: serial and parallel replicas must agree",
+            s.scenario.seed
+        );
+    }
+    // ...and distinct seeds must not collide (the digest actually varies).
+    assert_ne!(serial[0].trace_digest, serial[1].trace_digest);
+}
+
+#[test]
+fn full_trace_mode_digests_like_digest_only() {
+    // Buffering the events for export must not perturb the digest.
+    let sc = golden(ProtocolKind::Grid);
+    let lean = run_scenario_with(&sc, RunOptions::digest());
+    let full = run_scenario_with(
+        &sc,
+        RunOptions {
+            trace: Some(TraceMode::Full),
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(lean.trace_digest, full.trace_digest);
+    let rec = full.recorder.expect("full trace kept");
+    assert_eq!(rec.count() as usize, rec.events().len());
+    assert!(rec.count() > 0);
+}
+
+#[test]
+fn digests_match_the_golden_fixtures() {
+    let mut mismatches = Vec::new();
+    for p in GOLDEN_PROTOCOLS {
+        let sc = golden(p);
+        let r = run_scenario_with(&sc, RunOptions::digest());
+        let got = r.trace_digest.expect("tracing was enabled");
+        let path = fixture_path(p);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, format!("{got}\n")).unwrap();
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        let want = ecgrid_suite::trace::TraceDigest::parse(&text)
+            .unwrap_or_else(|| panic!("unparseable fixture {}", path.display()));
+        if got != want {
+            mismatches.push(format!("{p:?}: fixture {want}, run produced {got}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden trace drift (deliberate change? rerun with UPDATE_GOLDEN=1):\n{}",
+        mismatches.join("\n")
+    );
+}

@@ -3,7 +3,9 @@
 use ecgrid_suite::energy::{Battery, EnergyMeter, PowerProfile, RadioMode};
 use ecgrid_suite::geo::{GridMap, Point2, Vec2};
 use ecgrid_suite::mobility::{MobilityModel, RandomWaypoint};
+use ecgrid_suite::radio::NodeId;
 use ecgrid_suite::sim_engine::{derive_seed, SimDuration, SimTime};
+use ecgrid_suite::trace::{Event, EventKind, Histogram, Recorder, Registry, TraceMode};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -129,5 +131,117 @@ proptest! {
         prop_assert!(!b2.is_empty());
         b2.drain(draw * secs * 0.002);
         prop_assert!(b2.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability-layer properties (crates/trace).
+// ---------------------------------------------------------------------------
+
+/// A synthetic but deterministic event stream: timestamps strictly increase,
+/// addressing fields vary with the seed.
+fn synth_events(n: usize, seed: u64) -> Vec<Event> {
+    (0..n)
+        .map(|i| {
+            let s = derive_seed(seed, "synth-event", i as u64);
+            Event {
+                t: SimTime::from_micros(i as u64 * 100 + s % 50),
+                kind: EventKind::PacketSent {
+                    src: NodeId((s % 7) as u32),
+                    flow: (s % 3) as u32,
+                    seq: i as u64,
+                },
+            }
+        })
+        .collect()
+}
+
+fn digest_of(events: &[Event]) -> u64 {
+    let mut r = Recorder::new(TraceMode::DigestOnly);
+    for &e in events {
+        r.record(e);
+    }
+    r.digest().0
+}
+
+proptest! {
+    /// Nearest-rank percentiles are monotone in q and always bounded by the
+    /// sample min/max.
+    #[test]
+    fn histogram_percentiles_monotone_and_bounded(
+        samples in proptest::collection::vec(-1e6..1e6f64, 1..200),
+        qs in proptest::collection::vec(0.0..=1.0f64, 2..20),
+    ) {
+        let mut qs = qs;
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len());
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let p = h.percentile(q).unwrap();
+            prop_assert!(p >= last, "percentile({q}) = {p} < previous {last}");
+            prop_assert!((min..=max).contains(&p), "percentile({q}) = {p} outside [{min}, {max}]");
+            last = p;
+        }
+    }
+
+    /// Counters never decrease under any interleaving of adds — increment
+    /// is the only operation the registry offers.
+    #[test]
+    fn registry_counters_are_monotone(
+        ops in proptest::collection::vec((0usize..4, 0u64..1000), 1..100)
+    ) {
+        let names = ["mac.tx", "mac.rx", "route.forwarded", "app.sent"];
+        let mut r = Registry::new();
+        let mut last = [0u64; 4];
+        for (which, delta) in ops {
+            r.counter_add(names[which], delta);
+            for (j, name) in names.iter().enumerate() {
+                let v = r.counter(name);
+                prop_assert!(v >= last[j], "{name} went from {} to {v}", last[j]);
+                last[j] = v;
+            }
+        }
+    }
+
+    /// The replay digest detects any single-event perturbation: nudging a
+    /// timestamp, changing a payload field, or dropping the event each
+    /// produce a different digest.
+    #[test]
+    fn digest_detects_any_single_event_perturbation(
+        n in 2usize..40,
+        pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let base = synth_events(n, seed);
+        let baseline = digest_of(&base);
+        let idx = (pick % n as u64) as usize;
+
+        let mut nudged = base.clone();
+        nudged[idx].t += SimDuration::from_nanos(1);
+        prop_assert_ne!(digest_of(&nudged), baseline, "timestamp nudge at #{idx} went unnoticed");
+
+        let mut reseq = base.clone();
+        if let EventKind::PacketSent { seq, .. } = &mut reseq[idx].kind {
+            *seq += 1_000_000;
+        }
+        prop_assert_ne!(digest_of(&reseq), baseline, "field change at #{idx} went unnoticed");
+
+        let mut dropped = base.clone();
+        dropped.remove(idx);
+        prop_assert_ne!(digest_of(&dropped), baseline, "dropping #{idx} went unnoticed");
+
+        let mut swapped = base.clone();
+        if idx + 1 < n {
+            // order matters even between distinct events at equal rank
+            swapped.swap(idx, idx + 1);
+            if swapped[idx] != base[idx] {
+                prop_assert_ne!(digest_of(&swapped), baseline, "reorder at #{idx} went unnoticed");
+            }
+        }
     }
 }

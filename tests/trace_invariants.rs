@@ -1,0 +1,210 @@
+//! Cross-protocol invariants checked over the recorded event stream.
+//!
+//! Every protocol runs the same scenario under a full trace; the resulting
+//! event sequence is then replayed through a set of stateful checkers:
+//!
+//! * timestamps never go backwards,
+//! * every delivered (and forwarded) packet was sent first,
+//! * no host transmits while its radio is asleep (or off, or dead),
+//! * gateway elect / retire strictly alternate per (node, cell) tenure,
+//! * battery level classes only cascade downward (Upper → Boundary →
+//!   Lower), a node dies at most once, and
+//! * energy consumed never exceeds the battery's initial capacity.
+
+use ecgrid_suite::manet::trace::TraceMode;
+use ecgrid_suite::manet::{Battery, EventKind, HostSetup, NodeId, World, WorldConfig};
+use ecgrid_suite::runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
+use ecgrid_suite::trace::Event;
+use ecgrid_suite::{ecgrid, energy, geo, mobility, sim_engine, traffic};
+use energy::{EnergyLevel, RadioMode};
+use geo::GridCoord;
+use mobility::MobilityModel;
+use sim_engine::{RngFactory, SimTime};
+use std::collections::{HashMap, HashSet};
+
+fn tiny(protocol: ProtocolKind) -> Scenario {
+    Scenario {
+        protocol,
+        n_hosts: 40,
+        max_speed: 2.0,
+        pause_secs: 0.0,
+        n_flows: 4,
+        flow_rate_pps: 1.0,
+        duration_secs: 60.0,
+        seed: 3,
+        model1_endpoints: 4,
+    }
+}
+
+/// Replay `events` through every invariant checker; panic with context on
+/// the first violation.
+fn check_invariants(tag: &str, events: &[Event]) {
+    let mut last_t = SimTime::ZERO;
+    let mut sent: HashSet<(u32, u64)> = HashSet::new();
+    let mut mode: HashMap<NodeId, RadioMode> = HashMap::new();
+    let mut gw: HashMap<NodeId, GridCoord> = HashMap::new();
+    let mut level: HashMap<NodeId, EnergyLevel> = HashMap::new();
+    let mut dead: HashSet<NodeId> = HashSet::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let at = || format!("{tag}: event #{i} at {:?}: {:?}", ev.t, ev.kind);
+        assert!(ev.t >= last_t, "{}: time went backwards (last {last_t:?})", at());
+        last_t = ev.t;
+
+        match ev.kind {
+            EventKind::PacketSent { flow, seq, .. } => {
+                assert!(sent.insert((flow, seq)), "{}: duplicate send", at());
+            }
+            EventKind::PacketForwarded { flow, seq, .. } => {
+                assert!(sent.contains(&(flow, seq)), "{}: forwarded before sent", at());
+            }
+            EventKind::PacketDelivered { flow, seq, .. } => {
+                assert!(sent.contains(&(flow, seq)), "{}: delivered before sent", at());
+            }
+            EventKind::MacTx { node, .. } => {
+                let m = mode.get(&node).copied().unwrap_or(RadioMode::Idle);
+                assert!(
+                    m != RadioMode::Sleep && m != RadioMode::Off,
+                    "{}: transmission while the radio is {m:?}",
+                    at()
+                );
+                assert!(!dead.contains(&node), "{}: transmission after death", at());
+            }
+            EventKind::RadioMode { node, from, to } => {
+                let prev = mode.insert(node, to).unwrap_or(RadioMode::Idle);
+                assert_eq!(prev, from, "{}: mode transition out of nowhere", at());
+            }
+            EventKind::GatewayElect { node, cell } => {
+                assert_eq!(
+                    gw.insert(node, cell),
+                    None,
+                    "{}: elected while already holding a gateway tenure",
+                    at()
+                );
+            }
+            EventKind::GatewayRetire { node, cell } => {
+                assert_eq!(
+                    gw.remove(&node),
+                    Some(cell),
+                    "{}: retire does not close the matching elect",
+                    at()
+                );
+            }
+            EventKind::BatteryLevel { node, from, to } => {
+                let prev = level.insert(node, to).unwrap_or(EnergyLevel::Upper);
+                assert_eq!(prev, from, "{}: level transition out of nowhere", at());
+                assert_eq!(
+                    from.next_down(),
+                    Some(to),
+                    "{}: battery classes must cascade downward one step at a time",
+                    at()
+                );
+            }
+            EventKind::NodeDeath { node } => {
+                assert!(dead.insert(node), "{}: node died twice", at());
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn every_protocol_satisfies_the_trace_invariants() {
+    for p in ProtocolKind::ALL {
+        let opts = RunOptions {
+            trace: Some(TraceMode::Full),
+            ..RunOptions::default()
+        };
+        let r = run_scenario_with(&tiny(p), opts);
+        let rec = r.recorder.expect("full trace kept");
+        assert!(rec.count() > 0, "{p:?}: the run recorded nothing");
+        check_invariants(p.name(), rec.events());
+    }
+}
+
+#[test]
+fn gateway_tenures_alternate_and_close() {
+    // Focused check on the control plane: per (node, cell), elect and
+    // retire interleave strictly, and every tenure that ends was opened.
+    for p in [ProtocolKind::Ecgrid, ProtocolKind::Grid, ProtocolKind::Gaf] {
+        let opts = RunOptions {
+            trace: Some(TraceMode::Full),
+            ..RunOptions::default()
+        };
+        let r = run_scenario_with(&tiny(p), opts);
+        let rec = r.recorder.expect("full trace kept");
+        let mut elects = 0u64;
+        let mut retires = 0u64;
+        for ev in rec.events() {
+            match ev.kind {
+                EventKind::GatewayElect { .. } => elects += 1,
+                EventKind::GatewayRetire { .. } => retires += 1,
+                _ => {}
+            }
+        }
+        assert!(elects > 0, "{p:?}: a grid protocol must elect gateways");
+        assert!(
+            retires <= elects,
+            "{p:?}: {retires} retires but only {elects} elects"
+        );
+    }
+}
+
+/// Drive a small world on nearly-empty batteries until everyone dies, then
+/// check the energy bookkeeping end to end: per-node consumption is capped
+/// by the initial capacity, and the trace shows the full downward cascade
+/// (Upper → Boundary → Lower → death) for each host.
+#[test]
+fn drained_batteries_cascade_and_never_overdraw() {
+    let capacity = 2.0; // joules — idle draw empties this in ~2 minutes
+    let cfg = WorldConfig::paper_default(99);
+    let rngs = RngFactory::new(99);
+    let model = mobility::RandomWaypoint::paper(1.0, 0.0);
+    let horizon = SimTime::from_secs(400);
+    let hosts: Vec<HostSetup> = (0..6)
+        .map(|i| {
+            let trace = model.build_trace(&mut rngs.stream("mobility", i), horizon);
+            HostSetup {
+                battery: Battery::with_capacity(capacity),
+                ..HostSetup::paper(trace)
+            }
+        })
+        .collect();
+    let flows = traffic::FlowSet::new(Vec::new());
+    let mut w = World::new(cfg, hosts, flows, |id| {
+        ecgrid::Ecgrid::new(ecgrid::EcgridConfig::default(), id)
+    });
+    w.enable_trace(TraceMode::Full);
+    w.run_until(SimTime::from_secs(300));
+
+    for i in 0..w.node_count() {
+        let id = NodeId(i as u32);
+        assert!(!w.node_alive(id), "host {i} should have drained");
+        let consumed = w.node_consumed_j(id);
+        assert!(
+            consumed <= capacity + 1e-9,
+            "host {i} consumed {consumed} J from a {capacity} J battery"
+        );
+    }
+
+    let rec = w.take_recorder().expect("trace enabled");
+    check_invariants("drain", rec.events());
+    let mut deaths = 0;
+    let mut cascades: HashMap<NodeId, Vec<EnergyLevel>> = HashMap::new();
+    for ev in rec.events() {
+        match ev.kind {
+            EventKind::NodeDeath { .. } => deaths += 1,
+            EventKind::BatteryLevel { node, to, .. } => cascades.entry(node).or_default().push(to),
+            _ => {}
+        }
+    }
+    assert_eq!(deaths, 6, "every host dies exactly once");
+    for (node, steps) in &cascades {
+        assert_eq!(
+            steps,
+            &[EnergyLevel::Boundary, EnergyLevel::Lower],
+            "host {node}: full downward cascade"
+        );
+    }
+    assert_eq!(cascades.len(), 6);
+}
