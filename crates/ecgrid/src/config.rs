@@ -57,6 +57,21 @@ pub struct EcgridConfig {
     /// Minimum spacing of reactive gateway HELLO responses (to arrival
     /// HELLOs and ACQs), preventing response storms.
     pub gw_response_min_gap: f64,
+    /// How many times a gateway re-pages an unresponsive sleeping
+    /// destination (with exponentially backed-off wake waits) before the
+    /// buffered packet is dropped and the host forgotten.  Bounds the
+    /// implicit page→flush→fail retry loop that a lossy paging channel
+    /// would otherwise spin until the data TTL ran out.
+    pub max_page_attempts: u32,
+    /// Grace period a member woken by a retiring gateway's grid page
+    /// waits for the RETIRE handover; if neither the RETIRE nor any
+    /// gateway HELLO arrives, the member declares a no-gateway event
+    /// instead of idling in a gateway-less grid.
+    pub handoff_grace: f64,
+    /// A host continuously asleep this long wakes once to revalidate that
+    /// its grid still has a live gateway (orphaned-cell detection: a
+    /// crashed gateway can never page its sleepers).
+    pub orphan_check_secs: f64,
 }
 
 impl Default for EcgridConfig {
@@ -79,6 +94,9 @@ impl Default for EcgridConfig {
             buffer_cap: 64,
             host_fresh_secs: 1.6,
             gw_response_min_gap: 0.2,
+            max_page_attempts: 5,
+            handoff_grace: 1.0,
+            orphan_check_secs: 60.0,
         }
     }
 }
@@ -102,5 +120,14 @@ mod tests {
         assert!(c.retire_wait > 0.005, "must exceed the RAS wake latency");
         assert!(c.forward_wake_wait > 0.005, "must exceed the RAS wake latency");
         assert!(c.max_discovery_attempts >= 2, "need a global retry round");
+        assert!(c.max_page_attempts >= 2, "need at least one page retry");
+        assert!(
+            c.handoff_grace > c.retire_wait,
+            "grace must outlast the RETIRE handover"
+        );
+        assert!(
+            c.orphan_check_secs > c.gateway_silence,
+            "orphan check is the slow path behind the watchdog"
+        );
     }
 }

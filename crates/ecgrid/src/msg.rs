@@ -79,6 +79,9 @@ pub enum EcTimer {
     ForwardBuffered { dst: NodeId },
     /// ACQ went unanswered (no-gateway event, §3.2 condition 2).
     AcqTimeout { epoch: u32 },
+    /// A member woken by a retiring gateway's grid page has waited the
+    /// whole handoff grace period without a RETIRE or a gateway HELLO.
+    HandoffGrace { epoch: u32 },
     /// Route discovery attempt for `dst` timed out.
     DiscoveryTimeout { dst: NodeId, attempt: u32 },
 }

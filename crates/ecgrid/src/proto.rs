@@ -47,6 +47,14 @@ pub struct EcStats {
     pub pages_sent: u64,
     pub sleeps: u64,
     pub dwell_extensions: u64,
+    /// Re-pages of an unresponsive sleeping destination (attempt ≥ 1).
+    pub page_retries: u64,
+    /// Buffered packets abandoned after `max_page_attempts` failed pages.
+    pub page_gave_up: u64,
+    /// Handoff grace periods that expired without a successor gateway.
+    pub handoff_timeouts: u64,
+    /// Orphan revalidation wake-ups of long-sleeping hosts.
+    pub orphan_checks: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +100,7 @@ pub struct Ecgrid {
     dwell_epoch: u32,
     quiet_epoch: u32,
     acq_epoch: u32,
+    handoff_epoch: u32,
     /// My destination sequence number.
     my_seq: u32,
     rreq_counter: u32,
@@ -99,6 +108,11 @@ pub struct Ecgrid {
     pending_route: HashMap<NodeId, VecDeque<EcMsg>>,
     /// Gateway: packets awaiting a paged local host.
     pending_wake: HashMap<NodeId, VecDeque<EcMsg>>,
+    /// Gateway: how many consecutive pages toward each sleeping host went
+    /// unanswered (any frame from the host clears its entry).
+    page_attempts: HashMap<NodeId, u32>,
+    /// When the current uninterrupted sleep began (orphan detection).
+    sleep_since: SimTime,
     /// Discoveries in flight: dst -> attempt.
     discovering: HashMap<NodeId, u32>,
     /// Last known grid of remote destinations (learned from RREPs; may be
@@ -138,10 +152,13 @@ impl Ecgrid {
             dwell_epoch: 0,
             quiet_epoch: 0,
             acq_epoch: 0,
+            handoff_epoch: 0,
             my_seq: 0,
             rreq_counter: 0,
             pending_route: HashMap::new(),
             pending_wake: HashMap::new(),
+            page_attempts: HashMap::new(),
+            sleep_since: SimTime::ZERO,
             discovering: HashMap::new(),
             dst_hints: HashMap::new(),
             pending_own: Vec::new(),
@@ -253,6 +270,7 @@ impl Ecgrid {
         self.gateway = None;
         self.candidates.clear();
         self.election_epoch += 1;
+        self.handoff_epoch += 1; // an election supersedes any handoff wait
         self.send_hello(ctx, false);
         self.arm_hello(ctx);
         ctx.set_timer_secs(
@@ -296,7 +314,9 @@ impl Ecgrid {
         self.sync_gateway_trace(ctx);
         self.gateway = Some(gateway);
         self.last_gw_hello = ctx.now();
+        self.handoff_epoch += 1;
         self.host_table.clear();
+        self.page_attempts.clear();
         self.arm_gateway_watch(ctx);
         self.arm_quiet_sleep(ctx);
         self.flush_pending_own(ctx);
@@ -306,6 +326,7 @@ impl Ecgrid {
         self.stats.became_gateway += 1;
         self.role = Role::Gateway;
         self.sync_gateway_trace(ctx);
+        self.handoff_epoch += 1;
         self.gateway = Some(self.me);
         self.level_at_election = ctx.level();
         self.send_hello(ctx, true);
@@ -336,10 +357,10 @@ impl Ecgrid {
     /// Member with a confirmed gateway: hand over queued own packets.
     fn flush_pending_own(&mut self, ctx: &mut Ctx<'_, Self>) {
         let Some(gw) = self.gateway else { return };
+        self.awaiting_acq = false;
         if self.pending_own.is_empty() {
             return;
         }
-        self.awaiting_acq = false;
         let own: Vec<(NodeId, AppPacket)> = self.pending_own.drain(..).collect();
         for (dst, packet) in own {
             ctx.unicast(
@@ -368,6 +389,8 @@ impl Ecgrid {
         self.role = Role::Sleeping;
         self.hello_epoch += 1; // kill the beacon chain while asleep
         self.watch_epoch += 1; // invalidate the watchdog while asleep
+        self.handoff_epoch += 1; // a sleeper is not waiting on a handoff
+        self.sleep_since = ctx.now();
         self.arm_dwell(ctx);
         ctx.sleep();
         ctx.note(|| format!("sleeping in {}", self.my_grid));
@@ -375,7 +398,15 @@ impl Ecgrid {
 
     fn arm_dwell(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.dwell_epoch += 1;
-        let dwell = ctx.estimated_dwell_secs(self.cfg.dwell_cap).max(0.05);
+        // never sleep past the orphan-revalidation deadline: a crashed
+        // gateway can neither beacon nor page, so a sleeper is the only
+        // party able to notice its cell went dark
+        let slept = ctx.now().since(self.sleep_since).as_secs_f64();
+        let until_check = (self.cfg.orphan_check_secs - slept).max(0.05);
+        let dwell = ctx
+            .estimated_dwell_secs(self.cfg.dwell_cap)
+            .max(0.05)
+            .min(until_check);
         ctx.set_timer_secs(
             dwell,
             EcTimer::Dwell {
@@ -401,11 +432,13 @@ impl Ecgrid {
     fn enter_grid(&mut self, ctx: &mut Ctx<'_, Self>, new: GridCoord) {
         self.my_grid = new;
         self.host_table.clear();
+        self.page_attempts.clear();
         self.gateway = None;
         self.role = Role::Electing;
         self.sync_gateway_trace(ctx);
         self.candidates.clear();
         self.election_epoch += 1;
+        self.handoff_epoch += 1;
         self.send_hello(ctx, false);
         self.arm_hello(ctx);
         // if nobody answers within a HELLO period, the grid is empty and we
@@ -481,9 +514,7 @@ impl Ecgrid {
                 }
                 q.push_back(fwd);
                 if q.len() == 1 {
-                    self.stats.pages_sent += 1;
-                    ctx.page_host(dst);
-                    ctx.set_timer_secs(self.cfg.forward_wake_wait, EcTimer::ForwardBuffered { dst });
+                    self.start_page(ctx, dst);
                 }
             }
             return;
@@ -522,6 +553,29 @@ impl Ecgrid {
             ttl,
         });
         self.start_discovery(ctx, dst, 0);
+    }
+
+    /// Page a sleeping local destination and arm the flush timer.  The
+    /// wake wait backs off exponentially with the number of pages this
+    /// host has already ignored (a lossy RAS channel would otherwise spin
+    /// the page→flush→fail loop at full rate until the data TTL died);
+    /// attempt 0 is the normal paper behaviour and attempts ≥ 1 are
+    /// traced as [`EventKind::PageRetry`].
+    fn start_page(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId) {
+        let attempt = *self.page_attempts.entry(dst).or_insert(0);
+        self.stats.pages_sent += 1;
+        ctx.page_host(dst);
+        let wait = self.cfg.forward_wake_wait * f64::from(1u32 << attempt.min(6));
+        ctx.set_timer_secs(wait, EcTimer::ForwardBuffered { dst });
+        if attempt >= 1 {
+            self.stats.page_retries += 1;
+            let me = self.me;
+            ctx.emit(|| EventKind::PageRetry {
+                node: me,
+                target: dst,
+                attempt,
+            });
+        }
     }
 
     fn start_discovery(&mut self, ctx: &mut Ctx<'_, Self>, dst: NodeId, attempt: u32) {
@@ -600,6 +654,7 @@ impl Ecgrid {
                 if h.gflag {
                     self.gateway = Some(h.id);
                     self.last_gw_hello = now;
+                    self.handoff_epoch += 1; // a live gateway ends any handoff wait
                     self.arm_gateway_watch(ctx);
                     if self.awaiting_acq || !self.pending_own.is_empty() {
                         self.flush_pending_own(ctx);
@@ -845,6 +900,9 @@ impl Protocol for Ecgrid {
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_, Self>, src: NodeId, _kind: FrameKind, msg: &EcMsg) {
+        // any frame from a host proves it is awake: its page-failure
+        // streak (if any) is over
+        self.page_attempts.remove(&src);
         match msg {
             EcMsg::Hello(h) => self.on_hello(ctx, src, *h),
             EcMsg::Retire { grid, routes, hosts } => self.on_retire(ctx, *grid, routes, hosts),
@@ -952,6 +1010,27 @@ impl Protocol for Ecgrid {
                 // the host CPU wakes; check the GPS without powering the radio
                 let here = ctx.cell();
                 if here == self.my_grid {
+                    if ctx.now().since(self.sleep_since).as_secs_f64() >= self.cfg.orphan_check_secs {
+                        // orphaned-cell check: wake and revalidate the
+                        // gateway with the ACQ handshake — a crashed
+                        // gateway can never page its sleepers awake, so
+                        // this is the only path out of a dead cell
+                        self.stats.orphan_checks += 1;
+                        self.wake_to_member(ctx);
+                        self.awaiting_acq = true;
+                        self.acq_epoch += 1;
+                        self.stats.acqs_sent += 1;
+                        let gid = self.my_grid;
+                        let me = self.me;
+                        ctx.broadcast(EcMsg::Acq { gid, dst: me });
+                        ctx.set_timer_secs(
+                            self.cfg.acq_timeout,
+                            EcTimer::AcqTimeout {
+                                epoch: self.acq_epoch,
+                            },
+                        );
+                        return;
+                    }
                     self.stats.dwell_extensions += 1;
                     self.arm_dwell(ctx);
                 } else {
@@ -1015,6 +1094,16 @@ impl Protocol for Ecgrid {
                     ctx.unicast(dst, msg);
                 }
             }
+            EcTimer::HandoffGrace { epoch } => {
+                if epoch != self.handoff_epoch || self.role != Role::Member {
+                    return;
+                }
+                self.stats.handoff_timeouts += 1;
+                let me = self.me;
+                let cell = self.my_grid;
+                ctx.emit(|| EventKind::GatewayHandoffTimeout { node: me, cell });
+                self.no_gateway_event(ctx, "handoff grace expired");
+            }
             EcTimer::AcqTimeout { epoch } => {
                 if epoch != self.acq_epoch || !self.awaiting_acq {
                     return;
@@ -1073,6 +1162,21 @@ impl Protocol for Ecgrid {
                 }
             }
             self.enter_grid(ctx, here);
+            return;
+        }
+        // A broadcast sequence for my own grid is almost always a retiring
+        // gateway about to hand over (§3.2).  If the RETIRE (or any
+        // gateway HELLO) never arrives — the gateway crashed mid-handoff —
+        // the grace timer declares a no-gateway event instead of leaving
+        // the grid black-holed.
+        if matches!(signal, PageSignal::Grid(g) if g == self.my_grid) && self.role == Role::Member {
+            self.handoff_epoch += 1;
+            ctx.set_timer_secs(
+                self.cfg.handoff_grace,
+                EcTimer::HandoffGrace {
+                    epoch: self.handoff_epoch,
+                },
+            );
         }
     }
 
@@ -1169,6 +1273,19 @@ impl Protocol for Ecgrid {
                 if self.role == Role::Gateway && dst == *final_dst {
                     if let Some(e) = self.host_table.get_mut(&dst) {
                         e.asleep = true;
+                        // if a page preceded this failure it went
+                        // unanswered — count it against the retry budget
+                        if let Some(attempts) = self.page_attempts.get_mut(&dst) {
+                            *attempts += 1;
+                            if *attempts >= self.cfg.max_page_attempts {
+                                self.page_attempts.remove(&dst);
+                                self.host_table.remove(&dst);
+                                self.stats.page_gave_up += 1;
+                                self.stats.data_dropped += 1;
+                                ctx.note(|| format!("gave up paging {dst}"));
+                                return;
+                            }
+                        }
                         if *ttl > 0 {
                             let retry = EcMsg::Data {
                                 packet: *packet,
@@ -1186,6 +1303,7 @@ impl Protocol for Ecgrid {
                 self.neighbors.forget_node(dst);
                 self.routes.remove_via(dst);
                 self.host_table.remove(&dst);
+                self.page_attempts.remove(&dst);
                 if Some(dst) == self.gateway && self.role == Role::Member {
                     // my own gateway vanished
                     self.pending_own.push((*final_dst, *packet));

@@ -247,7 +247,7 @@ fn sleeper_dwell_checks_extend_sleep_in_place() {
         WorldConfig::paper_default(12),
         three_grid_hosts(),
         FlowSet::default(),
-        |id| Ecgrid::new(cfg, id),
+        move |id| Ecgrid::new(cfg, id),
     );
     w.run_until(SimTime::from_secs(200));
     // stationary sleepers never leave their grid: every dwell check must

@@ -1,6 +1,7 @@
 //! World construction parameters.
 
 use energy::{Battery, PowerProfile};
+use fault::FaultPlan;
 use geo::GridMap;
 use mobility::MobilityTrace;
 use radio::{MacConfig, RasConfig};
@@ -32,6 +33,10 @@ pub struct WorldConfig {
     /// same FIFO contract, so results are identical; the knob exists for
     /// benchmarking and for the golden-trace cross-backend tests.
     pub backend: Backend,
+    /// Injected adversity (frame/page loss, churn, drains, GPS error).
+    /// The all-zero default performs no draws and leaves every run — and
+    /// its trace digest — bit-identical to a fault-free build.
+    pub faults: FaultPlan,
 }
 
 impl WorldConfig {
@@ -46,12 +51,19 @@ impl WorldConfig {
             seed,
             capture_ratio: Some(radio::channel::CAPTURE_RATIO_10DB),
             backend: Backend::Heap,
+            faults: FaultPlan::none(),
         }
     }
 
     /// Same configuration on a different scheduler backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Same configuration under an injected fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

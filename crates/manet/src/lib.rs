@@ -49,6 +49,10 @@ pub use world::{RunOutput, World};
 /// The observability layer (events, recorder, digest, registry, profile).
 pub use trace;
 
+/// The fault-injection layer (deterministic adversity schedules).
+pub use fault;
+pub use fault::{FaultCtl, FaultPlan, GilbertElliott};
+
 // Re-export the vocabulary types protocols need, so protocol crates can
 // depend on `manet` alone.
 pub use energy::{Battery, EnergyAudit, EnergyLevel, EnergyMeter, PowerProfile, RadioMode};

@@ -30,6 +30,16 @@ pub struct WorldStats {
     pub deaths: u64,
     /// Protocol timers fired.
     pub timers_fired: u64,
+    /// Receptions destroyed by the injected fault channel.
+    pub frames_lost_fault: u64,
+    /// RAS pages lost to the injected fault channel.
+    pub pages_lost_fault: u64,
+    /// Injected node crashes.
+    pub crashes: u64,
+    /// Crashed nodes that rebooted and rejoined.
+    pub rejoins: u64,
+    /// Injected sudden battery drains.
+    pub fault_drains: u64,
 }
 
 #[cfg(test)]

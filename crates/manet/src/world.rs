@@ -5,8 +5,9 @@ use crate::config::{HostSetup, WorldConfig};
 use crate::ctx::{AppPacket, Cmd, Ctx, NodeView, TimerId};
 use crate::protocol::{Protocol, WireSize};
 use crate::stats::WorldStats;
-use energy::{EnergyLevel, EnergyMeter, RadioMode};
-use geo::{GridCoord, Point2};
+use energy::{Battery, EnergyLevel, EnergyMeter, RadioMode};
+use fault::FaultCtl;
+use geo::{GridCoord, Point2, Vec2};
 use metrics::{PacketLedger, TimeSeries};
 use mobility::MobilityTrace;
 use radio::frame::FrameMeta;
@@ -15,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use sim_engine::{EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
-use trace::{Event as TraceEvent, EventKind, Recorder, TraceDigest, TraceMode};
+use trace::{Event as TraceEvent, EventKind, FaultKind, Recorder, TraceDigest, TraceMode};
 
 /// How long ended transmissions are kept for collision back-checks.
 const CHANNEL_GC_GRACE: SimDuration = SimDuration(50_000_000); // 50 ms
@@ -41,6 +42,12 @@ enum Event {
     AppSend { flow_idx: usize, seq: u64 },
     /// Metrics sampling tick.
     Sample,
+    /// The fault plan crashes `node` (its `k`-th crash).
+    FaultCrash { node: NodeId, k: u64 },
+    /// A crashed `node` reboots; its next crash is the `k`-th.
+    FaultRejoin { node: NodeId, k: u64 },
+    /// The fault plan drains `node`'s battery (its `k`-th drain).
+    FaultDrain { node: NodeId, k: u64 },
     /// Sentinel terminating `run_until`.
     EndOfRun,
 }
@@ -57,6 +64,9 @@ impl Event {
             Event::CellCrossing { .. } => "cell_crossing",
             Event::AppSend { .. } => "app_send",
             Event::Sample => "sample",
+            Event::FaultCrash { .. } => "fault_crash",
+            Event::FaultRejoin { .. } => "fault_rejoin",
+            Event::FaultDrain { .. } => "fault_drain",
             Event::EndOfRun => "end_of_run",
         }
     }
@@ -123,6 +133,9 @@ struct NodeState<P: Protocol> {
     /// as soon as the exchange concludes.
     sleep_pending: bool,
     dead_handled: bool,
+    /// Crashed by the fault plan: silent (radio down, protocol frozen)
+    /// until the scheduled rejoin reboots it with fresh protocol state.
+    crashed: bool,
 }
 
 /// The results of a finished run.
@@ -150,8 +163,13 @@ pub struct World<P: Protocol> {
     alive_series: TimeSeries,
     aen_series: TimeSeries,
     stats: WorldStats,
-    timers: HashMap<u64, (P::Timer, EventHandle)>,
+    timers: HashMap<u64, (NodeId, P::Timer, EventHandle)>,
     next_timer_id: u64,
+    /// Fault-plan runtime (no-op when the plan is all-zero).
+    fault: FaultCtl,
+    /// Kept for fault-plan rejoins: a rebooted host restarts with a fresh
+    /// protocol instance, exactly as at t=0.
+    factory: Box<dyn FnMut(NodeId) -> P>,
     trace_log: Option<Vec<(SimTime, NodeId, String)>>,
     recorder: Option<Recorder>,
     /// Spatial index: grid cell index -> nodes currently in that cell
@@ -171,7 +189,7 @@ impl<P: Protocol> World<P> {
         cfg: WorldConfig,
         hosts: Vec<HostSetup>,
         flows: traffic::FlowSet,
-        mut factory: impl FnMut(NodeId) -> P,
+        mut factory: impl FnMut(NodeId) -> P + 'static,
     ) -> Self {
         assert!(!hosts.is_empty(), "a world needs hosts");
         let rngs = RngFactory::new(cfg.seed);
@@ -179,6 +197,7 @@ impl<P: Protocol> World<P> {
         channel.set_capture_ratio(cfg.capture_ratio);
         let mut occupancy = vec![Vec::new(); cfg.grid.cell_count()];
         let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
+        let fault = FaultCtl::new(cfg.faults, hosts.len());
         let nodes = hosts
             .into_iter()
             .enumerate()
@@ -186,7 +205,14 @@ impl<P: Protocol> World<P> {
                 let id = NodeId(i as u32);
                 let cell = cfg.grid.cell_of(h.trace.position_at(SimTime::ZERO));
                 occupancy[cfg.grid.cell_index(cell)].push(id);
-                let meter = EnergyMeter::new(h.profile, h.battery);
+                // fault-plan battery variance: manufacturing spread across
+                // the finite batteries (infinite endpoints stay infinite)
+                let battery = if cfg.faults.battery_var > 0.0 && !h.battery.is_infinite() {
+                    Battery::with_capacity(h.battery.capacity_j() * fault.battery_scale(id.0))
+                } else {
+                    h.battery
+                };
+                let meter = EnergyMeter::new(h.profile, battery);
                 let last_level = meter.level();
                 NodeState {
                     proto: factory(id),
@@ -199,6 +225,7 @@ impl<P: Protocol> World<P> {
                     rx_refs: 0,
                     sleep_pending: false,
                     dead_handled: false,
+                    crashed: false,
                 }
             })
             .collect();
@@ -216,6 +243,8 @@ impl<P: Protocol> World<P> {
             stats: WorldStats::default(),
             timers: HashMap::new(),
             next_timer_id: 0,
+            fault,
+            factory: Box::new(factory),
             trace_log: None,
             recorder: None,
             occupancy,
@@ -317,6 +346,11 @@ impl<P: Protocol> World<P> {
 
     pub fn node_alive(&self, id: NodeId) -> bool {
         self.nodes[id.index()].meter.is_alive()
+    }
+
+    /// Is the host currently crashed by the fault plan?
+    pub fn node_crashed(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].crashed
     }
 
     pub fn node_consumed_j(&self, id: NodeId) -> f64 {
@@ -483,6 +517,21 @@ impl<P: Protocol> World<P> {
                 );
             }
         }
+        // fault-plan schedules: first crash / drain per node (each firing
+        // schedules the next, so only the heads are seeded here)
+        if self.fault.is_active() {
+            for i in 0..self.nodes.len() {
+                let node = NodeId(i as u32);
+                if let Some(gap) = self.fault.crash_gap_secs(node.0, 0) {
+                    self.sched
+                        .schedule_in(SimDuration::from_secs_f64(gap), Event::FaultCrash { node, k: 0 });
+                }
+                if let Some(gap) = self.fault.drain_gap_secs(node.0, 0) {
+                    self.sched
+                        .schedule_in(SimDuration::from_secs_f64(gap), Event::FaultDrain { node, k: 0 });
+                }
+            }
+        }
         // protocol start
         for i in 0..self.nodes.len() {
             self.dispatch(NodeId(i as u32), |p, ctx| p.on_start(ctx));
@@ -501,7 +550,103 @@ impl<P: Protocol> World<P> {
             Event::CellCrossing { node } => self.cell_crossing(node),
             Event::AppSend { flow_idx, seq } => self.app_send(flow_idx, seq),
             Event::Sample => self.sample(),
+            Event::FaultCrash { node, k } => self.fault_crash(node, k),
+            Event::FaultRejoin { node, k } => self.fault_rejoin(node, k),
+            Event::FaultDrain { node, k } => self.fault_drain(node, k),
             Event::EndOfRun => unreachable!("handled by run loop"),
+        }
+    }
+
+    // ----- fault injection --------------------------------------------
+
+    /// The fault plan crashes `node`: it goes silent instantly — no
+    /// retirement frame, no handover, pending timers die with it — until
+    /// the scheduled reboot.  (The paper's §3.2 "gateway is down because of
+    /// an accident", now as a schedulable event rather than a test hook.)
+    fn fault_crash(&mut self, node: NodeId, k: u64) {
+        if !self.touch(node) {
+            return; // already dead for real: the chain ends here
+        }
+        let n = &mut self.nodes[node.index()];
+        n.crashed = true;
+        n.mac.queue.clear();
+        n.mac.phase = MacPhase::Idle;
+        n.mac.attempt = 0;
+        n.rx_refs = 0;
+        n.sleep_pending = false;
+        // a crashed host's pending protocol timers must never fire
+        let stale: Vec<u64> = self
+            .timers
+            .iter()
+            .filter(|(_, (owner, _, _))| *owner == node)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            if let Some((_, _, handle)) = self.timers.remove(&id) {
+                self.sched.cancel(handle);
+            }
+        }
+        self.set_mode(node, RadioMode::Sleep);
+        self.stats.crashes += 1;
+        self.log_system(node, "fault: crash");
+        self.emit(|| EventKind::FaultInjected {
+            node,
+            fault: FaultKind::Crash,
+        });
+        self.sched.schedule_in(
+            SimDuration::from_secs_f64(self.fault.rejoin_secs()),
+            Event::FaultRejoin { node, k: k + 1 },
+        );
+    }
+
+    /// A crashed host reboots: radio back on, protocol state rebuilt from
+    /// scratch (a reboot forgets routing tables and roles), `on_start`
+    /// dispatched as at t=0.
+    fn fault_rejoin(&mut self, node: NodeId, k: u64) {
+        if !self.touch(node) {
+            return;
+        }
+        self.nodes[node.index()].crashed = false;
+        self.set_mode(node, RadioMode::Idle);
+        self.stats.rejoins += 1;
+        self.log_system(node, "fault: rejoin");
+        self.emit(|| EventKind::FaultInjected {
+            node,
+            fault: FaultKind::Rejoin,
+        });
+        self.nodes[node.index()].proto = (self.factory)(node);
+        self.dispatch(node, |p, ctx| p.on_start(ctx));
+        if let Some(gap) = self.fault.crash_gap_secs(node.0, k) {
+            self.sched
+                .schedule_in(SimDuration::from_secs_f64(gap), Event::FaultCrash { node, k });
+        }
+    }
+
+    /// A sudden drain removes a fraction of the node's remaining energy
+    /// (shorted rail, runaway app — adversity the level classes of Eq. 1
+    /// must absorb).
+    fn fault_drain(&mut self, node: NodeId, k: u64) {
+        if !self.touch(node) {
+            return;
+        }
+        let now = self.sched.now();
+        let n = &mut self.nodes[node.index()];
+        let remaining = n.meter.remaining_j();
+        if remaining.is_finite() {
+            n.meter.drain_direct(now, remaining * self.fault.drain_frac());
+            self.stats.fault_drains += 1;
+            self.log_system(node, "fault: drain");
+            self.emit(|| EventKind::FaultInjected {
+                node,
+                fault: FaultKind::Drain,
+            });
+            self.touch(node); // a deep drain can be fatal on the spot
+        }
+        if let Some(gap) = self.fault.drain_gap_secs(node.0, k + 1) {
+            self.sched.schedule_in(
+                SimDuration::from_secs_f64(gap),
+                Event::FaultDrain { node, k: k + 1 },
+            );
         }
     }
 
@@ -553,12 +698,24 @@ impl<P: Protocol> World<P> {
         if !self.touch(node) {
             return;
         }
+        // a crashed host's protocol is frozen until the reboot
+        if self.nodes[node.index()].crashed {
+            return;
+        }
         let now = self.sched.now();
         let tracing = self.trace_log.is_some();
         let emitting = self.recorder.is_some();
+        // GPS error: what the protocol *believes* its position is.  The
+        // world's own bookkeeping (cells, channel geometry) keeps the true
+        // position — only the receiver estimate is corrupted.
+        let gps_off = self.fault.gps_offset_m(node.0, now.as_nanos());
         let i = node.index();
         let n = &mut self.nodes[i];
-        let pos = n.trace.position_at(now);
+        let mut pos = n.trace.position_at(now);
+        if gps_off != (0.0, 0.0) {
+            pos = (pos + Vec2::new(gps_off.0, gps_off.1))
+                .clamp_to(self.cfg.grid.width(), self.cfg.grid.height());
+        }
         let view = NodeView {
             now,
             id: node,
@@ -599,8 +756,10 @@ impl<P: Protocol> World<P> {
                         by: node,
                         signal: PageSignal::Host(id),
                     });
+                    let latency = self.cfg.ras.wake_latency
+                        + SimDuration::from_nanos(self.fault.page_extra_delay_ns(node.0, now.as_nanos()));
                     self.sched.schedule_in(
-                        self.cfg.ras.wake_latency,
+                        latency,
                         Event::Page {
                             signal: PageSignal::Host(id),
                             origin,
@@ -614,8 +773,10 @@ impl<P: Protocol> World<P> {
                         by: node,
                         signal: PageSignal::Grid(cell),
                     });
+                    let latency = self.cfg.ras.wake_latency
+                        + SimDuration::from_nanos(self.fault.page_extra_delay_ns(node.0, now.as_nanos()));
                     self.sched.schedule_in(
-                        self.cfg.ras.wake_latency,
+                        latency,
                         Event::Page {
                             signal: PageSignal::Grid(cell),
                             origin,
@@ -624,10 +785,10 @@ impl<P: Protocol> World<P> {
                 }
                 Cmd::SetTimer { id, delay, timer } => {
                     let handle = self.sched.schedule_in(delay, Event::Timer { node, id: id.0 });
-                    self.timers.insert(id.0, (timer, handle));
+                    self.timers.insert(id.0, (node, timer, handle));
                 }
                 Cmd::CancelTimer(TimerId(id)) => {
-                    if let Some((_, handle)) = self.timers.remove(&id) {
+                    if let Some((_, _, handle)) = self.timers.remove(&id) {
                         self.sched.cancel(handle);
                     }
                 }
@@ -857,7 +1018,8 @@ impl<P: Protocol> World<P> {
     fn tx_end(&mut self, node: NodeId, tx_id: u64) {
         let now = self.sched.now();
         let flight = self.flights.remove(&tx_id).expect("flight must exist");
-        let sender_alive = self.touch(node);
+        // a sender that crashed mid-frame kills its own transmission
+        let sender_alive = self.touch(node) && !self.nodes[node.index()].crashed;
         if sender_alive && self.nodes[node.index()].meter.mode() == RadioMode::Tx {
             self.set_mode(node, RadioMode::Idle);
         }
@@ -892,6 +1054,15 @@ impl<P: Protocol> World<P> {
                 self.stats.corrupted += 1;
                 let from = flight.src;
                 self.emit(|| EventKind::MacCollision { node: r, from });
+                continue;
+            }
+            // injected channel adversity (independent and burst loss)
+            if self.fault.frame_lost(r.0, tx_id, now.as_nanos()) {
+                self.stats.frames_lost_fault += 1;
+                self.emit(|| EventKind::FaultInjected {
+                    node: r,
+                    fault: FaultKind::FrameLoss,
+                });
                 continue;
             }
             successes.push(r);
@@ -1024,8 +1195,8 @@ impl<P: Protocol> World<P> {
     // ----- timers, pages, mobility, traffic ---------------------------
 
     fn timer_fired(&mut self, node: NodeId, id: u64) {
-        let Some((timer, _)) = self.timers.remove(&id) else {
-            return; // cancelled concurrently
+        let Some((_, timer, _)) = self.timers.remove(&id) else {
+            return; // cancelled concurrently (or wiped by a crash)
         };
         if !self.touch(node) {
             return;
@@ -1053,6 +1224,19 @@ impl<P: Protocol> World<P> {
             }
         }
         for jid in addressed {
+            // a crashed host's paging receiver is as dead as its radio
+            if self.nodes[jid.index()].crashed {
+                continue;
+            }
+            // injected paging-channel loss
+            if self.fault.page_lost(jid.0, now.as_nanos()) {
+                self.stats.pages_lost_fault += 1;
+                self.emit(|| EventKind::FaultInjected {
+                    node: jid,
+                    fault: FaultKind::PageLoss,
+                });
+                continue;
+            }
             if self.nodes[jid.index()].meter.mode() == RadioMode::Sleep {
                 self.set_mode(jid, RadioMode::Idle);
                 self.stats.pages_woken += 1;
@@ -1114,6 +1298,9 @@ impl<P: Protocol> World<P> {
         let src = flow.src;
         if !self.touch(src) {
             return; // a dead source issues nothing
+        }
+        if self.nodes[src.index()].crashed {
+            return; // nor does a crashed one (not even into the ledger)
         }
         let packet = AppPacket {
             flow: flow.id.0,

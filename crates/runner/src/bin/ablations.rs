@@ -44,7 +44,7 @@ fn run(label: &str, mut tweak_world: impl FnMut(&mut WorldConfig), cfg: EcgridCo
     let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &ids, &spec);
     let mut wc = WorldConfig::paper_default(seed);
     tweak_world(&mut wc);
-    let mut w = World::new(wc, hosts, flows, |id| Ecgrid::new(cfg, id));
+    let mut w = World::new(wc, hosts, flows, move |id| Ecgrid::new(cfg, id));
     let out = w.run_until(end);
     Row {
         label: label.to_string(),

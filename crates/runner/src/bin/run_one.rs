@@ -8,7 +8,7 @@
 //! ```
 
 use manet::trace::TraceMode;
-use manet::Backend;
+use manet::{Backend, FaultPlan};
 use runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
 use std::fs::File;
 use std::io::BufWriter;
@@ -20,13 +20,19 @@ USAGE:
     run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
             [--backend heap|calendar] [--trace FILE.jsonl] [--digest]
+            [--faults SPEC]
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
 pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
 
 --trace FILE   record the full event stream and export it as JSONL
 --digest       record in digest-only mode (O(1) memory; prints the digest)
---backend      pending-event-set implementation (results are identical)";
+--backend      pending-event-set implementation (results are identical)
+--faults SPEC  comma-separated fault plan, e.g.
+               loss=0.1,churn=0.01,page_fail=0.2,drain=0.005,gps=15
+               (keys: loss, ge, page_fail, page_delay, churn, rejoin,
+               battery_var, drain, drain_frac, gps, seed; all faults are
+               deterministic functions of the seeds)";
 
 fn parse_args() -> (Scenario, RunOptions, Option<String>) {
     let mut sc = Scenario::paper_base(ProtocolKind::Ecgrid, 1.0, 42);
@@ -69,6 +75,10 @@ fn parse_args() -> (Scenario, RunOptions, Option<String>) {
             "--duration" => sc.duration_secs = v.parse().expect("--duration"),
             "--seed" => sc.seed = v.parse().expect("--seed"),
             "--backend" => opts.backend = Backend::parse(v).expect("--backend heap|calendar"),
+            "--faults" => match FaultPlan::parse(v) {
+                Ok(plan) => opts.faults = plan,
+                Err(e) => panic!("--faults: {e}"),
+            },
             "--trace" => {
                 opts.trace = Some(TraceMode::Full);
                 trace_path = Some(v.clone());
@@ -116,6 +126,16 @@ fn main() {
             .unwrap_or_else(|| "none".into())
     );
     println!("world stats:     {:?}", r.stats);
+    if opts.faults.is_active() {
+        println!(
+            "faults:          {} frames lost, {} pages lost, {} crashes, {} rejoins, {} drains",
+            r.stats.frames_lost_fault,
+            r.stats.pages_lost_fault,
+            r.stats.crashes,
+            r.stats.rejoins,
+            r.stats.fault_drains
+        );
+    }
 
     if let Some(rec) = &r.recorder {
         println!("trace digest:    {}", rec.digest());

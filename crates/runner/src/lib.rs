@@ -21,6 +21,6 @@ pub mod scenario;
 pub mod sweep;
 
 pub use report::{render_ascii_chart, render_series_table, write_csv};
-pub use run::{run_replicas, run_scenario, run_scenario_with, RunOptions, ScenarioResult};
+pub use run::{replica_seed, run_replicas, run_scenario, run_scenario_with, RunOptions, ScenarioResult};
 pub use scenario::{ProtocolKind, Scenario};
 pub use sweep::{average_results, sweep, AveragedResult};

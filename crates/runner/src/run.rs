@@ -6,12 +6,13 @@ use gaf::{GafConfig, GafProto};
 use grid_routing::{GridConfig, GridProto};
 use manet::trace::{Recorder, TraceDigest, TraceMode};
 use manet::{
-    Backend, Battery, FlowSet, FlowSpec, HostSetup, NodeId, PowerProfile, SimTime, World, WorldConfig,
+    Backend, Battery, FaultPlan, FlowSet, FlowSpec, HostSetup, NodeId, PowerProfile, SimTime, World,
+    WorldConfig,
 };
 use metrics::{PacketLedger, TimeSeries};
 use mobility::{MobilityModel, RandomWaypoint};
 use rayon::prelude::*;
-use sim_engine::RngFactory;
+use sim_engine::{derive_seed, RngFactory};
 use span::{SpanConfig, SpanProto};
 
 /// Knobs orthogonal to the scenario itself: which scheduler backend the
@@ -21,6 +22,9 @@ use span::{SpanConfig, SpanProto};
 pub struct RunOptions {
     pub backend: Backend,
     pub trace: Option<TraceMode>,
+    /// Fault-injection plan.  The default (all-zero) plan performs no RNG
+    /// draws and leaves every run bit-identical to a fault-free build.
+    pub faults: FaultPlan,
 }
 
 impl RunOptions {
@@ -30,11 +34,17 @@ impl RunOptions {
         RunOptions {
             backend: Backend::Heap,
             trace: Some(TraceMode::DigestOnly),
+            faults: FaultPlan::none(),
         }
     }
 
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -134,7 +144,14 @@ pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
     let end = SimTime::from_secs_f64(sc.duration_secs);
     // traces must outlive the run comfortably
     let horizon = end + sim_engine::SimDuration::from_secs(10);
-    let cfg = WorldConfig::paper_default(sc.seed).with_backend(opts.backend);
+    // the effective fault seed folds the scenario seed in, so replicas of
+    // the same plan see different (but each fully deterministic) faults
+    let faults = opts
+        .faults
+        .with_seed(derive_seed(sc.seed, "fault", opts.faults.seed));
+    let cfg = WorldConfig::paper_default(sc.seed)
+        .with_backend(opts.backend)
+        .with_faults(faults);
 
     match sc.protocol {
         ProtocolKind::Grid | ProtocolKind::Ecgrid => {
@@ -209,15 +226,28 @@ pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
     }
 }
 
-/// Run `replicas` copies of one scenario (replica `k` uses seed
-/// `sc.seed + k`), either serially or fanned out across threads.  A run's
-/// result — including its trace digest — is a pure function of
-/// (scenario, seed, options), so both paths return identical results; the
-/// golden-trace tests hold this to account.
+/// Seed for replica `k` of a base seed.  Replica 0 keeps the base seed
+/// (so a one-replica run IS the plain run of that scenario); later
+/// replicas are hash-derived, because the old `seed + k` scheme made
+/// replica 1 of seed 42 identical to replica 0 of seed 43 — adjacent
+/// sweep points silently shared runs.
+pub fn replica_seed(base: u64, k: u64) -> u64 {
+    if k == 0 {
+        base
+    } else {
+        derive_seed(base, "replica", k)
+    }
+}
+
+/// Run `replicas` copies of one scenario (replica `k` uses
+/// [`replica_seed`]`(sc.seed, k)`), either serially or fanned out across
+/// threads.  A run's result — including its trace digest — is a pure
+/// function of (scenario, seed, options), so both paths return identical
+/// results; the golden-trace tests hold this to account.
 pub fn run_replicas(sc: &Scenario, replicas: usize, opts: RunOptions, parallel: bool) -> Vec<ScenarioResult> {
     let jobs: Vec<Scenario> = (0..replicas as u64)
         .map(|k| Scenario {
-            seed: sc.seed + k,
+            seed: replica_seed(sc.seed, k),
             ..*sc
         })
         .collect();

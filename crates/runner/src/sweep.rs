@@ -1,6 +1,6 @@
 //! Parallel multi-seed sweeps (rayon) and replica averaging.
 
-use crate::run::{run_scenario, ScenarioResult};
+use crate::run::{replica_seed, run_scenario, ScenarioResult};
 use crate::scenario::Scenario;
 use metrics::TimeSeries;
 use rayon::prelude::*;
@@ -58,14 +58,16 @@ pub fn average_results(results: &[ScenarioResult]) -> AveragedResult {
 }
 
 /// Run every (scenario × replica) pair in parallel and average per
-/// scenario.  Replica `k` of a scenario uses seed `scenario.seed + k`.
+/// scenario.  Replica `k` of a scenario uses seed
+/// [`replica_seed`]`(scenario.seed, k)`, so sweep points with adjacent
+/// base seeds never share a replica run.
 pub fn sweep(scenarios: &[Scenario], replicas: usize) -> Vec<AveragedResult> {
     assert!(replicas >= 1);
     let jobs: Vec<Scenario> = scenarios
         .iter()
         .flat_map(|sc| {
             (0..replicas as u64).map(move |k| Scenario {
-                seed: sc.seed + k,
+                seed: replica_seed(sc.seed, k),
                 ..*sc
             })
         })

@@ -37,6 +37,8 @@ pub enum Layer {
     Route,
     /// Application (CBR) layer.
     App,
+    /// Injected adversity (fault layer).
+    Fault,
 }
 
 impl Layer {
@@ -49,6 +51,45 @@ impl Layer {
             Layer::Ras => "ras",
             Layer::Route => "route",
             Layer::App => "app",
+            Layer::Fault => "fault",
+        }
+    }
+}
+
+/// What kind of adversity a [`EventKind::FaultInjected`] event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A correctly received data frame was destroyed by the fault channel.
+    FrameLoss,
+    /// A RAS page failed to reach an addressed host.
+    PageLoss,
+    /// The host crashed (went silent without retiring).
+    Crash,
+    /// A crashed host rebooted and rejoined with fresh protocol state.
+    Rejoin,
+    /// A sudden battery drain event hit the host.
+    Drain,
+}
+
+impl FaultKind {
+    /// Stable one-byte tag (part of the digest contract).
+    pub fn tag(self) -> u8 {
+        match self {
+            FaultKind::FrameLoss => 0,
+            FaultKind::PageLoss => 1,
+            FaultKind::Crash => 2,
+            FaultKind::Rejoin => 3,
+            FaultKind::Drain => 4,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::FrameLoss => "frame_loss",
+            FaultKind::PageLoss => "page_loss",
+            FaultKind::Crash => "crash",
+            FaultKind::Rejoin => "rejoin",
+            FaultKind::Drain => "drain",
         }
     }
 }
@@ -119,6 +160,18 @@ pub enum EventKind {
         from: GridCoord,
         to: GridCoord,
     },
+    /// The fault layer injected adversity at `node`.
+    FaultInjected { node: NodeId, fault: FaultKind },
+    /// A buffered-forward page toward `target` is being retried
+    /// (`attempt` ≥ 1) after the previous wake window elapsed unanswered.
+    PageRetry {
+        node: NodeId,
+        target: NodeId,
+        attempt: u32,
+    },
+    /// `node` observed its grid gateway-less past the handoff grace timer
+    /// and is forcing re-election of `cell`.
+    GatewayHandoffTimeout { node: NodeId, cell: GridCoord },
 }
 
 #[inline]
@@ -173,6 +226,9 @@ impl EventKind {
             EventKind::PacketDelivered { .. } => 13,
             EventKind::NodeDeath { .. } => 14,
             EventKind::CellChange { .. } => 15,
+            EventKind::FaultInjected { .. } => 16,
+            EventKind::PageRetry { .. } => 17,
+            EventKind::GatewayHandoffTimeout { .. } => 18,
         }
     }
 
@@ -194,6 +250,9 @@ impl EventKind {
             EventKind::PacketDelivered { .. } => "packet_delivered",
             EventKind::NodeDeath { .. } => "node_death",
             EventKind::CellChange { .. } => "cell_change",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::PageRetry { .. } => "page_retry",
+            EventKind::GatewayHandoffTimeout { .. } => "gateway_handoff_timeout",
         }
     }
 
@@ -210,9 +269,11 @@ impl EventKind {
             EventKind::GatewayElect { .. }
             | EventKind::GatewayRetire { .. }
             | EventKind::PacketForwarded { .. }
-            | EventKind::CellChange { .. } => Layer::Route,
-            EventKind::RasPage { .. } => Layer::Ras,
+            | EventKind::CellChange { .. }
+            | EventKind::GatewayHandoffTimeout { .. } => Layer::Route,
+            EventKind::RasPage { .. } | EventKind::PageRetry { .. } => Layer::Ras,
             EventKind::PacketSent { .. } | EventKind::PacketDelivered { .. } => Layer::App,
+            EventKind::FaultInjected { .. } => Layer::Fault,
         }
     }
 
@@ -231,7 +292,10 @@ impl EventKind {
             | EventKind::PacketForwarded { node, .. }
             | EventKind::PacketDelivered { node, .. }
             | EventKind::NodeDeath { node }
-            | EventKind::CellChange { node, .. } => Some(node),
+            | EventKind::CellChange { node, .. }
+            | EventKind::FaultInjected { node, .. }
+            | EventKind::PageRetry { node, .. }
+            | EventKind::GatewayHandoffTimeout { node, .. } => Some(node),
             EventKind::RasPage { by, .. } => Some(by),
             EventKind::PacketSent { src, .. } => Some(src),
         }
@@ -240,7 +304,9 @@ impl EventKind {
     /// The grid cell the event is about, when one is inherent to it.
     pub fn cell(&self) -> Option<GridCoord> {
         match *self {
-            EventKind::GatewayElect { cell, .. } | EventKind::GatewayRetire { cell, .. } => Some(cell),
+            EventKind::GatewayElect { cell, .. }
+            | EventKind::GatewayRetire { cell, .. }
+            | EventKind::GatewayHandoffTimeout { cell, .. } => Some(cell),
             EventKind::CellChange { to, .. } => Some(to),
             EventKind::RasPage {
                 signal: PageSignal::Grid(cell),
@@ -335,6 +401,23 @@ impl Event {
                 fold_cell(h, from);
                 fold_cell(h, to);
             }
+            EventKind::FaultInjected { node, fault } => {
+                h.write_u32(node.0);
+                h.write_u8(fault.tag());
+            }
+            EventKind::PageRetry {
+                node,
+                target,
+                attempt,
+            } => {
+                h.write_u32(node.0);
+                h.write_u32(target.0);
+                h.write_u32(attempt);
+            }
+            EventKind::GatewayHandoffTimeout { node, cell } => {
+                h.write_u32(node.0);
+                fold_cell(h, cell);
+            }
         }
     }
 
@@ -407,8 +490,15 @@ impl Event {
             EventKind::CellChange { from, .. } => {
                 let _ = write!(s, ",\"from_cell\":[{},{}]", from.x, from.y);
             }
+            EventKind::FaultInjected { fault, .. } => {
+                let _ = write!(s, ",\"fault\":\"{}\"", fault.name());
+            }
+            EventKind::PageRetry { target, attempt, .. } => {
+                let _ = write!(s, ",\"target\":{},\"attempt\":{}", target.0, attempt);
+            }
             EventKind::GatewayElect { .. }
             | EventKind::GatewayRetire { .. }
+            | EventKind::GatewayHandoffTimeout { .. }
             | EventKind::NodeDeath { .. } => {}
         }
         s.push('}');
@@ -476,6 +566,19 @@ impl Event {
             }
             EventKind::CellChange { node, from, to } => {
                 let _ = write!(s, "c {t:.6} _{node}_ GRID {from}>{to}");
+            }
+            EventKind::FaultInjected { node, fault } => {
+                let _ = write!(s, "F {t:.6} _{node}_ FLT {}", fault.name());
+            }
+            EventKind::PageRetry {
+                node,
+                target,
+                attempt,
+            } => {
+                let _ = write!(s, "p {t:.6} _{node}_ RAS retry {target} attempt {attempt}");
+            }
+            EventKind::GatewayHandoffTimeout { node, cell } => {
+                let _ = write!(s, "g {t:.6} _{node}_ GW timeout {cell}");
             }
         }
         s
@@ -585,6 +688,19 @@ mod tests {
                 node: NodeId(0),
                 from: GridCoord::new(0, 0),
                 to: GridCoord::new(0, 1),
+            },
+            EventKind::FaultInjected {
+                node: NodeId(0),
+                fault: FaultKind::Crash,
+            },
+            EventKind::PageRetry {
+                node: NodeId(0),
+                target: NodeId(1),
+                attempt: 1,
+            },
+            EventKind::GatewayHandoffTimeout {
+                node: NodeId(0),
+                cell: GridCoord::new(0, 0),
             },
         ];
         let mut tags: Vec<u8> = kinds.iter().map(|k| k.tag()).collect();

@@ -33,7 +33,7 @@ pub mod recorder;
 pub mod registry;
 
 pub use digest::{Fnv64, TraceDigest};
-pub use event::{Event, EventKind, Labels, Layer};
+pub use event::{Event, EventKind, FaultKind, Labels, Layer};
 pub use profile::SchedProfile;
 pub use recorder::{Recorder, TraceMode};
 pub use registry::{Histogram, Registry};

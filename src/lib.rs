@@ -7,6 +7,7 @@ pub use aodv;
 pub use dsdv;
 pub use ecgrid;
 pub use energy;
+pub use fault;
 pub use gaf;
 pub use geo;
 pub use grid_common;

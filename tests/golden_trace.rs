@@ -8,10 +8,13 @@
 //! * it does not depend on the scheduler backend (binary heap vs calendar
 //!   queue),
 //! * it does not depend on whether replicas run serially or fanned out
-//!   across threads, and
-//! * it matches the committed fixtures under `tests/golden/`, one per
-//!   protocol, so *any* behavioural drift anywhere in the stack shows up as
-//!   a failing diff here.
+//!   across threads,
+//! * an all-zero fault plan is bit-for-bit invisible (zero RNG draws), a
+//!   non-trivial plan is itself deterministic, and
+//! * it matches the committed fixtures under `tests/golden/` — one per
+//!   protocol, plus one per protocol under a fixed fault plan — so *any*
+//!   behavioural drift anywhere in the stack shows up as a failing diff
+//!   here.
 //!
 //! To regenerate the fixtures after a deliberate behaviour change:
 //!
@@ -20,7 +23,7 @@
 //! ```
 
 use ecgrid_suite::manet::trace::TraceMode;
-use ecgrid_suite::manet::Backend;
+use ecgrid_suite::manet::{Backend, FaultPlan};
 use ecgrid_suite::runner::{run_replicas, run_scenario_with, ProtocolKind, RunOptions, Scenario};
 use std::path::PathBuf;
 
@@ -47,6 +50,18 @@ fn fixture_path(p: ProtocolKind) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(format!("{}.digest", p.name().to_lowercase()))
+}
+
+/// The fixed adversarial plan pinned by the `*_faulted.digest` fixtures.
+/// Touches every major injection path: frame loss, churn and page loss.
+fn golden_plan() -> FaultPlan {
+    FaultPlan::parse("loss=0.15,churn=0.02,rejoin=3,page_fail=0.1").unwrap()
+}
+
+fn faulted_fixture_path(p: ProtocolKind) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_faulted.digest", p.name().to_lowercase()))
 }
 
 #[test]
@@ -81,8 +96,9 @@ fn digest_is_independent_of_scheduler_backend() {
 
 #[test]
 fn digest_is_independent_of_sweep_parallelism() {
-    // Replica k runs seed sc.seed + k; fanning the replicas out across
-    // rayon threads must not change any of them.
+    // Replica k runs `replica_seed(sc.seed, k)` (a splitmix-derived stream,
+    // so neighbouring base seeds never share replicas); fanning the
+    // replicas out across rayon threads must not change any of them.
     let sc = golden(ProtocolKind::Ecgrid);
     let serial = run_replicas(&sc, 3, RunOptions::digest(), false);
     let parallel = run_replicas(&sc, 3, RunOptions::digest(), true);
@@ -117,6 +133,32 @@ fn full_trace_mode_digests_like_digest_only() {
     assert!(rec.count() > 0);
 }
 
+/// Compare (or, under UPDATE_GOLDEN, rewrite) one digest fixture; push a
+/// human-readable line into `mismatches` on drift.
+fn check_fixture(
+    label: &str,
+    path: &PathBuf,
+    got: ecgrid_suite::trace::TraceDigest,
+    mismatches: &mut Vec<String>,
+) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, format!("{got}\n")).unwrap();
+        return;
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let want = ecgrid_suite::trace::TraceDigest::parse(&text)
+        .unwrap_or_else(|| panic!("unparseable fixture {}", path.display()));
+    if got != want {
+        mismatches.push(format!("{label}: fixture {want}, run produced {got}"));
+    }
+}
+
 #[test]
 fn digests_match_the_golden_fixtures() {
     let mut mismatches = Vec::new();
@@ -124,27 +166,75 @@ fn digests_match_the_golden_fixtures() {
         let sc = golden(p);
         let r = run_scenario_with(&sc, RunOptions::digest());
         let got = r.trace_digest.expect("tracing was enabled");
-        let path = fixture_path(p);
-        if std::env::var_os("UPDATE_GOLDEN").is_some() {
-            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-            std::fs::write(&path, format!("{got}\n")).unwrap();
-            continue;
-        }
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            panic!(
-                "missing fixture {} ({e}); run with UPDATE_GOLDEN=1",
-                path.display()
-            )
-        });
-        let want = ecgrid_suite::trace::TraceDigest::parse(&text)
-            .unwrap_or_else(|| panic!("unparseable fixture {}", path.display()));
-        if got != want {
-            mismatches.push(format!("{p:?}: fixture {want}, run produced {got}"));
-        }
+        check_fixture(p.name(), &fixture_path(p), got, &mut mismatches);
     }
     assert!(
         mismatches.is_empty(),
         "golden trace drift (deliberate change? rerun with UPDATE_GOLDEN=1):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn an_all_zero_fault_plan_is_bit_for_bit_invisible() {
+    // The contract `FaultPlan::none()` documents: a plan with every knob at
+    // zero performs no RNG draws at all, so attaching it — even with a
+    // nonzero fault seed — cannot perturb a single event.
+    for p in GOLDEN_PROTOCOLS {
+        let sc = golden(p);
+        let base = run_scenario_with(&sc, RunOptions::digest());
+        let inert = FaultPlan {
+            seed: 99,
+            ..FaultPlan::none()
+        };
+        let faulted = run_scenario_with(&sc, RunOptions::digest().with_faults(inert));
+        assert_eq!(
+            base.trace_digest, faulted.trace_digest,
+            "{p:?}: an inert fault plan changed the digest"
+        );
+        assert_eq!(base.stats, faulted.stats, "{p:?}");
+    }
+}
+
+#[test]
+fn faulted_runs_replay_deterministically_across_backends() {
+    // A *non*-trivial plan is still a pure function of (scenario, fault
+    // seed): repeated runs and both scheduler backends agree exactly.
+    for p in GOLDEN_PROTOCOLS {
+        let sc = golden(p);
+        let opts = RunOptions::digest().with_faults(golden_plan());
+        let a = run_scenario_with(&sc, opts);
+        let heap = run_scenario_with(&sc, opts.with_backend(Backend::Heap));
+        let cal = run_scenario_with(&sc, opts.with_backend(Backend::Calendar));
+        assert_eq!(a.trace_digest, heap.trace_digest, "{p:?}: faulted replay drifted");
+        assert_eq!(
+            heap.trace_digest, cal.trace_digest,
+            "{p:?}: faulted backends disagree"
+        );
+        assert_eq!(heap.stats, cal.stats, "{p:?}");
+        assert!(
+            heap.stats.frames_lost_fault > 0 && heap.stats.crashes > 0,
+            "{p:?}: the golden plan must actually engage"
+        );
+    }
+}
+
+#[test]
+fn faulted_digests_match_the_golden_fixtures() {
+    // Same regression net as the clean fixtures, but with the fixed
+    // adversarial plan switched on — drift in the fault layer itself (draw
+    // order, injection points, seed derivation) lands here.
+    let mut mismatches = Vec::new();
+    for p in GOLDEN_PROTOCOLS {
+        let sc = golden(p);
+        let r = run_scenario_with(&sc, RunOptions::digest().with_faults(golden_plan()));
+        let got = r.trace_digest.expect("tracing was enabled");
+        let label = format!("{} (faulted)", p.name());
+        check_fixture(&label, &faulted_fixture_path(p), got, &mut mismatches);
+    }
+    assert!(
+        mismatches.is_empty(),
+        "faulted golden trace drift (deliberate change? rerun with UPDATE_GOLDEN=1):\n{}",
         mismatches.join("\n")
     );
 }

@@ -11,16 +11,18 @@
 //!   Lower), a node dies at most once, and
 //! * energy consumed never exceeds the battery's initial capacity.
 
+mod common;
+
+use common::{check_invariants as check_invariants_mode, Chaos};
 use ecgrid_suite::manet::trace::TraceMode;
 use ecgrid_suite::manet::{Battery, EventKind, HostSetup, NodeId, World, WorldConfig};
 use ecgrid_suite::runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
 use ecgrid_suite::trace::Event;
-use ecgrid_suite::{ecgrid, energy, geo, mobility, sim_engine, traffic};
-use energy::{EnergyLevel, RadioMode};
-use geo::GridCoord;
+use ecgrid_suite::{ecgrid, energy, mobility, sim_engine, traffic};
+use energy::EnergyLevel;
 use mobility::MobilityModel;
 use sim_engine::{RngFactory, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 fn tiny(protocol: ProtocolKind) -> Scenario {
     Scenario {
@@ -36,76 +38,11 @@ fn tiny(protocol: ProtocolKind) -> Scenario {
     }
 }
 
-/// Replay `events` through every invariant checker; panic with context on
-/// the first violation.
+/// Replay `events` through every invariant checker (strict, fault-free
+/// mode); panic with context on the first violation.  The checker itself
+/// lives in `tests/common/` and is shared with the chaos suite.
 fn check_invariants(tag: &str, events: &[Event]) {
-    let mut last_t = SimTime::ZERO;
-    let mut sent: HashSet<(u32, u64)> = HashSet::new();
-    let mut mode: HashMap<NodeId, RadioMode> = HashMap::new();
-    let mut gw: HashMap<NodeId, GridCoord> = HashMap::new();
-    let mut level: HashMap<NodeId, EnergyLevel> = HashMap::new();
-    let mut dead: HashSet<NodeId> = HashSet::new();
-
-    for (i, ev) in events.iter().enumerate() {
-        let at = || format!("{tag}: event #{i} at {:?}: {:?}", ev.t, ev.kind);
-        assert!(ev.t >= last_t, "{}: time went backwards (last {last_t:?})", at());
-        last_t = ev.t;
-
-        match ev.kind {
-            EventKind::PacketSent { flow, seq, .. } => {
-                assert!(sent.insert((flow, seq)), "{}: duplicate send", at());
-            }
-            EventKind::PacketForwarded { flow, seq, .. } => {
-                assert!(sent.contains(&(flow, seq)), "{}: forwarded before sent", at());
-            }
-            EventKind::PacketDelivered { flow, seq, .. } => {
-                assert!(sent.contains(&(flow, seq)), "{}: delivered before sent", at());
-            }
-            EventKind::MacTx { node, .. } => {
-                let m = mode.get(&node).copied().unwrap_or(RadioMode::Idle);
-                assert!(
-                    m != RadioMode::Sleep && m != RadioMode::Off,
-                    "{}: transmission while the radio is {m:?}",
-                    at()
-                );
-                assert!(!dead.contains(&node), "{}: transmission after death", at());
-            }
-            EventKind::RadioMode { node, from, to } => {
-                let prev = mode.insert(node, to).unwrap_or(RadioMode::Idle);
-                assert_eq!(prev, from, "{}: mode transition out of nowhere", at());
-            }
-            EventKind::GatewayElect { node, cell } => {
-                assert_eq!(
-                    gw.insert(node, cell),
-                    None,
-                    "{}: elected while already holding a gateway tenure",
-                    at()
-                );
-            }
-            EventKind::GatewayRetire { node, cell } => {
-                assert_eq!(
-                    gw.remove(&node),
-                    Some(cell),
-                    "{}: retire does not close the matching elect",
-                    at()
-                );
-            }
-            EventKind::BatteryLevel { node, from, to } => {
-                let prev = level.insert(node, to).unwrap_or(EnergyLevel::Upper);
-                assert_eq!(prev, from, "{}: level transition out of nowhere", at());
-                assert_eq!(
-                    from.next_down(),
-                    Some(to),
-                    "{}: battery classes must cascade downward one step at a time",
-                    at()
-                );
-            }
-            EventKind::NodeDeath { node } => {
-                assert!(dead.insert(node), "{}: node died twice", at());
-            }
-            _ => {}
-        }
-    }
+    check_invariants_mode(tag, events, Chaos::Forbidden);
 }
 
 #[test]
