@@ -5,7 +5,7 @@ use fault::FaultPlan;
 use geo::GridMap;
 use mobility::MobilityTrace;
 use radio::{MacConfig, RasConfig};
-use sim_engine::{Backend, SimDuration};
+use sim_engine::{Backend, RunBudget, SimDuration};
 
 /// Global simulation parameters.
 #[derive(Clone, Debug)]
@@ -37,6 +37,11 @@ pub struct WorldConfig {
     /// The all-zero default performs no draws and leaves every run — and
     /// its trace digest — bit-identical to a fault-free build.
     pub faults: FaultPlan,
+    /// Watchdog ceilings on the event loop (dispatched events and virtual
+    /// time).  The unlimited default changes nothing; a bounded run that
+    /// trips the budget terminates with a `BudgetExceeded` diagnostic in
+    /// its `RunOutput` instead of hanging.
+    pub budget: RunBudget,
 }
 
 impl WorldConfig {
@@ -52,6 +57,7 @@ impl WorldConfig {
             capture_ratio: Some(radio::channel::CAPTURE_RATIO_10DB),
             backend: Backend::Heap,
             faults: FaultPlan::none(),
+            budget: RunBudget::UNLIMITED,
         }
     }
 
@@ -64,6 +70,12 @@ impl WorldConfig {
     /// Same configuration under an injected fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Same configuration under a run budget (watchdog ceilings).
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 }

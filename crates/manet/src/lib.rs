@@ -34,6 +34,7 @@
 
 pub mod config;
 pub mod ctx;
+pub mod progress;
 pub mod protocol;
 pub mod stats;
 pub mod testkit;
@@ -41,6 +42,7 @@ pub mod world;
 
 pub use config::{HostSetup, WorldConfig};
 pub use ctx::{AppPacket, Ctx, NodeView, TimerId};
+pub use progress::ProgressProbe;
 pub use protocol::{Protocol, WireSize};
 pub use stats::WorldStats;
 pub use trace::{render_trace, Event, EventKind, Recorder, TraceDigest, TraceMode};
@@ -58,7 +60,7 @@ pub use fault::{FaultCtl, FaultPlan, GilbertElliott};
 pub use energy::{Battery, EnergyAudit, EnergyLevel, EnergyMeter, PowerProfile, RadioMode};
 pub use geo::{GridCoord, GridMap, GridRect, Point2, Vec2};
 pub use radio::{FrameKind, MacConfig, NodeId, PageSignal, RasConfig};
-pub use sim_engine::{Backend, SimDuration, SimTime};
+pub use sim_engine::{Backend, BudgetExceeded, RunBudget, SimDuration, SimTime};
 
 /// Re-export of the whole engine crate (deterministic RNG streams etc.)
 /// so protocol crates and tests don't need a separate dependency.

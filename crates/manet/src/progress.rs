@@ -1,0 +1,87 @@
+//! A lock-free progress probe the run loop updates as it goes.
+//!
+//! When a replica runs under a supervisor behind `catch_unwind`, a panic
+//! destroys the [`World`](crate::world::World) and everything it knew.
+//! The probe is the part that survives: an `Arc` of atomics shared with
+//! the supervisor, updated on every dispatch, so a post-mortem can report
+//! how far the run got (events dispatched, virtual time reached) and the
+//! trace digest of the last completed sample window — enough to bisect a
+//! crash against a healthy replay without any of the crashed state.
+
+use sim_engine::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use trace::TraceDigest;
+
+/// Shared progress counters for one run.  All loads/stores are `Relaxed`:
+/// the probe is a monitoring side channel, not a synchronization point,
+/// and single-field snapshots are exact enough for diagnostics.
+#[derive(Debug, Default)]
+pub struct ProgressProbe {
+    events: AtomicU64,
+    virtual_time_ns: AtomicU64,
+    digest: AtomicU64,
+    digest_valid: AtomicBool,
+}
+
+impl ProgressProbe {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Called by the run loop after each dispatch.
+    #[inline]
+    pub(crate) fn record(&self, events: u64, now: SimTime) {
+        self.events.store(events, Ordering::Relaxed);
+        self.virtual_time_ns.store(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Called at sample boundaries when a trace recorder is attached.
+    #[inline]
+    pub(crate) fn record_digest(&self, d: TraceDigest) {
+        self.digest.store(d.0, Ordering::Relaxed);
+        self.digest_valid.store(true, Ordering::Relaxed);
+    }
+
+    /// Events dispatched so far.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Virtual time the run had reached.
+    pub fn virtual_time(&self) -> SimTime {
+        SimTime(self.virtual_time_ns.load(Ordering::Relaxed))
+    }
+
+    /// Digest of the trace as of the last sample boundary (`None` until
+    /// the first sample, or when the run records no trace).
+    pub fn partial_digest(&self) -> Option<TraceDigest> {
+        if self.digest_valid.load(Ordering::Relaxed) {
+            Some(TraceDigest(self.digest.load(Ordering::Relaxed)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_blank() {
+        let p = ProgressProbe::new();
+        assert_eq!(p.events(), 0);
+        assert_eq!(p.virtual_time(), SimTime::ZERO);
+        assert!(p.partial_digest().is_none());
+    }
+
+    #[test]
+    fn records_are_visible() {
+        let p = ProgressProbe::new();
+        p.record(42, SimTime::from_secs(7));
+        p.record_digest(TraceDigest(0xdead_beef));
+        assert_eq!(p.events(), 42);
+        assert_eq!(p.virtual_time(), SimTime::from_secs(7));
+        assert_eq!(p.partial_digest(), Some(TraceDigest(0xdead_beef)));
+    }
+}

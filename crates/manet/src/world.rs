@@ -3,6 +3,7 @@
 
 use crate::config::{HostSetup, WorldConfig};
 use crate::ctx::{AppPacket, Cmd, Ctx, NodeView, TimerId};
+use crate::progress::ProgressProbe;
 use crate::protocol::{Protocol, WireSize};
 use crate::stats::WorldStats;
 use energy::{Battery, EnergyLevel, EnergyMeter, RadioMode};
@@ -14,8 +15,9 @@ use radio::frame::FrameMeta;
 use radio::{ChannelState, FrameKind, NodeId, PageSignal};
 use rand::rngs::StdRng;
 use rand::Rng;
-use sim_engine::{EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
+use sim_engine::{BudgetExceeded, EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use trace::{Event as TraceEvent, EventKind, FaultKind, Recorder, TraceDigest, TraceMode};
 
 /// How long ended transmissions are kept for collision back-checks.
@@ -149,6 +151,10 @@ pub struct RunOutput {
     pub ledger: PacketLedger,
     /// Frame/event counters.
     pub stats: WorldStats,
+    /// `Some` when the run was cut short by the configured
+    /// [`RunBudget`](sim_engine::RunBudget) instead of reaching its end
+    /// time — the watchdog fired.  Metrics above cover the truncated run.
+    pub budget_exceeded: Option<BudgetExceeded>,
 }
 
 /// The simulation world.  See module docs.
@@ -180,6 +186,10 @@ pub struct World<P: Protocol> {
     /// Chebyshev cell radius a radio signal can span.
     reach_cells: i32,
     started: bool,
+    /// Supervisor-shared progress counters (see [`ProgressProbe`]).
+    probe: Option<Arc<ProgressProbe>>,
+    /// Set when the run loop stopped on the configured budget.
+    budget_exceeded: Option<BudgetExceeded>,
 }
 
 impl<P: Protocol> World<P> {
@@ -230,10 +240,12 @@ impl<P: Protocol> World<P> {
             })
             .collect();
         let backend = cfg.backend;
+        let mut sched = Scheduler::with_backend(backend);
+        sched.set_budget(cfg.budget);
         World {
             cfg,
             nodes,
-            sched: Scheduler::with_backend(backend),
+            sched,
             channel,
             flights: HashMap::new(),
             flows,
@@ -250,6 +262,8 @@ impl<P: Protocol> World<P> {
             occupancy,
             reach_cells,
             started: false,
+            probe: None,
+            budget_exceeded: None,
         }
     }
 
@@ -287,6 +301,19 @@ impl<P: Protocol> World<P> {
     /// Convenience: full (buffered) event tracing.
     pub fn enable_event_trace(&mut self) {
         self.enable_trace(TraceMode::Full);
+    }
+
+    /// Share a progress probe with a supervisor.  The run loop updates it
+    /// after every dispatch (and snapshots the trace digest at each sample
+    /// boundary), so if this world panics mid-run the probe still tells
+    /// the supervisor how far it got.
+    pub fn attach_probe(&mut self, probe: Arc<ProgressProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// `Some` when a finished run was cut short by the configured budget.
+    pub fn budget_exceeded(&self) -> Option<BudgetExceeded> {
+        self.budget_exceeded
     }
 
     /// The buffered event trace (empty unless full tracing is enabled).
@@ -455,6 +482,24 @@ impl<P: Protocol> World<P> {
         let mut last_t = SimTime::MAX;
         let mut same_t: u64 = 0;
         while let Some((t, ev)) = self.sched.next() {
+            // watchdog: the budget is checked after the pop so the
+            // diagnostic carries the time/count that actually crossed it;
+            // the crossing event itself is not handled
+            if let Err(exceeded) = self.sched.check_budget() {
+                self.budget_exceeded = Some(exceeded);
+                if let Some(p) = &self.probe {
+                    p.record(self.sched.processed(), t);
+                }
+                break;
+            }
+            if let Some(p) = &self.probe {
+                p.record(self.sched.processed(), t);
+                if matches!(ev, Event::Sample) {
+                    if let Some(rec) = &self.recorder {
+                        p.record_digest(rec.digest());
+                    }
+                }
+            }
             if t == last_t {
                 same_t += 1;
                 assert!(
@@ -487,6 +532,7 @@ impl<P: Protocol> World<P> {
             aen: self.aen_series.clone(),
             ledger: self.ledger.clone(),
             stats: self.stats,
+            budget_exceeded: self.budget_exceeded,
         }
     }
 

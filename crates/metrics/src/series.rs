@@ -86,6 +86,29 @@ impl TimeSeries {
         }
         out
     }
+
+    /// Point-wise mean over the *shared prefix* of several series: the
+    /// graceful sibling of [`TimeSeries::mean_of`] for supervised sweeps,
+    /// where a surviving replica set may mix full-length runs with ones a
+    /// watchdog truncated.  Averages the first `min(len)` samples instead
+    /// of panicking on a length mismatch; an empty input (or any empty
+    /// series) yields an empty series.
+    pub fn mean_of_common(series: &[TimeSeries]) -> TimeSeries {
+        let Some(n) = series.iter().map(|s| s.len()).min() else {
+            return TimeSeries::new();
+        };
+        let mut out = TimeSeries::new();
+        for i in 0..n {
+            let t = series[0].points[i].t_secs;
+            let mut sum = 0.0;
+            for s in series {
+                debug_assert!((s.points[i].t_secs - t).abs() < 1e-9, "sample time mismatch");
+                sum += s.points[i].value;
+            }
+            out.push(t, sum / series.len() as f64);
+        }
+        out
+    }
 }
 
 impl FromIterator<(f64, f64)> for TimeSeries {
@@ -130,6 +153,17 @@ mod tests {
         let mut s = TimeSeries::new();
         s.push(5.0, 1.0);
         s.push(4.0, 1.0);
+    }
+
+    #[test]
+    fn ragged_mean_uses_shared_prefix() {
+        let a: TimeSeries = [(0.0, 1.0), (1.0, 0.5), (2.0, 0.0)].into_iter().collect();
+        let b: TimeSeries = [(0.0, 0.0), (1.0, 1.5)].into_iter().collect();
+        let m = TimeSeries::mean_of_common(&[a, b]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.value_at(0.0), Some(0.5));
+        assert_eq!(m.value_at(1.0), Some(1.0));
+        assert!(TimeSeries::mean_of_common(&[]).is_empty());
     }
 
     #[test]

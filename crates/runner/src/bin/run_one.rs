@@ -9,9 +9,12 @@
 
 use manet::trace::TraceMode;
 use manet::{Backend, FaultPlan};
-use runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
+use runner::supervisor::{run_point, SupervisorConfig};
+use runner::{run_scenario_probed, run_scenario_with, sweep_supervised, ProtocolKind, RunOptions, Scenario};
+use std::fmt::Display;
 use std::fs::File;
 use std::io::BufWriter;
+use std::str::FromStr;
 
 const HELP: &str = "\
 run_one — run a single ECGRID-reproduction scenario
@@ -20,7 +23,8 @@ USAGE:
     run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
             [--backend heap|calendar] [--trace FILE.jsonl] [--digest]
-            [--faults SPEC]
+            [--faults SPEC] [--event-budget N] [--max-retries N]
+            [--journal FILE.jsonl]
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
 pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
@@ -32,12 +36,50 @@ pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
                loss=0.1,churn=0.01,page_fail=0.2,drain=0.005,gps=15
                (keys: loss, ge, page_fail, page_delay, churn, rejoin,
                battery_var, drain, drain_frac, gps, seed; all faults are
-               deterministic functions of the seeds)";
+               deterministic functions of the seeds)
 
-fn parse_args() -> (Scenario, RunOptions, Option<String>) {
-    let mut sc = Scenario::paper_base(ProtocolKind::Ecgrid, 1.0, 42);
-    let mut opts = RunOptions::default();
-    let mut trace_path = None;
+Supervision (see DESIGN.md §9):
+--event-budget N   watchdog: abort after N dispatched events (exit 2)
+--max-retries N    run under panic isolation; retry failures up to N
+                   times on re-derived seeds, then exit 3 with a
+                   failure report
+--journal FILE     checkpoint the run in a resumable sweep journal; a
+                   rerun with the same journal skips completed work
+
+EXIT STATUS:  0 success · 1 bad usage · 2 budget exceeded · 3 quarantined";
+
+fn fail(msg: impl Display) -> ! {
+    eprintln!("run_one: {msg}");
+    eprintln!("(run with --help for usage)");
+    std::process::exit(1);
+}
+
+/// Parse a flag value with the flag's name in the error message instead
+/// of a bare unwrap panic.
+fn parse_val<T: FromStr>(flag: &str, v: &str) -> T
+where
+    T::Err: Display,
+{
+    v.parse()
+        .unwrap_or_else(|e| fail(format!("{flag}: invalid value {v:?}: {e}")))
+}
+
+struct Cli {
+    sc: Scenario,
+    opts: RunOptions,
+    trace_path: Option<String>,
+    max_retries: Option<u32>,
+    journal: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        sc: Scenario::paper_base(ProtocolKind::Ecgrid, 1.0, 42),
+        opts: RunOptions::default(),
+        trace_path: None,
+        max_retries: None,
+        journal: None,
+    };
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{HELP}");
@@ -48,53 +90,115 @@ fn parse_args() -> (Scenario, RunOptions, Option<String>) {
         let k = &args[i];
         // flags without a value
         if k == "--digest" {
-            if opts.trace.is_none() {
-                opts.trace = Some(TraceMode::DigestOnly);
+            if cli.opts.trace.is_none() {
+                cli.opts.trace = Some(TraceMode::DigestOnly);
             }
             i += 1;
             continue;
         }
         let Some(v) = args.get(i + 1) else {
-            panic!("flag {k} needs a value (see --help)");
+            fail(format!("flag {k} needs a value"));
         };
         match k.as_str() {
             "--protocol" => {
-                sc.protocol = match v.to_lowercase().as_str() {
+                cli.sc.protocol = match v.to_lowercase().as_str() {
                     "grid" => ProtocolKind::Grid,
                     "ecgrid" => ProtocolKind::Ecgrid,
                     "gaf" => ProtocolKind::Gaf,
                     "span" => ProtocolKind::Span,
-                    other => panic!("unknown protocol {other}"),
+                    other => fail(format!(
+                        "unknown protocol {other:?} (expected grid|ecgrid|gaf|span)"
+                    )),
                 }
             }
-            "--hosts" => sc.n_hosts = v.parse().expect("--hosts"),
-            "--speed" => sc.max_speed = v.parse().expect("--speed"),
-            "--pause" => sc.pause_secs = v.parse().expect("--pause"),
-            "--flows" => sc.n_flows = v.parse().expect("--flows"),
-            "--rate" => sc.flow_rate_pps = v.parse().expect("--rate"),
-            "--duration" => sc.duration_secs = v.parse().expect("--duration"),
-            "--seed" => sc.seed = v.parse().expect("--seed"),
-            "--backend" => opts.backend = Backend::parse(v).expect("--backend heap|calendar"),
+            "--hosts" => cli.sc.n_hosts = parse_val(k, v),
+            "--speed" => cli.sc.max_speed = parse_val(k, v),
+            "--pause" => cli.sc.pause_secs = parse_val(k, v),
+            "--flows" => cli.sc.n_flows = parse_val(k, v),
+            "--rate" => cli.sc.flow_rate_pps = parse_val(k, v),
+            "--duration" => cli.sc.duration_secs = parse_val(k, v),
+            "--seed" => cli.sc.seed = parse_val(k, v),
+            "--backend" => {
+                cli.opts.backend = Backend::parse(v)
+                    .unwrap_or_else(|| fail(format!("--backend: {v:?} (expected heap|calendar)")))
+            }
             "--faults" => match FaultPlan::parse(v) {
-                Ok(plan) => opts.faults = plan,
-                Err(e) => panic!("--faults: {e}"),
+                Ok(plan) => cli.opts.faults = plan,
+                Err(e) => fail(format!("--faults: {e}")),
             },
             "--trace" => {
-                opts.trace = Some(TraceMode::Full);
-                trace_path = Some(v.clone());
+                cli.opts.trace = Some(TraceMode::Full);
+                cli.trace_path = Some(v.clone());
             }
-            other => panic!("unknown flag {other}"),
+            "--event-budget" => cli.opts.event_budget = Some(parse_val(k, v)),
+            "--max-retries" => cli.max_retries = Some(parse_val(k, v)),
+            "--journal" => cli.journal = Some(v.clone()),
+            other => fail(format!("unknown flag {other}")),
         }
         i += 2;
     }
-    (sc, opts, trace_path)
+    cli
 }
 
 fn main() {
-    let (sc, opts, trace_path) = parse_args();
+    let cli = parse_args();
+    let (sc, opts) = (cli.sc, cli.opts);
+
+    // journaled mode: a one-scenario supervised sweep, so a rerun with the
+    // same journal skips the completed run and replays its metrics
+    if let Some(journal) = &cli.journal {
+        let sup = SupervisorConfig::default()
+            .with_max_retries(cli.max_retries.unwrap_or(2))
+            .with_event_budget(opts.event_budget)
+            .with_journal(journal);
+        eprintln!("running supervised: {} (journal {journal})", sc.label());
+        let report = sweep_supervised(&[sc], 1, opts, &sup);
+        print!("{}", report.render());
+        if let Some(avg) = report.averaged.first() {
+            println!(
+                "pdr: {}   latency: {} ms   death: {}",
+                avg.pdr
+                    .map(|x| format!("{:.2}%", 100.0 * x))
+                    .unwrap_or_else(|| "-".into()),
+                avg.latency_ms
+                    .map(|x| format!("{x:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                avg.network_death_s
+                    .map(|t| format!("{t:.0} s"))
+                    .unwrap_or_else(|| "none".into()),
+            );
+        }
+        if !report.quarantined.is_empty() {
+            std::process::exit(3);
+        }
+        return;
+    }
+
     eprintln!("running: {} [{}]", sc.label(), opts.backend.name());
     let start = std::time::Instant::now();
-    let r = run_scenario_with(&sc, opts);
+
+    // supervised (unjournaled) mode: panic isolation + bounded retry
+    let r = if let Some(retries) = cli.max_retries {
+        let sup = SupervisorConfig::default()
+            .with_max_retries(retries)
+            .with_event_budget(opts.event_budget);
+        let out = run_point(&|s, o, p| run_scenario_probed(s, o, p), &sc, opts, &sup);
+        for f in &out.failures {
+            eprintln!("attempt failed: {f}");
+        }
+        match out.result {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "quarantined after {} attempt(s); seeds above replay each failure",
+                    out.failures.len()
+                );
+                std::process::exit(3);
+            }
+        }
+    } else {
+        run_scenario_with(&sc, opts)
+    };
     let wall = start.elapsed().as_secs_f64();
     eprintln!("({} s simulated in {wall:.1} s wall)", sc.duration_secs);
 
@@ -150,11 +254,20 @@ fn main() {
         for (domain, n) in prof.by_domain() {
             println!("    {domain:<14} {n}");
         }
-        if let Some(path) = trace_path {
-            let f = File::create(&path).expect("create trace file");
+        if let Some(path) = cli.trace_path {
+            let f =
+                File::create(&path).unwrap_or_else(|e| fail(format!("--trace: cannot create {path:?}: {e}")));
             let mut w = BufWriter::new(f);
-            let n = rec.write_jsonl(sc.protocol.name(), &mut w).expect("write trace");
+            let n = rec
+                .write_jsonl(sc.protocol.name(), &mut w)
+                .unwrap_or_else(|e| fail(format!("--trace: writing {path:?} failed: {e}")));
             eprintln!("wrote {n} events to {path}");
         }
+    }
+
+    // the watchdog tripped: the metrics above describe a truncated run
+    if let Some(b) = r.budget_exceeded {
+        eprintln!("run_one: {b}");
+        std::process::exit(2);
     }
 }

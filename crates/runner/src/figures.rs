@@ -2,22 +2,35 @@
 //! and render the series/rows the figure plots.
 //!
 //! Environment knobs (read by the binaries):
-//! * `ECGRID_REPLICAS` — seeds averaged per configuration (default 3);
-//! * `ECGRID_FAST=1`   — shrink durations/densities for a smoke run.
+//! * `ECGRID_REPLICAS`     — seeds averaged per configuration (default 3);
+//! * `ECGRID_FAST=1`       — shrink durations/densities for a smoke run;
+//! * `ECGRID_JOURNAL`      — checkpoint journal path: sweeps run supervised
+//!   and a rerun skips already-journaled replicas;
+//! * `ECGRID_MAX_RETRIES`  — supervised retry budget per replica;
+//! * `ECGRID_EVENT_BUDGET` — supervised watchdog ceiling on events/run.
 
 use crate::report::{render_ascii_chart, render_series_table, series_csv_rows, write_csv};
+use crate::run::RunOptions;
 use crate::scenario::{ProtocolKind, Scenario};
+use crate::supervisor::{sweep_supervised, SupervisorConfig};
 use crate::sweep::{sweep, AveragedResult};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Shared run options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FigOpts {
     pub replicas: usize,
     /// Shrinks the experiment for smoke testing.
     pub fast: bool,
     pub base_seed: u64,
+    /// Supervised retry budget; `Some` switches sweeps to the supervised
+    /// path even without a journal.
+    pub max_retries: Option<u32>,
+    /// Supervised watchdog ceiling on dispatched events per replica.
+    pub event_budget: Option<u64>,
+    /// Checkpoint journal: `Some` makes every figure sweep resumable.
+    pub journal: Option<PathBuf>,
 }
 
 impl FigOpts {
@@ -32,7 +45,19 @@ impl FigOpts {
             replicas,
             fast,
             base_seed: 42,
+            max_retries: std::env::var("ECGRID_MAX_RETRIES")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            event_budget: std::env::var("ECGRID_EVENT_BUDGET")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            journal: std::env::var("ECGRID_JOURNAL").ok().map(PathBuf::from),
         }
+    }
+
+    /// Whether any supervision knob is set.
+    pub fn supervised(&self) -> bool {
+        self.max_retries.is_some() || self.event_budget.is_some() || self.journal.is_some()
     }
 
     fn duration(&self, full: f64) -> f64 {
@@ -50,6 +75,28 @@ impl FigOpts {
             full
         }
     }
+}
+
+/// Every figure sweeps through here: plain [`sweep`] by default, or the
+/// supervised path (isolation + watchdog + journal resume) when any
+/// supervision knob is set.  An all-healthy supervised sweep averages the
+/// same replicas in the same order as the plain one, so the figures are
+/// bit-identical either way.
+fn run_sweep(opts: &FigOpts, scenarios: &[Scenario]) -> Vec<AveragedResult> {
+    if !opts.supervised() {
+        return sweep(scenarios, opts.replicas);
+    }
+    let mut sup = SupervisorConfig::default()
+        .with_max_retries(opts.max_retries.unwrap_or(2))
+        .with_event_budget(opts.event_budget);
+    if let Some(j) = &opts.journal {
+        sup = sup.with_journal(j.clone());
+    }
+    let report = sweep_supervised(scenarios, opts.replicas, RunOptions::default(), &sup);
+    if !report.quarantined.is_empty() || report.from_journal > 0 || !report.failures.is_empty() {
+        eprint!("{}", report.render());
+    }
+    report.averaged
 }
 
 fn results_dir() -> PathBuf {
@@ -81,7 +128,7 @@ fn lifetime_matrix(opts: &FigOpts, speed: f64) -> Vec<Scenario> {
 
 /// Figs. 4 and 5 share their runs; compute both from one sweep.
 pub fn lifetime_and_energy(opts: &FigOpts, speed: f64) -> Vec<AveragedResult> {
-    sweep(&lifetime_matrix(opts, speed), opts.replicas)
+    run_sweep(opts, &lifetime_matrix(opts, speed))
 }
 
 /// Fig. 4: fraction of alive hosts vs simulation time.
@@ -203,7 +250,7 @@ fn delivery_rows(
             "pause(s)", "GRID", "ECGRID", "GAF"
         );
         for pause in PAUSES {
-            let res = sweep(&delivery_matrix(opts, speed, pause), opts.replicas);
+            let res = run_sweep(opts, &delivery_matrix(opts, speed, pause));
             let mut row = vec![format!("{speed}"), format!("{pause}")];
             let _ = write!(out, "{pause:>10}");
             for r in &res {
@@ -264,7 +311,7 @@ pub fn fig8(opts: &FigOpts) -> String {
                 scenarios.push(sc);
             }
         }
-        let res = sweep(&scenarios, opts.replicas);
+        let res = run_sweep(opts, &scenarios);
         let labels: Vec<String> = res
             .iter()
             .map(|r| format!("{}-{}", r.scenario.protocol.name(), r.scenario.n_hosts))

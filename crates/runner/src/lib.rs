@@ -18,9 +18,17 @@ pub mod figures;
 pub mod report;
 pub mod run;
 pub mod scenario;
+pub mod supervisor;
 pub mod sweep;
 
-pub use report::{render_ascii_chart, render_series_table, write_csv};
-pub use run::{replica_seed, run_replicas, run_scenario, run_scenario_with, RunOptions, ScenarioResult};
+pub use report::{render_ascii_chart, render_series_table, write_atomic, write_csv};
+pub use run::{
+    replica_seed, run_replicas, run_scenario, run_scenario_probed, run_scenario_with, RunOptions,
+    ScenarioResult,
+};
 pub use scenario::{ProtocolKind, Scenario};
-pub use sweep::{average_results, sweep, AveragedResult};
+pub use supervisor::{
+    sweep_resumable, sweep_supervised, sweep_supervised_with, FailureKind, QuarantinedPoint, ReplicaRecord,
+    RunFailure, SupervisorConfig, SweepReport,
+};
+pub use sweep::{average_results, average_results_degraded, sweep, AveragedResult, ReplicaMetrics};

@@ -34,16 +34,40 @@ pub fn render_series_table(title: &str, labelled: &[(&str, &TimeSeries)], every:
     out
 }
 
-/// Write rows as CSV under `results/`.  The first row should be a header.
-pub fn write_csv(path: &Path, rows: &[Vec<String>]) -> std::io::Result<()> {
+/// Crash-safe file write: the contents land in `<path>.tmp` first and are
+/// renamed over `path` only once fully flushed, so a sweep killed mid-write
+/// never leaves a truncated result file — readers see either the old
+/// complete file or the new complete file.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
     }
-    let mut f = fs::File::create(path)?;
-    for row in rows {
-        writeln!(f, "{}", row.join(","))?;
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
     }
-    Ok(())
+    fs::rename(&tmp, path)
+}
+
+/// `<path>.tmp`, appended to the full file name (not swapping the
+/// extension, so `a.csv` and `a.jsonl` in one directory cannot collide on
+/// the same temp name).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write rows as CSV under `results/`.  The first row should be a header.
+/// Atomic: see [`write_atomic`].
+pub fn write_csv(path: &Path, rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut body = String::new();
+    for row in rows {
+        let _ = writeln!(body, "{}", row.join(","));
+    }
+    write_atomic(path, body.as_bytes())
 }
 
 /// CSV rows for labelled series sharing sample times.
@@ -197,6 +221,18 @@ mod tests {
         write_csv(&path, &rows).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.starts_with("t_secs,alive"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file_and_cleans_up() {
+        let dir = std::env::temp_dir().join("ecgrid_report_atomic_test");
+        let path = dir.join("out.csv");
+        write_atomic(&path, b"old contents, quite long\n").unwrap();
+        write_atomic(&path, b"new\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new\n");
+        // no .tmp litter once the write completed
+        assert!(!dir.join("out.csv.tmp").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,6 +4,7 @@ use crate::scenario::{ProtocolKind, Scenario};
 use ecgrid::{Ecgrid, EcgridConfig};
 use gaf::{GafConfig, GafProto};
 use grid_routing::{GridConfig, GridProto};
+use manet::progress::ProgressProbe;
 use manet::trace::{Recorder, TraceDigest, TraceMode};
 use manet::{
     Backend, Battery, FaultPlan, FlowSet, FlowSpec, HostSetup, NodeId, PowerProfile, SimTime, World,
@@ -12,8 +13,9 @@ use manet::{
 use metrics::{PacketLedger, TimeSeries};
 use mobility::{MobilityModel, RandomWaypoint};
 use rayon::prelude::*;
-use sim_engine::{derive_seed, RngFactory};
+use sim_engine::{derive_seed, BudgetExceeded, RngFactory, RunBudget};
 use span::{SpanConfig, SpanProto};
+use std::sync::Arc;
 
 /// Knobs orthogonal to the scenario itself: which scheduler backend the
 /// world runs on and whether a trace recorder is attached.  The defaults
@@ -25,6 +27,10 @@ pub struct RunOptions {
     /// Fault-injection plan.  The default (all-zero) plan performs no RNG
     /// draws and leaves every run bit-identical to a fault-free build.
     pub faults: FaultPlan,
+    /// Watchdog: maximum dispatched events per run.  `None` (the default)
+    /// is unbounded; a bounded run that trips the ceiling terminates with
+    /// [`ScenarioResult::budget_exceeded`] set instead of hanging.
+    pub event_budget: Option<u64>,
 }
 
 impl RunOptions {
@@ -35,6 +41,7 @@ impl RunOptions {
             backend: Backend::Heap,
             trace: Some(TraceMode::DigestOnly),
             faults: FaultPlan::none(),
+            event_budget: None,
         }
     }
 
@@ -45,6 +52,11 @@ impl RunOptions {
 
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    pub fn with_event_budget(mut self, budget: Option<u64>) -> Self {
+        self.event_budget = budget;
         self
     }
 }
@@ -78,6 +90,10 @@ pub struct ScenarioResult {
     /// The full recorder (events in [`TraceMode::Full`], profiling data in
     /// either mode; `None` unless tracing was requested).
     pub recorder: Option<Recorder>,
+    /// `Some` when the run's watchdog budget cut it short — the metrics
+    /// above cover the truncated run, and a supervisor should treat this
+    /// result as a failure, not average it.
+    pub budget_exceeded: Option<BudgetExceeded>,
 }
 
 /// Build the mobility traces for `count` hosts, identical across protocols
@@ -108,11 +124,15 @@ fn build_flows(sc: &Scenario, endpoint_ids: &[NodeId], stop: SimTime) -> FlowSet
 fn finish<P: manet::Protocol>(
     sc: &Scenario,
     opts: RunOptions,
+    probe: Option<Arc<ProgressProbe>>,
     mut world: World<P>,
     end: SimTime,
 ) -> ScenarioResult {
     if let Some(mode) = opts.trace {
         world.enable_trace(mode);
+    }
+    if let Some(p) = probe {
+        world.attach_probe(p);
     }
     let out = world.run_until(end);
     let recorder = world.take_recorder();
@@ -131,6 +151,7 @@ fn finish<P: manet::Protocol>(
         stats: out.stats,
         trace_digest: recorder.as_ref().map(|r| r.digest()),
         recorder,
+        budget_exceeded: out.budget_exceeded,
     }
 }
 
@@ -141,6 +162,18 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
 
 /// Run one scenario to completion on an explicit backend / trace setting.
 pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
+    run_scenario_probed(sc, opts, None)
+}
+
+/// [`run_scenario_with`], sharing a [`ProgressProbe`] with a supervisor.
+/// The probe is updated throughout the run, so if the run panics the
+/// supervisor can still report how far it got (the probe outlives the
+/// poisoned world).
+pub fn run_scenario_probed(
+    sc: &Scenario,
+    opts: RunOptions,
+    probe: Option<Arc<ProgressProbe>>,
+) -> ScenarioResult {
     let end = SimTime::from_secs_f64(sc.duration_secs);
     // traces must outlive the run comfortably
     let horizon = end + sim_engine::SimDuration::from_secs(10);
@@ -149,9 +182,14 @@ pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
     let faults = opts
         .faults
         .with_seed(derive_seed(sc.seed, "fault", opts.faults.seed));
+    let mut budget = RunBudget::UNLIMITED;
+    if let Some(n) = opts.event_budget {
+        budget = budget.with_max_events(n);
+    }
     let cfg = WorldConfig::paper_default(sc.seed)
         .with_backend(opts.backend)
-        .with_faults(faults);
+        .with_faults(faults)
+        .with_budget(budget);
 
     match sc.protocol {
         ProtocolKind::Grid | ProtocolKind::Ecgrid => {
@@ -163,11 +201,11 @@ pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
             match sc.protocol {
                 ProtocolKind::Grid => {
                     let world = World::new(cfg, hosts, flows, |id| GridProto::new(GridConfig::default(), id));
-                    finish(sc, opts, world, end)
+                    finish(sc, opts, probe, world, end)
                 }
                 ProtocolKind::Ecgrid => {
                     let world = World::new(cfg, hosts, flows, |id| Ecgrid::new(EcgridConfig::default(), id));
-                    finish(sc, opts, world, end)
+                    finish(sc, opts, probe, world, end)
                 }
                 ProtocolKind::Gaf | ProtocolKind::Span => unreachable!(),
             }
@@ -208,7 +246,7 @@ pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
                             GafProto::endpoint(GafConfig::default(), id)
                         }
                     });
-                    finish(sc, opts, world, end)
+                    finish(sc, opts, probe, world, end)
                 }
                 ProtocolKind::Span => {
                     let world = World::new(cfg, hosts, flows, move |id| {
@@ -218,7 +256,7 @@ pub fn run_scenario_with(sc: &Scenario, opts: RunOptions) -> ScenarioResult {
                             SpanProto::endpoint(SpanConfig::default(), id)
                         }
                     });
-                    finish(sc, opts, world, end)
+                    finish(sc, opts, probe, world, end)
                 }
                 _ => unreachable!(),
             }

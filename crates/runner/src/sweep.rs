@@ -1,4 +1,10 @@
 //! Parallel multi-seed sweeps (rayon) and replica averaging.
+//!
+//! Averaging is written against the [`ReplicaMetrics`] view rather than
+//! [`ScenarioResult`] directly, so the supervised sweep (which mixes
+//! freshly-run replicas with records re-read from a checkpoint journal —
+//! see [`crate::supervisor`]) averages through exactly the same code path
+//! as a plain in-memory sweep.
 
 use crate::run::{replica_seed, run_scenario, ScenarioResult};
 use crate::scenario::Scenario;
@@ -9,7 +15,13 @@ use rayon::prelude::*;
 #[derive(Clone, Debug)]
 pub struct AveragedResult {
     pub scenario: Scenario,
+    /// Replicas that actually contributed (the *effective* count — under
+    /// supervision, failed replicas are quarantined and drop out).
     pub replicas: usize,
+    /// Replicas the sweep asked for.  `replicas < replicas_requested`
+    /// flags a degraded average: fewer samples, so the `_sd` spreads below
+    /// are computed over a smaller population and the mean is noisier.
+    pub replicas_requested: usize,
     pub alive: TimeSeries,
     pub aen: TimeSeries,
     pub pdr: Option<f64>,
@@ -25,6 +37,54 @@ pub struct AveragedResult {
     pub network_death_sd: Option<f64>,
 }
 
+impl AveragedResult {
+    /// True when at least one requested replica is missing from the
+    /// average.
+    pub fn is_degraded(&self) -> bool {
+        self.replicas < self.replicas_requested
+    }
+}
+
+/// The per-replica quantities averaging needs — implemented by the full
+/// in-memory [`ScenarioResult`] and by the journal's slimmer records.
+pub trait ReplicaMetrics {
+    fn scenario(&self) -> &Scenario;
+    fn alive(&self) -> &TimeSeries;
+    fn aen(&self) -> &TimeSeries;
+    fn pdr(&self) -> Option<f64>;
+    fn latency_ms(&self) -> Option<f64>;
+    fn pdr_590(&self) -> Option<f64>;
+    fn latency_ms_590(&self) -> Option<f64>;
+    fn network_death_s(&self) -> Option<f64>;
+}
+
+impl ReplicaMetrics for ScenarioResult {
+    fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+    fn alive(&self) -> &TimeSeries {
+        &self.alive
+    }
+    fn aen(&self) -> &TimeSeries {
+        &self.aen
+    }
+    fn pdr(&self) -> Option<f64> {
+        self.pdr
+    }
+    fn latency_ms(&self) -> Option<f64> {
+        self.latency_ms
+    }
+    fn pdr_590(&self) -> Option<f64> {
+        self.pdr_590
+    }
+    fn latency_ms_590(&self) -> Option<f64> {
+        self.latency_ms_590
+    }
+    fn network_death_s(&self) -> Option<f64> {
+        self.network_death_s
+    }
+}
+
 fn mean_opt(xs: impl Iterator<Item = Option<f64>>) -> Option<f64> {
     let v: Vec<f64> = xs.flatten().collect();
     metrics::mean(&v)
@@ -36,44 +96,81 @@ fn sd_opt(xs: impl Iterator<Item = Option<f64>>) -> Option<f64> {
 }
 
 /// Average the per-replica results of ONE scenario (same config, varying
-/// seed).
-pub fn average_results(results: &[ScenarioResult]) -> AveragedResult {
-    assert!(!results.is_empty());
-    let alive: Vec<TimeSeries> = results.iter().map(|r| r.alive.clone()).collect();
-    let aen: Vec<TimeSeries> = results.iter().map(|r| r.aen.clone()).collect();
-    AveragedResult {
-        scenario: results[0].scenario,
+/// seed).  Returns `None` for an empty slice — the "all replicas failed"
+/// case a supervised sweep can produce — instead of asserting.  Tolerates
+/// replicas with unequal series lengths (a truncated run) by averaging
+/// the shared prefix.
+pub fn average_results<R: ReplicaMetrics>(results: &[R]) -> Option<AveragedResult> {
+    let first = results.first()?;
+    let alive: Vec<TimeSeries> = results.iter().map(|r| r.alive().clone()).collect();
+    let aen: Vec<TimeSeries> = results.iter().map(|r| r.aen().clone()).collect();
+    Some(AveragedResult {
+        scenario: *first.scenario(),
         replicas: results.len(),
-        alive: TimeSeries::mean_of(&alive),
-        aen: TimeSeries::mean_of(&aen),
-        pdr: mean_opt(results.iter().map(|r| r.pdr)),
-        latency_ms: mean_opt(results.iter().map(|r| r.latency_ms)),
-        pdr_590: mean_opt(results.iter().map(|r| r.pdr_590)),
-        latency_ms_590: mean_opt(results.iter().map(|r| r.latency_ms_590)),
-        network_death_s: mean_opt(results.iter().map(|r| r.network_death_s)),
-        pdr_sd: sd_opt(results.iter().map(|r| r.pdr)),
-        latency_sd: sd_opt(results.iter().map(|r| r.latency_ms)),
-        network_death_sd: sd_opt(results.iter().map(|r| r.network_death_s)),
-    }
+        replicas_requested: results.len(),
+        alive: TimeSeries::mean_of_common(&alive),
+        aen: TimeSeries::mean_of_common(&aen),
+        pdr: mean_opt(results.iter().map(|r| r.pdr())),
+        latency_ms: mean_opt(results.iter().map(|r| r.latency_ms())),
+        pdr_590: mean_opt(results.iter().map(|r| r.pdr_590())),
+        latency_ms_590: mean_opt(results.iter().map(|r| r.latency_ms_590())),
+        network_death_s: mean_opt(results.iter().map(|r| r.network_death_s())),
+        pdr_sd: sd_opt(results.iter().map(|r| r.pdr())),
+        latency_sd: sd_opt(results.iter().map(|r| r.latency_ms())),
+        network_death_sd: sd_opt(results.iter().map(|r| r.network_death_s())),
+    })
+}
+
+/// [`average_results`] for a group that may have lost replicas: the
+/// effective count comes from the slice, the requested count from the
+/// sweep.
+pub fn average_results_degraded<R: ReplicaMetrics>(
+    results: &[R],
+    requested: usize,
+) -> Option<AveragedResult> {
+    let mut avg = average_results(results)?;
+    avg.replicas_requested = requested;
+    Some(avg)
 }
 
 /// Run every (scenario × replica) pair in parallel and average per
 /// scenario.  Replica `k` of a scenario uses seed
 /// [`replica_seed`]`(scenario.seed, k)`, so sweep points with adjacent
 /// base seeds never share a replica run.
+///
+/// Results are grouped back to their scenario explicitly by job index —
+/// not by positional chunking — so the shape survives refactors that
+/// drop or reorder jobs (the supervised sweep reuses the same grouping
+/// with holes).
 pub fn sweep(scenarios: &[Scenario], replicas: usize) -> Vec<AveragedResult> {
     assert!(replicas >= 1);
-    let jobs: Vec<Scenario> = scenarios
+    let jobs: Vec<(usize, Scenario)> = scenarios
         .iter()
-        .flat_map(|sc| {
-            (0..replicas as u64).map(move |k| Scenario {
-                seed: replica_seed(sc.seed, k),
-                ..*sc
+        .enumerate()
+        .flat_map(|(idx, sc)| {
+            (0..replicas as u64).map(move |k| {
+                (
+                    idx,
+                    Scenario {
+                        seed: replica_seed(sc.seed, k),
+                        ..*sc
+                    },
+                )
             })
         })
         .collect();
-    let results: Vec<ScenarioResult> = jobs.par_iter().map(run_scenario).collect();
-    results.chunks(replicas).map(average_results).collect()
+    let results: Vec<(usize, ScenarioResult)> = jobs
+        .par_iter()
+        .map(|(idx, sc)| (*idx, run_scenario(sc)))
+        .collect();
+    let mut groups: Vec<Vec<ScenarioResult>> = (0..scenarios.len()).map(|_| Vec::new()).collect();
+    for (idx, r) in results {
+        groups[idx].push(r);
+    }
+    groups
+        .iter()
+        .filter_map(|g| average_results_degraded(g, replicas))
+        .collect()
 }
 
 #[cfg(test)]
@@ -100,6 +197,8 @@ mod tests {
         let out = sweep(&[tiny(1)], 2);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].replicas, 2);
+        assert_eq!(out[0].replicas_requested, 2);
+        assert!(!out[0].is_degraded());
         assert!(!out[0].alive.is_empty());
         assert!(out[0].pdr.is_some());
         // with two replicas a spread is defined (may be zero, never NaN)
@@ -119,9 +218,23 @@ mod tests {
     fn averaging_is_pointwise() {
         let a = run_scenario(&tiny(1));
         let b = run_scenario(&tiny(2));
-        let avg = average_results(&[a.clone(), b.clone()]);
+        let avg = average_results(&[a.clone(), b.clone()]).unwrap();
         let t = avg.alive.points()[0].t_secs;
         let expect = (a.alive.points()[0].value + b.alive.points()[0].value) / 2.0;
         assert_eq!(avg.alive.value_at(t), Some(expect));
+    }
+
+    #[test]
+    fn empty_group_averages_to_none() {
+        assert!(average_results::<ScenarioResult>(&[]).is_none());
+    }
+
+    #[test]
+    fn dropped_replica_marks_degradation() {
+        let a = run_scenario(&tiny(1));
+        let avg = average_results_degraded(&[a], 3).unwrap();
+        assert_eq!(avg.replicas, 1);
+        assert_eq!(avg.replicas_requested, 3);
+        assert!(avg.is_degraded());
     }
 }

@@ -1,0 +1,170 @@
+//! Run budgets: hard ceilings that turn runaway event loops into
+//! diagnosable terminations.
+//!
+//! A discrete-event simulation has two independent axes a bug can run
+//! away along: the *event count* (zero-delay cycles, broadcast storms)
+//! and *virtual time* (a termination condition that never becomes true).
+//! A [`RunBudget`] bounds both; the event loop checks it after every
+//! dispatch and stops with a [`BudgetExceeded`] diagnostic instead of
+//! hanging the process.  The all-`None` default is free: two `Option`
+//! compares per event.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Ceilings for one event loop.  `None` on an axis means unbounded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum number of dispatched events.
+    pub max_events: Option<u64>,
+    /// Maximum virtual time the clock may reach.
+    pub max_sim_time: Option<SimTime>,
+}
+
+impl RunBudget {
+    /// No ceilings on either axis.
+    pub const UNLIMITED: RunBudget = RunBudget {
+        max_events: None,
+        max_sim_time: None,
+    };
+
+    pub fn unlimited() -> Self {
+        Self::UNLIMITED
+    }
+
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
+        self
+    }
+
+    pub fn with_max_sim_time(mut self, t: SimTime) -> Self {
+        self.max_sim_time = Some(t);
+        self
+    }
+
+    /// True when neither axis is bounded (the check is then a no-op).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.max_sim_time.is_none()
+    }
+
+    /// Check `processed` events at virtual time `now` against the budget.
+    /// The event-count axis is checked first, so a run that trips both in
+    /// the same dispatch reports deterministically.
+    #[inline]
+    pub fn check(&self, processed: u64, now: SimTime) -> Result<(), BudgetExceeded> {
+        if let Some(limit) = self.max_events {
+            if processed > limit {
+                return Err(BudgetExceeded::Events {
+                    limit,
+                    processed,
+                    at: now,
+                });
+            }
+        }
+        if let Some(limit) = self.max_sim_time {
+            if now > limit {
+                return Err(BudgetExceeded::SimTime {
+                    limit,
+                    now,
+                    processed,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a budgeted run was cut short.  Carries enough context to tell an
+/// event storm (huge `processed` at small `at`) from a run that simply
+/// outlived its virtual-time allowance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The event-count ceiling was crossed.
+    Events { limit: u64, processed: u64, at: SimTime },
+    /// The virtual-time ceiling was crossed.
+    SimTime {
+        limit: SimTime,
+        now: SimTime,
+        processed: u64,
+    },
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Events { limit, processed, at } => write!(
+                f,
+                "event budget exceeded: {processed} events dispatched (limit {limit}) at t={:.3}s",
+                at.as_secs_f64()
+            ),
+            BudgetExceeded::SimTime {
+                limit,
+                now,
+                processed,
+            } => write!(
+                f,
+                "virtual-time budget exceeded: t={:.3}s (limit {:.3}s) after {processed} events",
+                now.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = RunBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check(u64::MAX, SimTime::MAX).is_ok());
+    }
+
+    #[test]
+    fn event_ceiling_trips_past_limit() {
+        let b = RunBudget::default().with_max_events(10);
+        assert!(b.check(10, SimTime::ZERO).is_ok());
+        let err = b.check(11, SimTime::from_secs(3)).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetExceeded::Events {
+                limit: 10,
+                processed: 11,
+                at: SimTime::from_secs(3)
+            }
+        );
+    }
+
+    #[test]
+    fn sim_time_ceiling_trips_past_limit() {
+        let b = RunBudget::default().with_max_sim_time(SimTime::from_secs(5));
+        assert!(b.check(1, SimTime::from_secs(5)).is_ok());
+        let err = b.check(2, SimTime::from_secs(6)).unwrap_err();
+        assert!(matches!(err, BudgetExceeded::SimTime { .. }));
+    }
+
+    #[test]
+    fn events_axis_reported_first() {
+        let b = RunBudget::default()
+            .with_max_events(1)
+            .with_max_sim_time(SimTime::from_secs(1));
+        let err = b.check(5, SimTime::from_secs(5)).unwrap_err();
+        assert!(matches!(err, BudgetExceeded::Events { .. }));
+    }
+
+    #[test]
+    fn display_names_the_axis() {
+        let e = RunBudget::default()
+            .with_max_events(1)
+            .check(2, SimTime::ZERO)
+            .unwrap_err();
+        assert!(e.to_string().contains("event budget"));
+        let t = RunBudget::default()
+            .with_max_sim_time(SimTime::ZERO)
+            .check(0, SimTime::from_secs(1))
+            .unwrap_err();
+        assert!(t.to_string().contains("virtual-time budget"));
+    }
+}

@@ -10,10 +10,13 @@
 //!   O(1) amortized hold operations under stationary event populations
 //!   (the classic DES data structure; benchmarked against the heap).
 //! * [`Scheduler`] — clock + queue + lazy cancellation handles.
+//! * [`RunBudget`] — event-count / virtual-time ceilings turning runaway
+//!   loops into [`BudgetExceeded`] diagnostics instead of hangs.
 //! * [`rng`] — a master seed fanned out into independent, stable streams
 //!   per (domain, index), so adding a consumer never perturbs others.
 
 pub mod backend;
+pub mod budget;
 pub mod calendar;
 pub mod queue;
 pub mod rng;
@@ -21,6 +24,7 @@ pub mod sched;
 pub mod time;
 
 pub use backend::{AnyQueue, Backend};
+pub use budget::{BudgetExceeded, RunBudget};
 pub use calendar::CalendarQueue;
 pub use queue::{EventQueue, PendingEvents};
 pub use rng::{derive_seed, RngFactory, SplitMix64};

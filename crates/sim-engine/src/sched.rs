@@ -1,6 +1,7 @@
 //! The scheduler: virtual clock + pending events + lazy cancellation.
 
 use crate::backend::{AnyQueue, Backend};
+use crate::budget::{BudgetExceeded, RunBudget};
 use crate::queue::PendingEvents;
 use crate::time::{SimDuration, SimTime};
 use std::collections::HashSet;
@@ -31,6 +32,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     processed: u64,
     max_pending: usize,
+    budget: RunBudget,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -54,7 +56,28 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             processed: 0,
             max_pending: 0,
+            budget: RunBudget::UNLIMITED,
         }
+    }
+
+    /// Install a run budget (ceilings on dispatched events and virtual
+    /// time).  The scheduler never enforces it on its own — the event loop
+    /// driving it calls [`Scheduler::check_budget`] after each dispatch, so
+    /// the loop decides how to wind down.  The budget spans the scheduler's
+    /// lifetime: `processed` accumulates across multiple run calls.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// The installed run budget.
+    pub fn budget(&self) -> RunBudget {
+        self.budget
+    }
+
+    /// Check the dispatched-event count and clock against the budget.
+    #[inline]
+    pub fn check_budget(&self) -> Result<(), BudgetExceeded> {
+        self.budget.check(self.processed, self.now)
     }
 
     /// Which backend this scheduler runs on.
@@ -272,6 +295,28 @@ mod tests {
         while s.next().is_some() {}
         assert_eq!(s.max_pending(), 10);
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn budget_trips_after_excess_dispatches() {
+        let mut s = Scheduler::new();
+        s.set_budget(RunBudget::default().with_max_events(3));
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_secs(i), ());
+        }
+        let mut dispatched = 0;
+        while s.next().is_some() {
+            dispatched += 1;
+            if s.check_budget().is_err() {
+                break;
+            }
+        }
+        // the loop dispatches limit + 1 events before the check trips
+        assert_eq!(dispatched, 4);
+        assert!(matches!(
+            s.check_budget(),
+            Err(BudgetExceeded::Events { limit: 3, .. })
+        ));
     }
 
     #[test]
