@@ -1,0 +1,67 @@
+//! Criterion view of the core scaling family (see `src/core_scaling.rs`
+//! for methodology and `src/bin/bench_core.rs` for the JSON baseline).
+//!
+//! ```sh
+//! cargo bench -p ecgrid-bench --bench core_scaling
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecgrid_bench::core_scaling::{
+    broadcast_round_brute, broadcast_round_grid, build_index, build_world, carrier_sense_round,
+    discovery_sweep, loaded_channel, placements, SCALES,
+};
+use manet::NeighborIndex;
+
+fn receiver_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("receiver_discovery");
+    group.sample_size(10);
+    for &n in &SCALES {
+        let brute = build_world(n, 1.0, NeighborIndex::Brute, 42);
+        let grid = build_world(n, 1.0, NeighborIndex::Grid, 42);
+        group.bench_function(format!("brute/{n}"), |b| {
+            b.iter(|| discovery_sweep(black_box(&brute)))
+        });
+        group.bench_function(format!("grid/{n}"), |b| {
+            b.iter(|| discovery_sweep(black_box(&grid)))
+        });
+    }
+    group.finish();
+}
+
+fn geometry_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry_kernel");
+    group.sample_size(10);
+    for &n in &SCALES {
+        let pts = placements(n, 42);
+        let idx = build_index(&pts, n);
+        let mut scratch = Vec::new();
+        group.bench_function(format!("brute/{n}"), |b| {
+            b.iter(|| broadcast_round_brute(black_box(&pts)))
+        });
+        group.bench_function(format!("grid/{n}"), |b| {
+            b.iter(|| broadcast_round_grid(black_box(&pts), &idx, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+fn carrier_sense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("carrier_sense");
+    group.sample_size(10);
+    for &n in &SCALES {
+        let pts = placements(n, 42);
+        let k = (n / 16).max(4);
+        let plain = loaded_channel(&pts, k, n, false);
+        let fast = loaded_channel(&pts, k, n, true);
+        group.bench_function(format!("brute/{n}"), |b| {
+            b.iter(|| carrier_sense_round(black_box(&plain), &pts))
+        });
+        group.bench_function(format!("grid/{n}"), |b| {
+            b.iter(|| carrier_sense_round(black_box(&fast), &pts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, receiver_discovery, geometry_kernel, carrier_sense);
+criterion_main!(benches);

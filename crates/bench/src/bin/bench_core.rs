@@ -1,0 +1,228 @@
+//! Emit the repo's perf baseline: `BENCH_core.json`.
+//!
+//! Runs the core scaling family (see `core_scaling`) at N ∈ {50, 100,
+//! 200, 500} and writes a machine-readable report:
+//!
+//! * `receiver_discovery` — one discovery round through the simulator's
+//!   own query path (`World::neighbors_of`): brute node-table scan vs the
+//!   maintained bucket index — the headline number;
+//! * `geometry_kernel` — the same query over a bare position array, a
+//!   lower bound that isolates index overhead from node-state traffic;
+//! * `carrier_sense` — one sensing round over a loaded channel, linear
+//!   scan vs bucketed transmissions;
+//! * `end_to_end` — the full simulator on the same constant-density
+//!   scenario under both `NeighborIndex` modes, with a digest-equality
+//!   check so the speedup is never bought with a behavior change.
+//!
+//! ```sh
+//! cargo run --release -p ecgrid-bench --bin bench_core -- --quick --out BENCH_core.json
+//! ```
+//!
+//! `--quick` shrinks repetitions and the simulated horizon for CI; the
+//! measured ratios are the same, just noisier.
+
+use ecgrid_bench::core_scaling::{
+    broadcast_round_brute, broadcast_round_grid, build_index, build_world, carrier_sense_round,
+    discovery_sweep, field_side, loaded_channel, placements, run_end_to_end, SCALES,
+};
+use manet::NeighborIndex;
+use runner::write_atomic;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Time `f` over `reps` repetitions and return the *minimum* wall time in
+/// nanoseconds (minimum-of-reps is the standard noise floor estimator for
+/// short deterministic kernels).
+fn time_ns(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut check = 0u64;
+    for _ in 0..reps.max(2) {
+        let start = Instant::now();
+        check = f();
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    (best, check)
+}
+
+struct ScaleReport {
+    n: usize,
+    field_m: f64,
+    rd_brute_ns: f64,
+    rd_grid_ns: f64,
+    gk_brute_ns: f64,
+    gk_grid_ns: f64,
+    cs_brute_ns: f64,
+    cs_grid_ns: f64,
+    e2e_brute_s: f64,
+    e2e_grid_s: f64,
+    e2e_events: u64,
+    digest_match: bool,
+}
+
+impl ScaleReport {
+    fn rd_speedup(&self) -> f64 {
+        self.rd_brute_ns / self.rd_grid_ns
+    }
+    fn gk_speedup(&self) -> f64 {
+        self.gk_brute_ns / self.gk_grid_ns
+    }
+    fn cs_speedup(&self) -> f64 {
+        self.cs_brute_ns / self.cs_grid_ns
+    }
+    fn e2e_speedup(&self) -> f64 {
+        self.e2e_brute_s / self.e2e_grid_s
+    }
+}
+
+fn json_f(x: f64) -> String {
+    // JSON has no Infinity/NaN; clamp degenerate timings defensively
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn render_json(quick: bool, scales: &[ScaleReport]) -> String {
+    let mut s = String::new();
+    let headline = scales
+        .iter()
+        .find(|r| r.n == 500)
+        .map(|r| r.rd_speedup())
+        .unwrap_or(f64::NAN);
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"core_scaling\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"range_m\": 250.0,");
+    let _ = writeln!(s, "  \"density_hosts_per_km2\": 100.0,");
+    let _ = writeln!(
+        s,
+        "  \"receiver_discovery_speedup_at_500\": {},",
+        json_f(headline)
+    );
+    let _ = writeln!(s, "  \"scales\": [");
+    for (i, r) in scales.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"n\": {},", r.n);
+        let _ = writeln!(s, "      \"field_m\": {},", json_f(r.field_m));
+        let _ = writeln!(
+            s,
+            "      \"receiver_discovery\": {{\"brute_round_ns\": {}, \"grid_round_ns\": {}, \"speedup\": {}}},",
+            json_f(r.rd_brute_ns),
+            json_f(r.rd_grid_ns),
+            json_f(r.rd_speedup())
+        );
+        let _ = writeln!(
+            s,
+            "      \"geometry_kernel\": {{\"brute_round_ns\": {}, \"grid_round_ns\": {}, \"speedup\": {}}},",
+            json_f(r.gk_brute_ns),
+            json_f(r.gk_grid_ns),
+            json_f(r.gk_speedup())
+        );
+        let _ = writeln!(
+            s,
+            "      \"carrier_sense\": {{\"brute_round_ns\": {}, \"grid_round_ns\": {}, \"speedup\": {}}},",
+            json_f(r.cs_brute_ns),
+            json_f(r.cs_grid_ns),
+            json_f(r.cs_speedup())
+        );
+        let _ = writeln!(
+            s,
+            "      \"end_to_end\": {{\"brute_wall_s\": {}, \"grid_wall_s\": {}, \"speedup\": {}, \"events\": {}, \"digest_match\": {}}}",
+            json_f(r.e2e_brute_s),
+            json_f(r.e2e_grid_s),
+            json_f(r.e2e_speedup()),
+            r.e2e_events,
+            r.digest_match
+        );
+        let _ = writeln!(s, "    }}{}", if i + 1 < scales.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_core.json".into());
+
+    let (micro_reps, e2e_secs) = if quick { (5, 10.0) } else { (20, 30.0) };
+    let seed = 42;
+
+    let mut reports = Vec::new();
+    for &n in &SCALES {
+        eprintln!("bench_core: n={n} (field {:.0} m)", field_side(n));
+        let pts = placements(n, seed);
+        let idx = build_index(&pts, n);
+        let mut scratch = Vec::new();
+
+        let (gk_brute_ns, sum_b) = time_ns(micro_reps, || broadcast_round_brute(&pts));
+        let (gk_grid_ns, sum_g) = time_ns(micro_reps, || broadcast_round_grid(&pts, &idx, &mut scratch));
+        assert_eq!(sum_b, sum_g, "n={n}: receiver sets diverged");
+
+        let w_brute = build_world(n, 1.0, NeighborIndex::Brute, seed);
+        let w_grid = build_world(n, 1.0, NeighborIndex::Grid, seed);
+        let (rd_brute_ns, sw_b) = time_ns(micro_reps, || discovery_sweep(&w_brute));
+        let (rd_grid_ns, sw_g) = time_ns(micro_reps, || discovery_sweep(&w_grid));
+        assert_eq!(sw_b, sw_g, "n={n}: simulator discovery sweeps diverged");
+
+        // channel load scales with population: ~6% of hosts on the air
+        let k = (n / 16).max(4);
+        let plain = loaded_channel(&pts, k, n, false);
+        let fast = loaded_channel(&pts, k, n, true);
+        let (cs_brute_ns, cs_b) = time_ns(micro_reps, || carrier_sense_round(&plain, &pts));
+        let (cs_grid_ns, cs_g) = time_ns(micro_reps, || carrier_sense_round(&fast, &pts));
+        assert_eq!(cs_b, cs_g, "n={n}: carrier-sense verdicts diverged");
+
+        let brute = run_end_to_end(n, e2e_secs, NeighborIndex::Brute, seed);
+        let grid = run_end_to_end(n, e2e_secs, NeighborIndex::Grid, seed);
+        let digest_match = brute.digest == grid.digest && brute.events == grid.events;
+        assert!(digest_match, "n={n}: end-to-end digests diverged across modes");
+
+        let r = ScaleReport {
+            n,
+            field_m: field_side(n),
+            rd_brute_ns,
+            rd_grid_ns,
+            gk_brute_ns,
+            gk_grid_ns,
+            cs_brute_ns,
+            cs_grid_ns,
+            e2e_brute_s: brute.wall_s,
+            e2e_grid_s: grid.wall_s,
+            e2e_events: grid.events,
+            digest_match,
+        };
+        eprintln!(
+            "  receiver discovery {:>6.2}x   geometry kernel {:>5.2}x   carrier sense {:>5.2}x   end-to-end {:>5.2}x ({} events)",
+            r.rd_speedup(),
+            r.gk_speedup(),
+            r.cs_speedup(),
+            r.e2e_speedup(),
+            r.e2e_events
+        );
+        reports.push(r);
+    }
+
+    let body = render_json(quick, &reports);
+    write_atomic(Path::new(&out), body.as_bytes()).unwrap_or_else(|e| {
+        eprintln!("bench_core: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("bench_core: wrote {out}");
+    let headline = reports
+        .iter()
+        .find(|r| r.n == 500)
+        .map(|r| r.rd_speedup())
+        .unwrap_or(0.0);
+    println!("receiver_discovery_speedup_at_500: {headline:.2}");
+}

@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark suite.
 
+pub mod core_scaling;
+
 use runner::{ProtocolKind, Scenario};
 
 /// A reduced-scale copy of the paper's base scenario, sized so one run

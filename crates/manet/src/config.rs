@@ -4,7 +4,7 @@ use energy::{Battery, PowerProfile};
 use fault::FaultPlan;
 use geo::GridMap;
 use mobility::MobilityTrace;
-use radio::{MacConfig, RasConfig};
+use radio::{MacConfig, NeighborIndex, RasConfig};
 use sim_engine::{Backend, RunBudget, SimDuration};
 
 /// Global simulation parameters.
@@ -42,6 +42,13 @@ pub struct WorldConfig {
     /// trips the budget terminates with a `BudgetExceeded` diagnostic in
     /// its `RunOutput` instead of hanging.
     pub budget: RunBudget,
+    /// How the world answers "who can hear this transmission?": the
+    /// maintained grid-bucket index (default) or a brute-force scan of
+    /// every node.  Both produce identical candidate lists in identical
+    /// order — and therefore bit-identical trace digests (proven by
+    /// `tests/neighbor_equivalence.rs`); the brute path exists as the
+    /// reference implementation and benchmark baseline.
+    pub neighbor_index: NeighborIndex,
 }
 
 impl WorldConfig {
@@ -58,6 +65,7 @@ impl WorldConfig {
             backend: Backend::Heap,
             faults: FaultPlan::none(),
             budget: RunBudget::UNLIMITED,
+            neighbor_index: NeighborIndex::default(),
         }
     }
 
@@ -76,6 +84,12 @@ impl WorldConfig {
     /// Same configuration under a run budget (watchdog ceilings).
     pub fn with_budget(mut self, budget: RunBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Same configuration with an explicit neighbor-query strategy.
+    pub fn with_neighbor_index(mut self, neighbor_index: NeighborIndex) -> Self {
+        self.neighbor_index = neighbor_index;
         self
     }
 }

@@ -12,7 +12,7 @@ use geo::{GridCoord, Point2, Vec2};
 use metrics::{PacketLedger, TimeSeries};
 use mobility::MobilityTrace;
 use radio::frame::FrameMeta;
-use radio::{ChannelState, FrameKind, NodeId, PageSignal};
+use radio::{ChannelState, FrameKind, NeighborIndex, NodeId, PageSignal, SpatialIndex};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sim_engine::{BudgetExceeded, EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
@@ -178,11 +178,13 @@ pub struct World<P: Protocol> {
     factory: Box<dyn FnMut(NodeId) -> P>,
     trace_log: Option<Vec<(SimTime, NodeId, String)>>,
     recorder: Option<Recorder>,
-    /// Spatial index: grid cell index -> nodes currently in that cell
-    /// (maintained by the cell-crossing events; dead nodes are filtered at
-    /// query time).  Receiver scans only visit the cells a transmission
-    /// can reach instead of every node.
-    occupancy: Vec<Vec<NodeId>>,
+    /// Spatial index over node cells, bucket-aligned with `cfg.grid` and
+    /// maintained incrementally: O(1) moves on cell-crossing events, dead
+    /// hosts pruned on death (their touch is observably inert, so pruning
+    /// cannot shift the trace).  Receiver scans visit only the cells a
+    /// transmission can reach instead of every node.  Maintained in both
+    /// query modes — only `nodes_near` consults `cfg.neighbor_index`.
+    index: SpatialIndex,
     /// Chebyshev cell radius a radio signal can span.
     reach_cells: i32,
     started: bool,
@@ -205,7 +207,18 @@ impl<P: Protocol> World<P> {
         let rngs = RngFactory::new(cfg.seed);
         let mut channel = ChannelState::new(cfg.range_m);
         channel.set_capture_ratio(cfg.capture_ratio);
-        let mut occupancy = vec![Vec::new(); cfg.grid.cell_count()];
+        if cfg.neighbor_index == NeighborIndex::Grid {
+            // bucketed carrier-sense/interference queries ride the same
+            // toggle as receiver discovery, so `brute` really is the
+            // end-to-end baseline
+            channel.enable_spatial(cfg.grid.width(), cfg.grid.height());
+        }
+        // Buckets coincide with the paper's logical grid cells: the
+        // per-node cell is already maintained by cell-crossing events, so
+        // index maintenance is free — and candidate sets are identical to
+        // the historical per-cell occupancy lists.
+        let mut index =
+            SpatialIndex::with_buckets(cfg.grid.cells_x(), cfg.grid.cells_y(), cfg.grid.cell_side());
         let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
         let fault = FaultCtl::new(cfg.faults, hosts.len());
         let nodes = hosts
@@ -214,7 +227,7 @@ impl<P: Protocol> World<P> {
             .map(|(i, h)| {
                 let id = NodeId(i as u32);
                 let cell = cfg.grid.cell_of(h.trace.position_at(SimTime::ZERO));
-                occupancy[cfg.grid.cell_index(cell)].push(id);
+                index.insert(id.0, cell.x, cell.y);
                 // fault-plan battery variance: manufacturing spread across
                 // the finite batteries (infinite endpoints stay infinite)
                 let battery = if cfg.faults.battery_var > 0.0 && !h.battery.is_infinite() {
@@ -259,7 +272,7 @@ impl<P: Protocol> World<P> {
             factory: Box::new(factory),
             trace_log: None,
             recorder: None,
-            occupancy,
+            index,
             reach_cells,
             started: false,
             probe: None,
@@ -267,21 +280,43 @@ impl<P: Protocol> World<P> {
         }
     }
 
-    /// Nodes whose current cell lies within radio reach of `cell`, in
-    /// ascending id order (deterministic regardless of index churn).
+    /// Nodes whose current (maintained) cell lies within radio reach of
+    /// `cell`, in ascending id order.
+    ///
+    /// This is the iteration-order contract both query modes must honor:
+    /// same membership (every non-dead host, at the cell its last crossing
+    /// event recorded), same order (ascending id), so every downstream
+    /// touch — and therefore every energy integration step and trace event
+    /// — happens identically whichever mode answered the query.
     fn nodes_near(&self, cell: GridCoord) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let r = self.reach_cells;
-        for dy in -r..=r {
-            for dx in -r..=r {
-                let c = GridCoord::new(cell.x + dx, cell.y + dy);
-                if self.cfg.grid.contains_cell(c) {
-                    out.extend_from_slice(&self.occupancy[self.cfg.grid.cell_index(c)]);
-                }
+        match self.cfg.neighbor_index {
+            NeighborIndex::Grid => {
+                let mut out = Vec::new();
+                self.index
+                    .gather_sorted_into(cell.x, cell.y, self.reach_cells, &mut out);
+                out.into_iter().map(NodeId).collect()
+            }
+            NeighborIndex::Brute => {
+                // Reference scan: every index member is a node with
+                // `dead_handled == false`, and its bucket is its maintained
+                // `cell` field — reproduce exactly that, the O(N) way.
+                let r = self.reach_cells;
+                self.nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| !n.dead_handled && n.cell.chebyshev(cell) <= r)
+                    .map(|(j, _)| NodeId(j as u32))
+                    .collect()
             }
         }
-        out.sort_unstable();
-        out
+    }
+
+    /// Receiver discovery at `cell`, via whichever neighbor-query mode the
+    /// config selects: the ascending-id list of live hosts whose maintained
+    /// grid cell is within radio reach.  This is the simulator's hot-path
+    /// query, exposed for tools and the scaling benchmarks.
+    pub fn neighbors_of(&self, cell: GridCoord) -> Vec<NodeId> {
+        self.nodes_near(cell)
     }
 
     /// Record `ctx.note` lines and system events for walkthroughs/tests.
@@ -720,6 +755,12 @@ impl<P: Protocol> World<P> {
             n.mac.queue.clear();
             n.mac.phase = MacPhase::Idle;
             n.rx_refs = 0;
+            // prune the spatial index: death is permanent (the meter
+            // latches Off), so the entry would only go stale.  Touching a
+            // dead host is observably inert, so dropping it from candidate
+            // sets cannot shift the trace — the brute path mirrors this by
+            // filtering on the same `dead_handled` flag.
+            self.index.remove(node.0);
             self.stats.deaths += 1;
         }
         if let Some((from, to)) = level_change {
@@ -1313,9 +1354,9 @@ impl<P: Protocol> World<P> {
             return;
         }
         self.nodes[i].cell = new;
-        let old_idx = self.cfg.grid.cell_index(old);
-        self.occupancy[old_idx].retain(|id| *id != node);
-        self.occupancy[self.cfg.grid.cell_index(new)].push(node);
+        // O(1) bucket move (slot-tracked), not a linear rescan of the old
+        // cell's occupant list
+        self.index.move_to(node.0, new.x, new.y);
         self.stats.cell_crossings += 1;
         self.emit(|| EventKind::CellChange {
             node,

@@ -7,6 +7,7 @@
 //! receivers can detect overlapping-interferer collisions.
 
 use crate::frame::NodeId;
+use crate::spatial::SpatialIndex;
 use geo::Point2;
 use sim_engine::SimTime;
 
@@ -38,6 +39,14 @@ pub struct ChannelState {
     /// d⁻⁴ path loss gives 10^(10/40) ≈ 1.778).  `None` = every
     /// overlapping interferer is fatal.
     capture_ratio: Option<f64>,
+    /// Optional bucket index over the *indices into `active`*, keyed by
+    /// transmission origin with bucket side == range, so carrier-sense and
+    /// interference queries visit only the 3×3 neighborhood of the query
+    /// point instead of every live transmission.  Both `busy_until` (max)
+    /// and `corrupted` (any) are order-insensitive aggregates over an
+    /// exactly-filtered candidate set, so results are identical with or
+    /// without the index.
+    spatial: Option<SpatialIndex>,
 }
 
 /// ns-2's default capture threshold (10 dB) under d⁻⁴ path loss.
@@ -51,12 +60,29 @@ impl ChannelState {
             range: range_m,
             next_id: 0,
             capture_ratio: Some(CAPTURE_RATIO_10DB),
+            spatial: None,
         }
     }
 
     /// The paper's channel: 250 m nominal range, 10 dB capture.
     pub fn paper_default() -> Self {
         ChannelState::new(250.0)
+    }
+
+    /// Turn on bucketed interference queries for a `width × height` field.
+    /// Buckets are sized to the radio range so every query is answered
+    /// from a 3×3 neighborhood.  Call before the first `begin_tx`.
+    pub fn enable_spatial(&mut self, width_m: f64, height_m: f64) {
+        assert!(
+            self.active.is_empty(),
+            "enable_spatial must precede the first transmission"
+        );
+        self.spatial = Some(SpatialIndex::new(width_m, height_m, self.range));
+    }
+
+    /// Is the bucket index active? (diagnostic)
+    pub fn spatial_enabled(&self) -> bool {
+        self.spatial.is_some()
     }
 
     /// Disable/enable the capture effect (ablation).
@@ -73,6 +99,9 @@ impl ChannelState {
     pub fn begin_tx(&mut self, src: NodeId, origin: Point2, start: SimTime, end: SimTime) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        if let Some(sp) = &mut self.spatial {
+            sp.insert_at(self.active.len() as u32, origin);
+        }
         self.active.push(Transmission {
             id,
             src,
@@ -86,13 +115,41 @@ impl ChannelState {
     /// Drop transmissions that ended at or before `now` (they can no longer
     /// interfere with anything starting now).
     pub fn gc_before(&mut self, now: SimTime) {
+        let before = self.active.len();
         self.active.retain(|t| t.end > now);
+        // The bucket index stores positions within `active`, which retain
+        // just shifted — rebuild it.  At the paper's offered load only a
+        // handful of transmissions are ever live, so this is cheap, and gc
+        // runs once per transmission end rather than per query.
+        if let Some(sp) = &mut self.spatial {
+            if self.active.len() != before {
+                sp.clear();
+                for (i, t) in self.active.iter().enumerate() {
+                    sp.insert_at(i as u32, t.origin);
+                }
+            }
+        }
     }
 
     /// Carrier sense at position `p` and instant `at`: latest end time of
     /// any transmission in progress whose signal reaches `p`.  `None` means
     /// the medium is sensed idle.
     pub fn busy_until(&self, p: Point2, at: SimTime) -> Option<SimTime> {
+        if let Some(sp) = &self.spatial {
+            // Buckets have side == range, so every transmission audible at
+            // `p` lives in the 3×3 neighborhood of p's bucket; the exact
+            // time/range filter below does the rest.  `max` is
+            // order-insensitive, so the result matches the linear scan.
+            let (bx, by) = sp.bucket_of(p);
+            let mut latest: Option<SimTime> = None;
+            sp.for_each_near(bx, by, 1, |i| {
+                let t = &self.active[i as usize];
+                if t.start <= at && t.end > at && t.origin.within_range(p, self.range) {
+                    latest = Some(latest.map_or(t.end, |l| l.max(t.end)));
+                }
+            });
+            return latest;
+        }
         self.active
             .iter()
             .filter(|t| t.start <= at && t.end > at && t.origin.within_range(p, self.range))
@@ -112,8 +169,14 @@ impl ChannelState {
         start: SimTime,
         end: SimTime,
     ) -> bool {
+        // Both distances are clamped to 1 m — the near-field floor below
+        // which d⁻⁴ path loss is meaningless.  The clamp is symmetric so
+        // the co-located tie-break is deterministic: signal and interferer
+        // both on top of the receiver give d_int == d_sig == 1, and since
+        // any physical capture ratio is > 1, `1 < ratio · 1` holds — the
+        // reception is corrupted.  Capture never resolves a dead heat.
         let d_sig = src_origin.distance(receiver).max(1.0);
-        self.active.iter().any(|t| {
+        let hit = |t: &Transmission| {
             if t.id == tx_id || t.start >= end || t.end <= start {
                 return false;
             }
@@ -123,10 +186,22 @@ impl ChannelState {
             match self.capture_ratio {
                 // interferer farther than ratio·d_sig is ≥10 dB weaker:
                 // the receiver captures the intended frame
-                Some(ratio) => t.origin.distance(receiver) < ratio * d_sig,
+                Some(ratio) => t.origin.distance(receiver).max(1.0) < ratio * d_sig,
                 None => true,
             }
-        })
+        };
+        if let Some(sp) = &self.spatial {
+            // Only transmissions audible at the receiver can corrupt it,
+            // and those all sit in the receiver's 3×3 bucket neighborhood
+            // (bucket side == range).  `any` is order-insensitive.
+            let (bx, by) = sp.bucket_of(receiver);
+            let mut found = false;
+            sp.for_each_near(bx, by, 1, |i| {
+                found = found || hit(&self.active[i as usize]);
+            });
+            return found;
+        }
+        self.active.iter().any(hit)
     }
 
     /// All node positions within range of `origin` — the delivery set of a
@@ -255,5 +330,86 @@ mod tests {
         let b = ch.begin_tx(NodeId(1), Point2::ORIGIN, t(3), t(4));
         assert_ne!(a, b);
         let _ = SimDuration::ZERO;
+    }
+
+    // --- capture near-field clamp regression -----------------------------
+
+    #[test]
+    fn colocated_signal_and_interferer_tie_breaks_to_corrupted() {
+        // Signal source, interferer, and receiver all at the same point:
+        // both distances clamp to the 1 m near-field floor, so neither
+        // side can capture and the reception is deterministically lost.
+        let mut ch = ChannelState::paper_default();
+        let p = Point2::new(400.0, 400.0);
+        let tx = ch.begin_tx(NodeId(1), p, t(10), t(12));
+        ch.begin_tx(NodeId(2), p, t(11), t(13));
+        assert!(ch.corrupted(tx, p, p, t(10), t(12)));
+    }
+
+    #[test]
+    fn near_field_interferer_clamp_is_symmetric() {
+        // Interferer 0.2 m from the receiver, signal 0.5 m away: inside
+        // the near field the clamp makes them equals (1 m vs 1 m), so the
+        // outcome must not depend on sub-meter jitter — corrupted, same
+        // as the co-located tie-break.
+        let mut ch = ChannelState::paper_default();
+        let src = Point2::new(100.0, 100.5);
+        let recv = Point2::new(100.0, 100.0);
+        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(100.2, 100.0), t(11), t(13));
+        assert!(ch.corrupted(tx, src, recv, t(10), t(12)));
+        // ...while a genuinely distant interferer still loses to capture.
+        let mut ch2 = ChannelState::paper_default();
+        let tx2 = ch2.begin_tx(NodeId(1), src, t(10), t(12));
+        ch2.begin_tx(NodeId(2), Point2::new(150.0, 100.0), t(11), t(13));
+        assert!(!ch2.corrupted(tx2, src, recv, t(10), t(12)));
+    }
+
+    // --- bucketed-query equivalence --------------------------------------
+
+    /// Deterministic little congruential generator for the fuzz below (no
+    /// external RNG needed, and the sequence is pinned).
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn spatial_channel_matches_linear_scan() {
+        let mut seed = 0x5eed_cafe_u64;
+        for round in 0..20 {
+            let mut plain = ChannelState::paper_default();
+            let mut fast = ChannelState::paper_default();
+            fast.enable_spatial(1000.0, 1000.0);
+            let mut txs = Vec::new();
+            for i in 0..30u64 {
+                let o = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
+                let s_ms = 10 + (lcg(&mut seed) * 20.0) as u64;
+                let s = t(s_ms);
+                let e = t(s_ms + 1 + (lcg(&mut seed) * 5.0) as u64);
+                let a = plain.begin_tx(NodeId(i as u32), o, s, e);
+                let b = fast.begin_tx(NodeId(i as u32), o, s, e);
+                assert_eq!(a, b);
+                txs.push((a, o, s, e));
+            }
+            if round % 2 == 1 {
+                plain.gc_before(t(20));
+                fast.gc_before(t(20));
+                assert_eq!(plain.in_flight(), fast.in_flight());
+            }
+            for _ in 0..50 {
+                let p = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
+                let at = t(10 + (lcg(&mut seed) * 25.0) as u64);
+                assert_eq!(plain.busy_until(p, at), fast.busy_until(p, at));
+                let &(id, o, s, e) = &txs[(lcg(&mut seed) * txs.len() as f64) as usize];
+                assert_eq!(
+                    plain.corrupted(id, o, p, s, e),
+                    fast.corrupted(id, o, p, s, e),
+                    "corrupted diverged at receiver {p:?}"
+                );
+            }
+        }
     }
 }

@@ -14,14 +14,19 @@
 //!   window, retry limits) used by the simulator's CSMA/CA loop;
 //! * [`ras`] — the Remotely Activated Switch: an out-of-band paging
 //!   receiver that wakes sleeping hosts by host-id ("paging sequence") or
-//!   by grid coordinate ("broadcast sequence"), per §2 and Fig. 1.
+//!   by grid coordinate ("broadcast sequence"), per §2 and Fig. 1;
+//! * [`SpatialIndex`] — a grid-bucket index over positions so receiver
+//!   discovery and interference queries touch a constant-size bucket
+//!   neighborhood instead of every node/transmission.
 
 pub mod channel;
 pub mod frame;
 pub mod mac;
 pub mod ras;
+pub mod spatial;
 
 pub use channel::{ChannelState, Transmission};
 pub use frame::{FrameKind, FrameMeta, NodeId};
 pub use mac::MacConfig;
 pub use ras::{PageSignal, RasConfig};
+pub use spatial::{NeighborIndex, SpatialIndex};

@@ -8,7 +8,7 @@
 //! ```
 
 use manet::trace::TraceMode;
-use manet::{Backend, FaultPlan};
+use manet::{Backend, FaultPlan, NeighborIndex};
 use runner::supervisor::{run_point, SupervisorConfig};
 use runner::{run_scenario_probed, run_scenario_with, sweep_supervised, ProtocolKind, RunOptions, Scenario};
 use std::fmt::Display;
@@ -22,9 +22,9 @@ run_one — run a single ECGRID-reproduction scenario
 USAGE:
     run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
-            [--backend heap|calendar] [--trace FILE.jsonl] [--digest]
-            [--faults SPEC] [--event-budget N] [--max-retries N]
-            [--journal FILE.jsonl]
+            [--backend heap|calendar] [--neighbor-index brute|grid]
+            [--trace FILE.jsonl] [--digest] [--faults SPEC]
+            [--event-budget N] [--max-retries N] [--journal FILE.jsonl]
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
 pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
@@ -32,6 +32,9 @@ pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
 --trace FILE   record the full event stream and export it as JSONL
 --digest       record in digest-only mode (O(1) memory; prints the digest)
 --backend      pending-event-set implementation (results are identical)
+--neighbor-index  receiver-discovery strategy: the spatial grid-bucket
+               index (default) or the brute-force reference scan; trace
+               digests are bit-identical either way
 --faults SPEC  comma-separated fault plan, e.g.
                loss=0.1,churn=0.01,page_fail=0.2,drain=0.005,gps=15
                (keys: loss, ge, page_fail, page_delay, churn, rejoin,
@@ -122,6 +125,10 @@ fn parse_args() -> Cli {
                 cli.opts.backend = Backend::parse(v)
                     .unwrap_or_else(|| fail(format!("--backend: {v:?} (expected heap|calendar)")))
             }
+            "--neighbor-index" => {
+                cli.opts.neighbor_index = NeighborIndex::parse(v)
+                    .unwrap_or_else(|| fail(format!("--neighbor-index: {v:?} (expected brute|grid)")))
+            }
             "--faults" => match FaultPlan::parse(v) {
                 Ok(plan) => cli.opts.faults = plan,
                 Err(e) => fail(format!("--faults: {e}")),
@@ -174,7 +181,12 @@ fn main() {
         return;
     }
 
-    eprintln!("running: {} [{}]", sc.label(), opts.backend.name());
+    eprintln!(
+        "running: {} [{}, {} index]",
+        sc.label(),
+        opts.backend.name(),
+        opts.neighbor_index.name()
+    );
     let start = std::time::Instant::now();
 
     // supervised (unjournaled) mode: panic isolation + bounded retry

@@ -7,8 +7,8 @@ use grid_routing::{GridConfig, GridProto};
 use manet::progress::ProgressProbe;
 use manet::trace::{Recorder, TraceDigest, TraceMode};
 use manet::{
-    Backend, Battery, FaultPlan, FlowSet, FlowSpec, HostSetup, NodeId, PowerProfile, SimTime, World,
-    WorldConfig,
+    Backend, Battery, FaultPlan, FlowSet, FlowSpec, HostSetup, NeighborIndex, NodeId, PowerProfile, SimTime,
+    World, WorldConfig,
 };
 use metrics::{PacketLedger, TimeSeries};
 use mobility::{MobilityModel, RandomWaypoint};
@@ -31,6 +31,11 @@ pub struct RunOptions {
     /// is unbounded; a bounded run that trips the ceiling terminates with
     /// [`ScenarioResult::budget_exceeded`] set instead of hanging.
     pub event_budget: Option<u64>,
+    /// Neighbor-query strategy: the spatial grid-bucket index (default) or
+    /// the brute-force reference scan.  Results — including trace digests
+    /// — are bit-identical either way; the toggle keeps the baseline
+    /// runnable for equivalence tests and benchmarks.
+    pub neighbor_index: NeighborIndex,
 }
 
 impl RunOptions {
@@ -42,6 +47,7 @@ impl RunOptions {
             trace: Some(TraceMode::DigestOnly),
             faults: FaultPlan::none(),
             event_budget: None,
+            neighbor_index: NeighborIndex::default(),
         }
     }
 
@@ -57,6 +63,11 @@ impl RunOptions {
 
     pub fn with_event_budget(mut self, budget: Option<u64>) -> Self {
         self.event_budget = budget;
+        self
+    }
+
+    pub fn with_neighbor_index(mut self, neighbor_index: NeighborIndex) -> Self {
+        self.neighbor_index = neighbor_index;
         self
     }
 }
@@ -189,7 +200,8 @@ pub fn run_scenario_probed(
     let cfg = WorldConfig::paper_default(sc.seed)
         .with_backend(opts.backend)
         .with_faults(faults)
-        .with_budget(budget);
+        .with_budget(budget)
+        .with_neighbor_index(opts.neighbor_index);
 
     match sc.protocol {
         ProtocolKind::Grid | ProtocolKind::Ecgrid => {

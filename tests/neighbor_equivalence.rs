@@ -1,0 +1,151 @@
+//! Digest-proving equivalence of the two neighbor-query modes.
+//!
+//! The spatial index is only admissible if it is *invisible*: a run under
+//! `NeighborIndex::Grid` must replay bit-for-bit like the brute-force
+//! reference scan — same candidate sets, same touch order, same energy
+//! integration steps, same trace events at the same instants.  These tests
+//! prove it the strong way, by digest:
+//!
+//! * grid mode reproduces the committed `tests/golden/*.digest` fixtures
+//!   (the fixtures predate the index, so this also proves the index
+//!   changed nothing against history);
+//! * brute and grid digests agree on clean runs for every protocol;
+//! * they still agree under the chaos fault plan (churn, frame loss, page
+//!   loss), where death-pruning and crash handling get exercised hard.
+
+use ecgrid_suite::manet::{FaultPlan, NeighborIndex};
+use ecgrid_suite::runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
+use ecgrid_suite::trace::TraceDigest;
+use std::path::PathBuf;
+
+/// The golden scenario (keep in sync with `tests/golden_trace.rs`).
+fn golden(protocol: ProtocolKind) -> Scenario {
+    Scenario {
+        protocol,
+        n_hosts: 30,
+        max_speed: 1.0,
+        pause_secs: 0.0,
+        n_flows: 3,
+        flow_rate_pps: 1.0,
+        duration_secs: 40.0,
+        seed: 11,
+        model1_endpoints: 4,
+    }
+}
+
+const PROTOCOLS: [ProtocolKind; 3] = [ProtocolKind::Ecgrid, ProtocolKind::Grid, ProtocolKind::Gaf];
+
+/// The chaos plan pinned by the faulted golden fixtures.
+fn golden_plan() -> FaultPlan {
+    FaultPlan::parse("loss=0.15,churn=0.02,rejoin=3,page_fail=0.1").unwrap()
+}
+
+fn read_fixture(name: &str) -> TraceDigest {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.digest"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    TraceDigest::parse(&text).unwrap_or_else(|| panic!("unparseable fixture {}", path.display()))
+}
+
+#[test]
+fn grid_index_reproduces_the_golden_fixtures() {
+    for p in PROTOCOLS {
+        let opts = RunOptions::digest().with_neighbor_index(NeighborIndex::Grid);
+        let r = run_scenario_with(&golden(p), opts);
+        let got = r.trace_digest.expect("tracing was enabled");
+        let want = read_fixture(&p.name().to_lowercase());
+        assert_eq!(
+            got, want,
+            "{p:?}: grid-index run drifted from the pre-index golden fixture"
+        );
+    }
+}
+
+#[test]
+fn brute_and_grid_digests_agree_on_clean_runs() {
+    for p in PROTOCOLS {
+        let sc = golden(p);
+        let brute = run_scenario_with(
+            &sc,
+            RunOptions::digest().with_neighbor_index(NeighborIndex::Brute),
+        );
+        let grid = run_scenario_with(&sc, RunOptions::digest().with_neighbor_index(NeighborIndex::Grid));
+        assert_eq!(
+            brute.trace_digest, grid.trace_digest,
+            "{p:?}: neighbor-query modes diverged"
+        );
+        assert_eq!(brute.stats, grid.stats, "{p:?}");
+        assert_eq!(brute.pdr, grid.pdr, "{p:?}");
+        assert_eq!(brute.latency_ms, grid.latency_ms, "{p:?}");
+    }
+}
+
+#[test]
+fn brute_and_grid_digests_agree_under_chaos() {
+    // Crashes, rejoins, frame loss and page loss stress exactly the paths
+    // where the modes could drift: membership pruning, stale-cell reads,
+    // receiver freezing around dead/crashed hosts.  Also pin both against
+    // the faulted fixtures so this can never silently become a vacuous
+    // "equal but both wrong" pass.
+    for p in PROTOCOLS {
+        let sc = golden(p);
+        let base = RunOptions::digest().with_faults(golden_plan());
+        let brute = run_scenario_with(&sc, base.with_neighbor_index(NeighborIndex::Brute));
+        let grid = run_scenario_with(&sc, base.with_neighbor_index(NeighborIndex::Grid));
+        assert_eq!(
+            brute.trace_digest, grid.trace_digest,
+            "{p:?}: neighbor-query modes diverged under faults"
+        );
+        assert_eq!(brute.stats, grid.stats, "{p:?}");
+        let want = read_fixture(&format!("{}_faulted", p.name().to_lowercase()));
+        assert_eq!(grid.trace_digest, Some(want), "{p:?}: faulted fixture drift");
+        assert!(
+            grid.stats.crashes > 0 && grid.stats.frames_lost_fault > 0,
+            "{p:?}: the chaos plan must actually engage"
+        );
+    }
+}
+
+#[test]
+fn modes_agree_on_a_denser_run_with_node_deaths() {
+    // The golden scenario is small and nobody dies in 40 s; give the
+    // index real churn — more hosts, faster motion, battery-drain faults
+    // that kill a third of the population — so bucket moves *and* death
+    // pruning fire many times before we call the modes equivalent.
+    // (Span rides along: it has no golden fixture but must obey the same
+    // contract.)
+    let plan = FaultPlan::parse("drain=0.02,drain_frac=0.9").unwrap();
+    for p in [ProtocolKind::Ecgrid, ProtocolKind::Span] {
+        let sc = Scenario {
+            protocol: p,
+            n_hosts: 60,
+            max_speed: 5.0,
+            pause_secs: 0.0,
+            n_flows: 5,
+            flow_rate_pps: 1.0,
+            duration_secs: 80.0,
+            seed: 23,
+            model1_endpoints: 4,
+        };
+        let base = RunOptions::digest().with_faults(plan);
+        let brute = run_scenario_with(&sc, base.with_neighbor_index(NeighborIndex::Brute));
+        let grid = run_scenario_with(&sc, base.with_neighbor_index(NeighborIndex::Grid));
+        assert_eq!(
+            brute.trace_digest, grid.trace_digest,
+            "{p:?}: modes diverged on the dense scenario"
+        );
+        assert_eq!(brute.stats, grid.stats, "{p:?}");
+        assert!(
+            grid.stats.cell_crossings > 50,
+            "{p:?}: the dense scenario must churn the index (got {} crossings)",
+            grid.stats.cell_crossings
+        );
+        assert!(
+            grid.stats.deaths > 10,
+            "{p:?}: the drain plan must actually kill hosts (got {} deaths)",
+            grid.stats.deaths
+        );
+    }
+}

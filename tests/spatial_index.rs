@@ -1,0 +1,156 @@
+//! Property tests for the spatial neighbor index: for arbitrary
+//! placements, motions, and ranges, a bucket-index query filtered by exact
+//! distance equals the brute-force `within_range` scan — including points
+//! exactly on bucket boundaries and pairs at distance == range (the disc
+//! is inclusive).
+
+use ecgrid_suite::geo::{GridMap, Point2};
+use ecgrid_suite::radio::SpatialIndex;
+use proptest::prelude::*;
+
+/// Brute-force reference: ids of all points within `range` of `q`.
+fn brute_within(points: &[Point2], q: Point2, range: f64) -> Vec<u32> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| q.within_range(**p, range))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Index-side query: 3×3 gather around `q`'s bucket, then the same exact
+/// distance filter the simulator applies.
+fn indexed_within(idx: &SpatialIndex, points: &[Point2], q: Point2, range: f64) -> Vec<u32> {
+    let mut gathered = Vec::new();
+    idx.query_point_sorted_into(q, &mut gathered);
+    gathered.retain(|&i| q.within_range(points[i as usize], range));
+    gathered
+}
+
+proptest! {
+    /// Range-sized buckets: the 3×3 gather plus exact filter equals the
+    /// full scan for random placements and query points.
+    #[test]
+    fn bucketed_range_query_equals_brute_force(
+        coords in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..80),
+        qx in 0.0..1000.0f64,
+        qy in 0.0..1000.0f64,
+        range in 50.0..400.0f64,
+    ) {
+        let points: Vec<Point2> = coords.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let mut idx = SpatialIndex::new(1000.0, 1000.0, range);
+        for (i, p) in points.iter().enumerate() {
+            idx.insert_at(i as u32, *p);
+        }
+        let q = Point2::new(qx, qy);
+        prop_assert_eq!(indexed_within(&idx, &points, q, range), brute_within(&points, q, range));
+    }
+
+    /// ...and still after every point moves (incremental maintenance, not
+    /// rebuild, is what the simulator exercises).
+    #[test]
+    fn query_survives_incremental_moves(
+        coords in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..50),
+        moves in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..50),
+        qx in 0.0..1000.0f64,
+        qy in 0.0..1000.0f64,
+    ) {
+        let range = 250.0;
+        let mut points: Vec<Point2> = coords.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let mut idx = SpatialIndex::new(1000.0, 1000.0, range);
+        for (i, p) in points.iter().enumerate() {
+            idx.insert_at(i as u32, *p);
+        }
+        for (k, &(x, y)) in moves.iter().enumerate() {
+            let i = k % points.len();
+            points[i] = Point2::new(x, y);
+            idx.move_to_point(i as u32, points[i]);
+        }
+        let q = Point2::new(qx, qy);
+        prop_assert_eq!(indexed_within(&idx, &points, q, range), brute_within(&points, q, range));
+    }
+
+    /// Cell-keyed deployment (the world's): buckets are the paper's 100 m
+    /// grid cells and the reach is the Chebyshev cell radius the radio can
+    /// span.  The gather must (a) reproduce the brute Chebyshev-filter
+    /// contract exactly and (b) be a superset of everyone physically in
+    /// radio range.
+    #[test]
+    fn cell_keyed_gather_matches_contract_and_covers_range(
+        coords in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..80),
+        qx in 0.0..1000.0f64,
+        qy in 0.0..1000.0f64,
+    ) {
+        let grid = GridMap::paper_default();
+        let range = 250.0;
+        let reach = (range / grid.cell_side()).ceil() as i32 + 1;
+        let points: Vec<Point2> = coords.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let cells: Vec<_> = points.iter().map(|&p| grid.cell_of(p)).collect();
+        let mut idx = SpatialIndex::with_buckets(grid.cells_x(), grid.cells_y(), grid.cell_side());
+        for (i, c) in cells.iter().enumerate() {
+            idx.insert(i as u32, c.x, c.y);
+        }
+        let q = Point2::new(qx, qy);
+        let qc = grid.cell_of(q);
+        let mut got = Vec::new();
+        idx.gather_sorted_into(qc.x, qc.y, reach, &mut got);
+        // (a) identical to the brute scan over maintained cells
+        let want: Vec<u32> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.chebyshev(qc) <= reach)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(&got, &want);
+        // (b) superset of the true in-range set
+        for (i, p) in points.iter().enumerate() {
+            if q.within_range(*p, range) {
+                prop_assert!(
+                    got.contains(&(i as u32)),
+                    "in-range point {:?} missing from the cell gather", p
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_sitters_and_exact_range_are_included() {
+    // Nodes exactly on bucket boundaries and a pair at distance == range:
+    // the disc is inclusive (within_range uses <=), and the index must not
+    // lose either case.
+    let range = 250.0;
+    let mut idx = SpatialIndex::new(1000.0, 1000.0, range);
+    let q = Point2::new(250.0, 250.0); // exactly on a bucket corner
+    let points = [
+        Point2::new(0.0, 250.0),   // distance exactly == range, on an edge
+        Point2::new(500.0, 250.0), // distance exactly == range, other side
+        Point2::new(250.0, 0.0),   // exactly == range, below
+        Point2::new(250.0, 500.0), // exactly == range, above
+        Point2::new(250.0, 250.0), // co-located with the query point
+        Point2::new(500.0, 500.0), // on a corner, within range? (353.5 > 250: no)
+        Point2::new(250.0, 500.1), // just past the range
+    ];
+    for (i, p) in points.iter().enumerate() {
+        idx.insert_at(i as u32, *p);
+    }
+    let got = indexed_within(&idx, &points, q, range);
+    assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    assert_eq!(got, brute_within(&points, q, range));
+}
+
+#[test]
+fn far_edge_clamp_does_not_separate_close_neighbors() {
+    // A point exactly at the field edge clamps into the last bucket; a
+    // neighbor just inside must still see it (the regression the clamp
+    // proof in DESIGN.md §10 covers).
+    let range = 250.0;
+    let mut idx = SpatialIndex::new(1000.0, 1000.0, range);
+    let points = [Point2::new(1000.0, 1000.0), Point2::new(999.0, 999.0)];
+    for (i, p) in points.iter().enumerate() {
+        idx.insert_at(i as u32, *p);
+    }
+    for &q in &points {
+        assert_eq!(indexed_within(&idx, &points, q, range), vec![0, 1]);
+    }
+}
