@@ -28,6 +28,12 @@ pub struct EnergyMeter {
     profile: PowerProfile,
     battery: Battery,
     mode: RadioMode,
+    /// Draw of the current mode, cached at every mode transition so the
+    /// per-event `advance` is a multiply instead of a profile match.  The
+    /// cache holds exactly `profile.draw_w(mode)` — the same expression the
+    /// integrator used to evaluate inline — so consumption stays
+    /// bit-identical (checked by `cached_draw_tracks_mode`).
+    draw_w: f64,
     last_update: SimTime,
     audit: EnergyAudit,
 }
@@ -85,10 +91,12 @@ impl EnergyAudit {
 
 impl EnergyMeter {
     pub fn new(profile: PowerProfile, battery: Battery) -> Self {
+        let draw_w = profile.draw_w(RadioMode::Idle);
         EnergyMeter {
             profile,
             battery,
             mode: RadioMode::Idle,
+            draw_w,
             last_update: SimTime::ZERO,
             audit: EnergyAudit::default(),
         }
@@ -161,14 +169,21 @@ impl EnergyMeter {
         if dt == 0.0 || self.mode == RadioMode::Off {
             return;
         }
-        let draw = self.profile.draw_w(self.mode);
         let before = self.battery.consumed_j();
-        self.battery.drain(draw * dt);
+        self.battery.drain(self.draw_w * dt);
         let spent = self.battery.consumed_j() - before;
         self.audit.charge(self.mode, dt, spent);
         if self.battery.is_empty() {
-            self.mode = RadioMode::Off;
+            self.enter_mode(RadioMode::Off);
         }
+    }
+
+    /// Switch modes and refresh the cached draw — the only place either
+    /// field is written after construction, so they can't desync.
+    #[inline]
+    fn enter_mode(&mut self, mode: RadioMode) {
+        self.mode = mode;
+        self.draw_w = self.profile.draw_w(mode);
     }
 
     /// Integrate up to `now`, then switch to `mode`.  Returns the mode
@@ -176,7 +191,7 @@ impl EnergyMeter {
     pub fn set_mode(&mut self, now: SimTime, mode: RadioMode) -> RadioMode {
         self.advance(now);
         if self.mode != RadioMode::Off {
-            self.mode = mode;
+            self.enter_mode(mode);
         }
         self.mode
     }
@@ -193,7 +208,7 @@ impl EnergyMeter {
         self.battery.drain(joules.max(0.0));
         self.audit.direct_j += self.battery.consumed_j() - before;
         if self.battery.is_empty() {
-            self.mode = RadioMode::Off;
+            self.enter_mode(RadioMode::Off);
         }
     }
 
@@ -203,8 +218,7 @@ impl EnergyMeter {
         if self.mode == RadioMode::Off {
             return None;
         }
-        let draw = self.profile.draw_w(self.mode);
-        let secs = self.battery.seconds_until_empty(draw)?;
+        let secs = self.battery.seconds_until_empty(self.draw_w)?;
         // + last_update because prediction is from the last integration point
         Some(self.last_update + sim_engine::SimDuration::from_secs_f64(secs))
     }
@@ -216,13 +230,12 @@ impl EnergyMeter {
         if self.mode == RadioMode::Off || self.battery.is_infinite() {
             return None;
         }
-        let draw = self.profile.draw_w(self.mode);
-        if draw <= 0.0 {
+        if self.draw_w <= 0.0 {
             return None;
         }
         let bound = self.level().lower_bound_rbrc();
         let target_consumed = self.battery.capacity_j() * (1.0 - bound);
-        let secs = (target_consumed - self.battery.consumed_j()) / draw;
+        let secs = (target_consumed - self.battery.consumed_j()) / self.draw_w;
         if !secs.is_finite() || secs < 0.0 {
             return None;
         }
@@ -365,6 +378,24 @@ mod tests {
             (a.idle_secs - 2000.0).abs() < 1e-9,
             "time integration covers the whole interval"
         );
+    }
+
+    #[test]
+    fn cached_draw_tracks_mode() {
+        let mut m = meter();
+        for (t, mode) in [
+            (1, RadioMode::Tx),
+            (2, RadioMode::Rx),
+            (3, RadioMode::Sleep),
+            (4, RadioMode::Idle),
+        ] {
+            m.set_mode(SimTime::from_secs(t), mode);
+            assert_eq!(m.draw_w, m.profile.draw_w(m.mode()), "after {mode:?}");
+        }
+        // the Off latch inside advance() must refresh the cache too
+        m.advance(SimTime::from_secs(10_000));
+        assert_eq!(m.mode(), RadioMode::Off);
+        assert_eq!(m.draw_w, 0.0);
     }
 
     #[test]

@@ -12,7 +12,10 @@ use geo::{GridCoord, Point2, Vec2};
 use metrics::{PacketLedger, TimeSeries};
 use mobility::MobilityTrace;
 use radio::frame::FrameMeta;
-use radio::{ChannelState, FrameKind, NeighborIndex, NodeId, PageSignal, SpatialIndex};
+use radio::{
+    auto_gather_threshold, ChannelState, FrameKind, GatherFallback, NeighborIndex, NodeId, PageSignal,
+    SpatialIndex,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use sim_engine::{BudgetExceeded, EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
@@ -119,25 +122,77 @@ struct Flight<M> {
     receivers: Vec<NodeId>,
 }
 
-struct NodeState<P: Protocol> {
-    proto: P,
-    meter: EnergyMeter,
-    trace: MobilityTrace,
-    cell: GridCoord,
-    rng: StdRng,
+/// Host state in struct-of-arrays layout: one dense parallel array per
+/// field, indexed by `NodeId`.  The hot loops — receiver gather, the
+/// brute candidate scan, energy ticks, the alive/aen folds — each touch
+/// exactly the arrays they need (`cells` + `dead_handled`, or `meters`)
+/// as branch-light linear scans, instead of striding over full per-node
+/// records the way the old `Vec<NodeState>` layout forced.
+///
+/// Radio mode and battery charge deliberately stay *inside* the meter row
+/// rather than getting mirror arrays: `drain_direct` can latch a host
+/// `Off` mid-handler, and a cached mode/level copy would desynchronize
+/// silently.  The meter row is the single source of truth; the per-host
+/// level *class* cache (`last_levels`) exists only to detect boundary
+/// crossings and is updated at every touch.
+struct Hosts<P: Protocol> {
+    protos: Vec<P>,
+    meters: Vec<EnergyMeter>,
+    traces: Vec<MobilityTrace>,
+    /// Maintained grid cell (bucket coordinate) per host.
+    cells: Vec<GridCoord>,
+    rngs: Vec<StdRng>,
     /// Battery level class as last observed by the trace layer (detects
     /// class-boundary crossings in `touch`).
-    last_level: EnergyLevel,
-    mac: Mac<P::Msg>,
+    last_levels: Vec<EnergyLevel>,
+    macs: Vec<Mac<P::Msg>>,
     /// Number of concurrent receptions in progress (radio in Rx while > 0).
-    rx_refs: u32,
+    rx_refs: Vec<u32>,
     /// The protocol asked to sleep while the MAC was mid-exchange; applied
     /// as soon as the exchange concludes.
-    sleep_pending: bool,
-    dead_handled: bool,
+    sleep_pending: Vec<bool>,
+    dead_handled: Vec<bool>,
     /// Crashed by the fault plan: silent (radio down, protocol frozen)
     /// until the scheduled rejoin reboots it with fresh protocol state.
-    crashed: bool,
+    crashed: Vec<bool>,
+}
+
+impl<P: Protocol> Hosts<P> {
+    fn with_capacity(n: usize) -> Self {
+        Hosts {
+            protos: Vec::with_capacity(n),
+            meters: Vec::with_capacity(n),
+            traces: Vec::with_capacity(n),
+            cells: Vec::with_capacity(n),
+            rngs: Vec::with_capacity(n),
+            last_levels: Vec::with_capacity(n),
+            macs: Vec::with_capacity(n),
+            rx_refs: Vec::with_capacity(n),
+            sleep_pending: Vec::with_capacity(n),
+            dead_handled: Vec::with_capacity(n),
+            crashed: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, proto: P, meter: EnergyMeter, trace: MobilityTrace, cell: GridCoord, rng: StdRng) {
+        let level = meter.level();
+        self.protos.push(proto);
+        self.meters.push(meter);
+        self.traces.push(trace);
+        self.cells.push(cell);
+        self.rngs.push(rng);
+        self.last_levels.push(level);
+        self.macs.push(Mac::default());
+        self.rx_refs.push(0);
+        self.sleep_pending.push(false);
+        self.dead_handled.push(false);
+        self.crashed.push(false);
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.meters.len()
+    }
 }
 
 /// The results of a finished run.
@@ -160,7 +215,7 @@ pub struct RunOutput {
 /// The simulation world.  See module docs.
 pub struct World<P: Protocol> {
     cfg: WorldConfig,
-    nodes: Vec<NodeState<P>>,
+    hosts: Hosts<P>,
     sched: Scheduler<Event>,
     channel: ChannelState,
     flights: HashMap<u64, Flight<P::Msg>>,
@@ -187,6 +242,16 @@ pub struct World<P: Protocol> {
     index: SpatialIndex,
     /// Chebyshev cell radius a radio signal can span.
     reach_cells: i32,
+    /// Live population at or below which `GatherFallback::Auto` brute-scans
+    /// (see [`auto_gather_threshold`]).
+    auto_threshold: usize,
+    /// Scratch candidate buffer for receiver discovery — reused across
+    /// queries so the hot path never allocates.
+    gather_buf: Vec<u32>,
+    /// Recycled receiver vectors for `Flight`s (returned at tx end).
+    recv_pool: Vec<Vec<NodeId>>,
+    /// Scratch success list for `tx_end`.
+    succ_buf: Vec<NodeId>,
     started: bool,
     /// Supervisor-shared progress counters (see [`ProgressProbe`]).
     probe: Option<Arc<ProgressProbe>>,
@@ -205,12 +270,19 @@ impl<P: Protocol> World<P> {
     ) -> Self {
         assert!(!hosts.is_empty(), "a world needs hosts");
         let rngs = RngFactory::new(cfg.seed);
+        let n_hosts = hosts.len();
         let mut channel = ChannelState::new(cfg.range_m);
         channel.set_capture_ratio(cfg.capture_ratio);
-        if cfg.neighbor_index == NeighborIndex::Grid {
-            // bucketed carrier-sense/interference queries ride the same
+        let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
+        if cfg.neighbor_index == NeighborIndex::Grid && n_hosts > auto_gather_threshold(reach_cells) {
+            // Bucketed carrier-sense/interference queries ride the same
             // toggle as receiver discovery, so `brute` really is the
-            // end-to-end baseline
+            // end-to-end baseline.  Small populations skip the bucket
+            // structure entirely: their in-flight set is small enough that
+            // the channel's own linear-scan cutoff would ignore the
+            // buckets anyway, leaving per-transmission maintenance as pure
+            // overhead (the historical N ≤ 200 regression).  Presence or
+            // absence of the index never changes a verdict, only its cost.
             channel.enable_spatial(cfg.grid.width(), cfg.grid.height());
         }
         // Buckets coincide with the paper's logical grid cells: the
@@ -219,45 +291,34 @@ impl<P: Protocol> World<P> {
         // the historical per-cell occupancy lists.
         let mut index =
             SpatialIndex::with_buckets(cfg.grid.cells_x(), cfg.grid.cells_y(), cfg.grid.cell_side());
-        let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
         let fault = FaultCtl::new(cfg.faults, hosts.len());
-        let nodes = hosts
-            .into_iter()
-            .enumerate()
-            .map(|(i, h)| {
-                let id = NodeId(i as u32);
-                let cell = cfg.grid.cell_of(h.trace.position_at(SimTime::ZERO));
-                index.insert(id.0, cell.x, cell.y);
-                // fault-plan battery variance: manufacturing spread across
-                // the finite batteries (infinite endpoints stay infinite)
-                let battery = if cfg.faults.battery_var > 0.0 && !h.battery.is_infinite() {
-                    Battery::with_capacity(h.battery.capacity_j() * fault.battery_scale(id.0))
-                } else {
-                    h.battery
-                };
-                let meter = EnergyMeter::new(h.profile, battery);
-                let last_level = meter.level();
-                NodeState {
-                    proto: factory(id),
-                    meter,
-                    trace: h.trace,
-                    cell,
-                    rng: rngs.stream("node", i as u64),
-                    last_level,
-                    mac: Mac::default(),
-                    rx_refs: 0,
-                    sleep_pending: false,
-                    dead_handled: false,
-                    crashed: false,
-                }
-            })
-            .collect();
+        let mut soa = Hosts::with_capacity(n_hosts);
+        for (i, h) in hosts.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            let cell = cfg.grid.cell_of(h.trace.position_at(SimTime::ZERO));
+            index.insert(id.0, cell.x, cell.y);
+            // fault-plan battery variance: manufacturing spread across
+            // the finite batteries (infinite endpoints stay infinite)
+            let battery = if cfg.faults.battery_var > 0.0 && !h.battery.is_infinite() {
+                Battery::with_capacity(h.battery.capacity_j() * fault.battery_scale(id.0))
+            } else {
+                h.battery
+            };
+            let meter = EnergyMeter::new(h.profile, battery);
+            soa.push(factory(id), meter, h.trace, cell, rngs.stream("node", i as u64));
+        }
         let backend = cfg.backend;
         let mut sched = Scheduler::with_backend(backend);
         sched.set_budget(cfg.budget);
+        // Pre-size the event slab to the measured shape of paper-scale
+        // runs: SchedProfile high-water marks sit near 2 pending events
+        // per host (cell crossing + one MAC/timer each) plus flow and
+        // bookkeeping heads.  4n + 64 covers every profiled scenario with
+        // slack; the slab still grows on demand if a run out-paces it.
+        sched.reserve_events(4 * n_hosts + 64);
         World {
             cfg,
-            nodes,
+            hosts: soa,
             sched,
             channel,
             flights: HashMap::new(),
@@ -274,40 +335,55 @@ impl<P: Protocol> World<P> {
             recorder: None,
             index,
             reach_cells,
+            auto_threshold: auto_gather_threshold(reach_cells),
+            gather_buf: Vec::new(),
+            recv_pool: Vec::new(),
+            succ_buf: Vec::new(),
             started: false,
             probe: None,
             budget_exceeded: None,
         }
     }
 
-    /// Nodes whose current (maintained) cell lies within radio reach of
-    /// `cell`, in ascending id order.
+    /// Fill `out` with the ids of nodes whose current (maintained) cell
+    /// lies within radio reach of `cell`, in ascending id order.  `out` is
+    /// cleared first; the caller reuses it so the hot path never allocates.
     ///
-    /// This is the iteration-order contract both query modes must honor:
+    /// This is the iteration-order contract every query path must honor:
     /// same membership (every non-dead host, at the cell its last crossing
     /// event recorded), same order (ascending id), so every downstream
     /// touch — and therefore every energy integration step and trace event
-    /// — happens identically whichever mode answered the query.
-    fn nodes_near(&self, cell: GridCoord) -> Vec<NodeId> {
-        match self.cfg.neighbor_index {
-            NeighborIndex::Grid => {
-                let mut out = Vec::new();
-                self.index
-                    .gather_sorted_into(cell.x, cell.y, self.reach_cells, &mut out);
-                out.into_iter().map(NodeId).collect()
+    /// — happens identically whichever path answered the query.  Because
+    /// the lists are bit-identical, `GatherFallback::Auto` may flip
+    /// between paths per query without perturbing the digest.
+    fn fill_candidates(&self, cell: GridCoord, out: &mut Vec<u32>) {
+        let brute = match self.cfg.neighbor_index {
+            NeighborIndex::Brute => true,
+            NeighborIndex::Grid => match self.cfg.gather_fallback {
+                GatherFallback::On => true,
+                GatherFallback::Off => false,
+                // At low occupancy the fixed per-bucket cost of the gather
+                // exceeds a branch-light scan of the cells array; the index
+                // mirrors `!dead_handled` exactly, so its population is the
+                // number of scan hits the brute path can see.
+                GatherFallback::Auto => self.index.len() <= self.auto_threshold,
+            },
+        };
+        if brute {
+            // Reference scan: every index member is a node with
+            // `dead_handled == false`, and its bucket is its maintained
+            // `cell` field — reproduce exactly that, the O(N) way, over
+            // two dense arrays.
+            out.clear();
+            let r = self.reach_cells;
+            for (j, c) in self.hosts.cells.iter().enumerate() {
+                if !self.hosts.dead_handled[j] && c.chebyshev(cell) <= r {
+                    out.push(j as u32);
+                }
             }
-            NeighborIndex::Brute => {
-                // Reference scan: every index member is a node with
-                // `dead_handled == false`, and its bucket is its maintained
-                // `cell` field — reproduce exactly that, the O(N) way.
-                let r = self.reach_cells;
-                self.nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, n)| !n.dead_handled && n.cell.chebyshev(cell) <= r)
-                    .map(|(j, _)| NodeId(j as u32))
-                    .collect()
-            }
+        } else {
+            self.index
+                .gather_sorted_into(cell.x, cell.y, self.reach_cells, out);
         }
     }
 
@@ -316,7 +392,9 @@ impl<P: Protocol> World<P> {
     /// grid cell is within radio reach.  This is the simulator's hot-path
     /// query, exposed for tools and the scaling benchmarks.
     pub fn neighbors_of(&self, cell: GridCoord) -> Vec<NodeId> {
-        self.nodes_near(cell)
+        let mut out = Vec::new();
+        self.fill_candidates(cell, &mut out);
+        out.into_iter().map(NodeId).collect()
     }
 
     /// Record `ctx.note` lines and system events for walkthroughs/tests.
@@ -394,46 +472,52 @@ impl<P: Protocol> World<P> {
 
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.hosts.len()
+    }
+
+    /// Lifetime counters of the scheduler's event slab (see
+    /// [`sim_engine::EventPool`]).
+    pub fn event_pool_stats(&self) -> sim_engine::PoolStats {
+        self.sched.pool_stats()
     }
 
     /// Immutable protocol access (tests, examples, result extraction).
     pub fn protocol(&self, id: NodeId) -> &P {
-        &self.nodes[id.index()].proto
+        &self.hosts.protos[id.index()]
     }
 
     pub fn node_mode(&self, id: NodeId) -> RadioMode {
-        self.nodes[id.index()].meter.mode()
+        self.hosts.meters[id.index()].mode()
     }
 
     pub fn node_alive(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].meter.is_alive()
+        self.hosts.meters[id.index()].is_alive()
     }
 
     /// Is the host currently crashed by the fault plan?
     pub fn node_crashed(&self, id: NodeId) -> bool {
-        self.nodes[id.index()].crashed
+        self.hosts.crashed[id.index()]
     }
 
     pub fn node_consumed_j(&self, id: NodeId) -> f64 {
-        self.nodes[id.index()].meter.consumed_j()
+        self.hosts.meters[id.index()].consumed_j()
     }
 
     /// Per-mode time/energy breakdown of a host.
     pub fn node_energy_audit(&self, id: NodeId) -> energy::EnergyAudit {
-        *self.nodes[id.index()].meter.audit()
+        *self.hosts.meters[id.index()].audit()
     }
 
     pub fn node_rbrc(&self, id: NodeId) -> f64 {
-        self.nodes[id.index()].meter.rbrc()
+        self.hosts.meters[id.index()].rbrc()
     }
 
     pub fn node_cell(&self, id: NodeId) -> GridCoord {
-        self.nodes[id.index()].cell
+        self.hosts.cells[id.index()]
     }
 
     pub fn node_pos(&self, id: NodeId) -> Point2 {
-        self.nodes[id.index()].trace.position_at(self.sched.now())
+        self.hosts.traces[id.index()].position_at(self.sched.now())
     }
 
     pub fn stats(&self) -> &WorldStats {
@@ -452,16 +536,17 @@ impl<P: Protocol> World<P> {
         &self.aen_series
     }
 
-    /// Fraction of finite-battery hosts currently alive.
+    /// Fraction of finite-battery hosts currently alive.  A linear fold
+    /// over the dense meter array.
     pub fn alive_fraction(&self) -> f64 {
         let mut total = 0u32;
         let mut alive = 0u32;
-        for n in &self.nodes {
-            if n.meter.battery().is_infinite() {
+        for m in &self.hosts.meters {
+            if m.battery().is_infinite() {
                 continue;
             }
             total += 1;
-            if n.meter.is_alive() {
+            if m.is_alive() {
                 alive += 1;
             }
         }
@@ -477,12 +562,12 @@ impl<P: Protocol> World<P> {
     pub fn aen(&self) -> f64 {
         let mut consumed = 0.0;
         let mut capacity = 0.0;
-        for n in &self.nodes {
-            if n.meter.battery().is_infinite() {
+        for m in &self.hosts.meters {
+            if m.battery().is_infinite() {
                 continue;
             }
-            consumed += n.meter.consumed_j();
-            capacity += n.meter.battery().capacity_j();
+            consumed += m.consumed_j();
+            capacity += m.battery().capacity_j();
         }
         if capacity == 0.0 {
             0.0
@@ -496,10 +581,10 @@ impl<P: Protocol> World<P> {
     /// hand over its tables; neighbours must detect the silence.
     pub fn kill_node(&mut self, id: NodeId) {
         let now = self.sched.now();
-        let n = &mut self.nodes[id.index()];
-        let remaining = n.meter.remaining_j();
+        let m = &mut self.hosts.meters[id.index()];
+        let remaining = m.remaining_j();
         assert!(remaining.is_finite(), "cannot kill an infinite-energy host");
-        n.meter.drain_direct(now, remaining + 1.0);
+        m.drain_direct(now, remaining + 1.0);
         self.touch(id); // processes the death bookkeeping
     }
 
@@ -557,10 +642,11 @@ impl<P: Protocol> World<P> {
                 other => self.handle(other),
             }
         }
-        // integrate everyone to the end instant for exact final energy
+        // integrate everyone to the end instant for exact final energy —
+        // a pure linear pass over the meter array
         let now = self.sched.now();
-        for i in 0..self.nodes.len() {
-            self.nodes[i].meter.advance(now);
+        for m in &mut self.hosts.meters {
+            m.advance(now);
         }
         RunOutput {
             alive: self.alive_series.clone(),
@@ -577,12 +663,9 @@ impl<P: Protocol> World<P> {
         // initial metric sample at t=0, then periodic
         self.sched.schedule_at(SimTime::ZERO, Event::Sample);
         // first grid crossing per node
-        for i in 0..self.nodes.len() {
+        for i in 0..self.hosts.len() {
             let id = NodeId(i as u32);
-            if let Some((t, _)) = self.nodes[i]
-                .trace
-                .next_cell_crossing(&self.cfg.grid, SimTime::ZERO)
-            {
+            if let Some((t, _)) = self.hosts.traces[i].next_cell_crossing(&self.cfg.grid, SimTime::ZERO) {
                 self.sched.schedule_at(t, Event::CellCrossing { node: id });
             }
         }
@@ -601,7 +684,7 @@ impl<P: Protocol> World<P> {
         // fault-plan schedules: first crash / drain per node (each firing
         // schedules the next, so only the heads are seeded here)
         if self.fault.is_active() {
-            for i in 0..self.nodes.len() {
+            for i in 0..self.hosts.len() {
                 let node = NodeId(i as u32);
                 if let Some(gap) = self.fault.crash_gap_secs(node.0, 0) {
                     self.sched
@@ -614,7 +697,7 @@ impl<P: Protocol> World<P> {
             }
         }
         // protocol start
-        for i in 0..self.nodes.len() {
+        for i in 0..self.hosts.len() {
             self.dispatch(NodeId(i as u32), |p, ctx| p.on_start(ctx));
         }
     }
@@ -648,13 +731,14 @@ impl<P: Protocol> World<P> {
         if !self.touch(node) {
             return; // already dead for real: the chain ends here
         }
-        let n = &mut self.nodes[node.index()];
-        n.crashed = true;
-        n.mac.queue.clear();
-        n.mac.phase = MacPhase::Idle;
-        n.mac.attempt = 0;
-        n.rx_refs = 0;
-        n.sleep_pending = false;
+        let i = node.index();
+        self.hosts.crashed[i] = true;
+        let mac = &mut self.hosts.macs[i];
+        mac.queue.clear();
+        mac.phase = MacPhase::Idle;
+        mac.attempt = 0;
+        self.hosts.rx_refs[i] = 0;
+        self.hosts.sleep_pending[i] = false;
         // a crashed host's pending protocol timers must never fire
         let stale: Vec<u64> = self
             .timers
@@ -687,7 +771,7 @@ impl<P: Protocol> World<P> {
         if !self.touch(node) {
             return;
         }
-        self.nodes[node.index()].crashed = false;
+        self.hosts.crashed[node.index()] = false;
         self.set_mode(node, RadioMode::Idle);
         self.stats.rejoins += 1;
         self.log_system(node, "fault: rejoin");
@@ -695,7 +779,7 @@ impl<P: Protocol> World<P> {
             node,
             fault: FaultKind::Rejoin,
         });
-        self.nodes[node.index()].proto = (self.factory)(node);
+        self.hosts.protos[node.index()] = (self.factory)(node);
         self.dispatch(node, |p, ctx| p.on_start(ctx));
         if let Some(gap) = self.fault.crash_gap_secs(node.0, k) {
             self.sched
@@ -711,10 +795,10 @@ impl<P: Protocol> World<P> {
             return;
         }
         let now = self.sched.now();
-        let n = &mut self.nodes[node.index()];
-        let remaining = n.meter.remaining_j();
+        let m = &mut self.hosts.meters[node.index()];
+        let remaining = m.remaining_j();
         if remaining.is_finite() {
-            n.meter.drain_direct(now, remaining * self.fault.drain_frac());
+            m.drain_direct(now, remaining * self.fault.drain_frac());
             self.stats.fault_drains += 1;
             self.log_system(node, "fault: drain");
             self.emit(|| EventKind::FaultInjected {
@@ -736,25 +820,28 @@ impl<P: Protocol> World<P> {
     fn touch(&mut self, node: NodeId) -> bool {
         let now = self.sched.now();
         let tracing = self.recorder.is_some();
-        let n = &mut self.nodes[node.index()];
-        n.meter.advance(now);
+        let i = node.index();
+        let meter = &mut self.hosts.meters[i];
+        meter.advance(now);
         // battery level-class boundary crossings only need detecting when a
         // recorder is attached (level() divides; touch is the hottest path)
         let mut level_change = None;
         if tracing {
-            let level = n.meter.level();
-            if level != n.last_level {
-                level_change = Some((n.last_level, level));
-                n.last_level = level;
+            let level = meter.level();
+            if level != self.hosts.last_levels[i] {
+                level_change = Some((self.hosts.last_levels[i], level));
+                self.hosts.last_levels[i] = level;
             }
         }
-        let alive = n.meter.is_alive();
-        let newly_dead = !alive && !n.dead_handled;
+        let meter = &self.hosts.meters[i];
+        let alive = meter.is_alive();
+        let newly_dead = !alive && !self.hosts.dead_handled[i];
         if newly_dead {
-            n.dead_handled = true;
-            n.mac.queue.clear();
-            n.mac.phase = MacPhase::Idle;
-            n.rx_refs = 0;
+            self.hosts.dead_handled[i] = true;
+            let mac = &mut self.hosts.macs[i];
+            mac.queue.clear();
+            mac.phase = MacPhase::Idle;
+            self.hosts.rx_refs[i] = 0;
             // prune the spatial index: death is permanent (the meter
             // latches Off), so the entry would only go stale.  Touching a
             // dead host is observably inert, so dropping it from candidate
@@ -786,7 +873,7 @@ impl<P: Protocol> World<P> {
             return;
         }
         // a crashed host's protocol is frozen until the reboot
-        if self.nodes[node.index()].crashed {
+        if self.hosts.crashed[node.index()] {
             return;
         }
         let now = self.sched.now();
@@ -797,8 +884,9 @@ impl<P: Protocol> World<P> {
         // position — only the receiver estimate is corrupted.
         let gps_off = self.fault.gps_offset_m(node.0, now.as_nanos());
         let i = node.index();
-        let n = &mut self.nodes[i];
-        let mut pos = n.trace.position_at(now);
+        let trace = &self.hosts.traces[i];
+        let meter = &self.hosts.meters[i];
+        let mut pos = trace.position_at(now);
         if gps_off != (0.0, 0.0) {
             pos = (pos + Vec2::new(gps_off.0, gps_off.1))
                 .clamp_to(self.cfg.grid.width(), self.cfg.grid.height());
@@ -807,24 +895,25 @@ impl<P: Protocol> World<P> {
             now,
             id: node,
             pos,
-            vel: n.trace.velocity_at(now),
-            cell: n.cell,
-            mode: n.meter.mode(),
-            rbrc: n.meter.rbrc(),
-            level: n.meter.level(),
-            remaining_j: n.meter.remaining_j(),
+            vel: trace.velocity_at(now),
+            cell: self.hosts.cells[i],
+            mode: meter.mode(),
+            rbrc: meter.rbrc(),
+            level: meter.level(),
+            remaining_j: meter.remaining_j(),
         };
+        // field-disjoint borrows: protocol and rng mutably, trace shared
         let mut ctx = Ctx {
             view,
             grid: &self.cfg.grid,
-            trace: &n.trace,
-            rng: &mut n.rng,
+            trace,
+            rng: &mut self.hosts.rngs[i],
             next_timer_id: &mut self.next_timer_id,
             cmds: Vec::new(),
             tracing,
             emitting,
         };
-        f(&mut n.proto, &mut ctx);
+        f(&mut self.hosts.protos[i], &mut ctx);
         let cmds = ctx.cmds;
         self.apply(node, cmds);
     }
@@ -838,7 +927,7 @@ impl<P: Protocol> World<P> {
                 Cmd::Wake => self.node_wake(node),
                 Cmd::PageHost(id) => {
                     self.stats.pages_sent += 1;
-                    let origin = self.nodes[node.index()].trace.position_at(now);
+                    let origin = self.hosts.traces[node.index()].position_at(now);
                     self.emit(|| EventKind::RasPage {
                         by: node,
                         signal: PageSignal::Host(id),
@@ -855,7 +944,7 @@ impl<P: Protocol> World<P> {
                 }
                 Cmd::PageGrid(cell) => {
                     self.stats.pages_sent += 1;
-                    let origin = self.nodes[node.index()].trace.position_at(now);
+                    let origin = self.hosts.traces[node.index()].position_at(now);
                     self.emit(|| EventKind::RasPage {
                         by: node,
                         signal: PageSignal::Grid(cell),
@@ -905,7 +994,7 @@ impl<P: Protocol> World<P> {
 
     fn set_mode(&mut self, node: NodeId, mode: RadioMode) {
         let now = self.sched.now();
-        let meter = &mut self.nodes[node.index()].meter;
+        let meter = &mut self.hosts.meters[node.index()];
         let old = meter.mode();
         // the meter refuses transitions out of Off, so read back what stuck
         let new = meter.set_mode(now, mode);
@@ -922,18 +1011,19 @@ impl<P: Protocol> World<P> {
         if !self.touch(node) {
             return;
         }
-        let n = &mut self.nodes[node.index()];
+        let i = node.index();
         // The protocol queued its goodbyes (e.g. ECGRID's sleep notice)
         // before deciding to sleep: the interface drains its queue first
         // and powers down the moment the MAC quiesces.  Frames can no
         // longer be *enqueued* once asleep (mac_enqueue drops them), so
         // nothing stale survives into the next wake.
-        if !matches!(n.mac.phase, MacPhase::Idle) || !n.mac.queue.is_empty() {
-            n.sleep_pending = true;
+        let mac = &self.hosts.macs[i];
+        if !matches!(mac.phase, MacPhase::Idle) || !mac.queue.is_empty() {
+            self.hosts.sleep_pending[i] = true;
             return;
         }
-        n.sleep_pending = false;
-        n.rx_refs = 0;
+        self.hosts.sleep_pending[i] = false;
+        self.hosts.rx_refs[i] = 0;
         self.set_mode(node, RadioMode::Sleep);
     }
 
@@ -941,8 +1031,8 @@ impl<P: Protocol> World<P> {
         if !self.touch(node) {
             return;
         }
-        self.nodes[node.index()].sleep_pending = false;
-        if self.nodes[node.index()].meter.mode() == RadioMode::Sleep {
+        self.hosts.sleep_pending[node.index()] = false;
+        if self.hosts.meters[node.index()].mode() == RadioMode::Sleep {
             self.set_mode(node, RadioMode::Idle);
         }
         self.mac_kick(node);
@@ -959,19 +1049,19 @@ impl<P: Protocol> World<P> {
         // §3.3).  A frame sent from a sleeping state is a protocol bug —
         // silently powering the radio up here would desynchronize the
         // protocol's sleep bookkeeping, so the frame is dropped instead.
-        if self.nodes[node.index()].meter.mode() == RadioMode::Sleep {
+        if self.hosts.meters[node.index()].mode() == RadioMode::Sleep {
             self.stats.mac_drops += 1;
             return;
         }
         let bytes = msg.wire_bytes();
-        let n = &mut self.nodes[node.index()];
+        let mac = &mut self.hosts.macs[node.index()];
         // finite interface queue: tail-drop when a protocol outpaces the
         // channel (protects against pathological send loops, like real NICs)
-        if n.mac.queue.len() >= MAC_QUEUE_CAP {
+        if mac.queue.len() >= MAC_QUEUE_CAP {
             self.stats.mac_drops += 1;
             return;
         }
-        n.mac.queue.push_back(OutFrame { kind, msg, bytes });
+        mac.queue.push_back(OutFrame { kind, msg, bytes });
         self.mac_kick(node);
     }
 
@@ -981,10 +1071,10 @@ impl<P: Protocol> World<P> {
     /// would otherwise pick from the same 32 slots and collide — the wide
     /// window plays the role of ns-2's AODV broadcast jitter.
     fn head_cw(&self, node: NodeId) -> u32 {
-        let n = &self.nodes[node.index()];
-        match n.mac.queue.front().map(|f| f.kind) {
+        let mac = &self.hosts.macs[node.index()];
+        match mac.queue.front().map(|f| f.kind) {
             Some(FrameKind::Broadcast) => (self.cfg.mac.cw_min + 1) * 8 - 1,
-            _ => self.cfg.mac.cw_for_attempt(n.mac.attempt),
+            _ => self.cfg.mac.cw_for_attempt(mac.attempt),
         }
     }
 
@@ -995,10 +1085,13 @@ impl<P: Protocol> World<P> {
     /// would otherwise transmit at exactly now+DIFS and collide wholesale.
     fn mac_kick(&mut self, node: NodeId) {
         let cw = self.head_cw(node);
-        let n = &mut self.nodes[node.index()];
-        if n.mac.phase == MacPhase::Idle && !n.mac.queue.is_empty() && n.meter.mode() != RadioMode::Sleep {
-            n.mac.phase = MacPhase::WaitTry;
-            let slots = n.rng.gen_range(0..=cw);
+        let i = node.index();
+        if self.hosts.macs[i].phase == MacPhase::Idle
+            && !self.hosts.macs[i].queue.is_empty()
+            && self.hosts.meters[i].mode() != RadioMode::Sleep
+        {
+            self.hosts.macs[i].phase = MacPhase::WaitTry;
+            let slots = self.hosts.rngs[i].gen_range(0..=cw);
             let delay = self.cfg.mac.difs + self.cfg.mac.backoff(slots);
             self.sched.schedule_in(delay, Event::MacTryTx { node });
         }
@@ -1010,32 +1103,32 @@ impl<P: Protocol> World<P> {
         }
         let now = self.sched.now();
         let i = node.index();
-        if self.nodes[i].mac.phase != MacPhase::WaitTry {
+        if self.hosts.macs[i].phase != MacPhase::WaitTry {
             return; // stale
         }
-        if self.nodes[i].meter.mode() == RadioMode::Sleep {
-            self.nodes[i].mac.phase = MacPhase::Idle; // re-kicked on wake
+        if self.hosts.meters[i].mode() == RadioMode::Sleep {
+            self.hosts.macs[i].phase = MacPhase::Idle; // re-kicked on wake
             return;
         }
-        if self.nodes[i].mac.queue.is_empty() {
-            self.nodes[i].mac.phase = MacPhase::Idle;
+        if self.hosts.macs[i].queue.is_empty() {
+            self.hosts.macs[i].phase = MacPhase::Idle;
             return;
         }
         if now > SimTime::ZERO + CHANNEL_GC_GRACE {
             self.channel.gc_before(now - CHANNEL_GC_GRACE);
         }
-        let pos = self.nodes[i].trace.position_at(now);
+        let pos = self.hosts.traces[i].position_at(now);
         if let Some(busy_end) = self.channel.busy_until(pos, now) {
             // deferral: re-sense after the medium frees plus DIFS + backoff
             let cw = self.head_cw(node);
-            let slots = self.nodes[i].rng.gen_range(0..=cw);
+            let slots = self.hosts.rngs[i].gen_range(0..=cw);
             let at = busy_end + self.cfg.mac.difs + self.cfg.mac.backoff(slots);
             self.sched.schedule_at(at.max(now), Event::MacTryTx { node });
             return;
         }
         // medium idle: transmit the head-of-queue frame
         let (kind, bytes, msg) = {
-            let f = self.nodes[i].mac.queue.front().expect("non-empty checked");
+            let f = self.hosts.macs[i].queue.front().expect("non-empty checked");
             (f.kind, f.bytes, f.msg.clone())
         };
         let meta = FrameMeta {
@@ -1048,36 +1141,41 @@ impl<P: Protocol> World<P> {
         let tx_id = self.channel.begin_tx(node, pos, now, end);
 
         // freeze the receiver set: alive, transceiver on, not transmitting,
-        // within range at tx start (candidates come from the spatial index
-        // in id order, so results are identical to a full scan)
-        let mut receivers = Vec::new();
-        for jid in self.nodes_near(self.nodes[i].cell) {
+        // within range at tx start.  Candidates come from the reusable
+        // scratch buffer in ascending id order (identical whichever query
+        // path filled it); the receiver vector is recycled from earlier
+        // flights, so the steady-state hot path performs zero allocations.
+        let mut cand = std::mem::take(&mut self.gather_buf);
+        self.fill_candidates(self.hosts.cells[i], &mut cand);
+        let mut receivers = self.recv_pool.pop().unwrap_or_default();
+        debug_assert!(receivers.is_empty());
+        for &j in &cand {
+            let jid = NodeId(j);
             if jid == node {
                 continue;
             }
             if !self.touch(jid) {
                 continue;
             }
-            let nj = &self.nodes[jid.index()];
-            let mode = nj.meter.mode();
+            let mode = self.hosts.meters[j as usize].mode();
             if !matches!(mode, RadioMode::Idle | RadioMode::Rx) {
                 continue;
             }
-            let pj = nj.trace.position_at(now);
+            let pj = self.hosts.traces[j as usize].position_at(now);
             if !self.channel.reaches(pos, pj) {
                 continue;
             }
             receivers.push(jid);
         }
+        self.gather_buf = cand;
         for &r in &receivers {
-            let nr = &mut self.nodes[r.index()];
-            nr.rx_refs += 1;
-            if nr.meter.mode() == RadioMode::Idle {
+            self.hosts.rx_refs[r.index()] += 1;
+            if self.hosts.meters[r.index()].mode() == RadioMode::Idle {
                 self.set_mode(r, RadioMode::Rx);
             }
         }
         self.set_mode(node, RadioMode::Tx);
-        self.nodes[i].mac.phase = MacPhase::Transmitting(tx_id);
+        self.hosts.macs[i].phase = MacPhase::Transmitting(tx_id);
         self.stats.tx_started += 1;
         match kind {
             FrameKind::Broadcast => self.stats.broadcasts += 1,
@@ -1106,34 +1204,36 @@ impl<P: Protocol> World<P> {
         let now = self.sched.now();
         let flight = self.flights.remove(&tx_id).expect("flight must exist");
         // a sender that crashed mid-frame kills its own transmission
-        let sender_alive = self.touch(node) && !self.nodes[node.index()].crashed;
-        if sender_alive && self.nodes[node.index()].meter.mode() == RadioMode::Tx {
+        let sender_alive = self.touch(node) && !self.hosts.crashed[node.index()];
+        if sender_alive && self.hosts.meters[node.index()].mode() == RadioMode::Tx {
             self.set_mode(node, RadioMode::Idle);
         }
 
-        // unwind receiver Rx states and evaluate reception success
-        let mut successes: Vec<NodeId> = Vec::new();
+        // unwind receiver Rx states and evaluate reception success (the
+        // success list is a recycled scratch vector)
+        let mut successes = std::mem::take(&mut self.succ_buf);
+        debug_assert!(successes.is_empty());
         for &r in &flight.receivers {
             let alive = self.touch(r);
-            let nr = &mut self.nodes[r.index()];
-            if nr.rx_refs > 0 {
-                nr.rx_refs -= 1;
+            let j = r.index();
+            if self.hosts.rx_refs[j] > 0 {
+                self.hosts.rx_refs[j] -= 1;
             }
-            let mode = nr.meter.mode();
-            if nr.rx_refs == 0 && mode == RadioMode::Rx {
+            let mode = self.hosts.meters[j].mode();
+            if self.hosts.rx_refs[j] == 0 && mode == RadioMode::Rx {
                 self.set_mode(r, RadioMode::Idle);
             }
             if !sender_alive || !alive {
                 self.stats.missed_unreachable += 1;
                 continue;
             }
-            let mode = self.nodes[r.index()].meter.mode();
+            let mode = self.hosts.meters[j].mode();
             if !mode.can_receive() {
                 self.stats.missed_unreachable += 1;
                 continue;
             }
-            let pr = self.nodes[r.index()].trace.position_at(now);
-            let src_pos = self.nodes[flight.src.index()].trace.position_at(flight.start);
+            let pr = self.hosts.traces[j].position_at(now);
+            let src_pos = self.hosts.traces[flight.src.index()].position_at(flight.start);
             if self
                 .channel
                 .corrupted(tx_id, src_pos, pr, flight.start, flight.end)
@@ -1182,14 +1282,13 @@ impl<P: Protocol> World<P> {
                     // after a SIFS and at the paper's load never collides);
                     // its energy is charged directly.
                     let ack_secs = self.cfg.mac.ack_airtime().as_secs_f64();
-                    let dstate = &mut self.nodes[dst.index()];
-                    let d_extra = (dstate.meter.profile().tx_w - dstate.meter.profile().idle_w) * ack_secs;
-                    dstate.meter.drain_direct(now, d_extra);
+                    let dmeter = &mut self.hosts.meters[dst.index()];
+                    let d_extra = (dmeter.profile().tx_w - dmeter.profile().idle_w) * ack_secs;
+                    dmeter.drain_direct(now, d_extra);
                     if sender_alive {
-                        let sstate = &mut self.nodes[node.index()];
-                        let s_extra =
-                            (sstate.meter.profile().rx_w - sstate.meter.profile().idle_w) * ack_secs;
-                        sstate.meter.drain_direct(now, s_extra);
+                        let smeter = &mut self.hosts.meters[node.index()];
+                        let s_extra = (smeter.profile().rx_w - smeter.profile().idle_w) * ack_secs;
+                        smeter.drain_direct(now, s_extra);
                     }
                     let (src, msg) = (flight.src, flight.msg.clone());
                     let bytes = msg.wire_bytes();
@@ -1203,7 +1302,7 @@ impl<P: Protocol> World<P> {
                     });
                 }
                 if sender_alive {
-                    self.nodes[node.index()].mac.phase = MacPhase::AwaitAck(tx_id);
+                    self.hosts.macs[node.index()].phase = MacPhase::AwaitAck(tx_id);
                     let delay = if ok {
                         self.cfg.mac.sifs + self.cfg.mac.ack_airtime()
                     } else {
@@ -1213,6 +1312,12 @@ impl<P: Protocol> World<P> {
                 }
             }
         }
+        // recycle both scratch vectors for the next flight
+        successes.clear();
+        self.succ_buf = successes;
+        let mut recv = flight.receivers;
+        recv.clear();
+        self.recv_pool.push(recv);
         if now > SimTime::ZERO + CHANNEL_GC_GRACE {
             self.channel.gc_before(now - CHANNEL_GC_GRACE);
         }
@@ -1223,7 +1328,7 @@ impl<P: Protocol> World<P> {
             return;
         }
         let i = node.index();
-        if !matches!(self.nodes[i].mac.phase, MacPhase::AwaitAck(_)) {
+        if !matches!(self.hosts.macs[i].phase, MacPhase::AwaitAck(_)) {
             return; // stale
         }
         if ok {
@@ -1231,48 +1336,49 @@ impl<P: Protocol> World<P> {
             return;
         }
         // ACK missing: retry with exponential backoff, bounded
-        self.nodes[i].mac.attempt += 1;
-        if self.nodes[i].mac.attempt > self.cfg.mac.max_retries {
+        self.hosts.macs[i].attempt += 1;
+        if self.hosts.macs[i].attempt > self.cfg.mac.max_retries {
             self.stats.mac_drops += 1;
-            let frame = self.nodes[i].mac.queue.pop_front().expect("head frame");
+            let frame = self.hosts.macs[i].queue.pop_front().expect("head frame");
             if let FrameKind::Unicast(d) = frame.kind {
                 self.emit(|| EventKind::MacDrop { node, dst: Some(d) });
             }
-            self.nodes[i].mac.attempt = 0;
-            self.nodes[i].mac.phase = MacPhase::Idle;
+            self.hosts.macs[i].attempt = 0;
+            self.hosts.macs[i].phase = MacPhase::Idle;
             if let FrameKind::Unicast(dst) = frame.kind {
                 let msg = frame.msg;
                 self.dispatch(node, move |p, ctx| p.on_unicast_failed(ctx, dst, &msg));
             }
-            if self.nodes[i].sleep_pending {
+            if self.hosts.sleep_pending[i] {
                 self.node_sleep(node);
             }
-            if self.nodes[i].meter.mode() != RadioMode::Sleep {
+            if self.hosts.meters[i].mode() != RadioMode::Sleep {
                 self.mac_kick(node);
             }
         } else {
             self.stats.retransmissions += 1;
-            let attempt = self.nodes[i].mac.attempt;
+            let attempt = self.hosts.macs[i].attempt;
             self.emit(|| EventKind::MacRetry { node, attempt });
             let cw = self.cfg.mac.cw_for_attempt(attempt);
-            let slots = self.nodes[i].rng.gen_range(0..=cw);
+            let slots = self.hosts.rngs[i].gen_range(0..=cw);
             let delay = self.cfg.mac.difs + self.cfg.mac.backoff(slots);
-            self.nodes[i].mac.phase = MacPhase::WaitTry;
+            self.hosts.macs[i].phase = MacPhase::WaitTry;
             self.sched.schedule_in(delay, Event::MacTryTx { node });
         }
     }
 
     /// Head-of-queue frame finished (broadcast ended / unicast acked).
     fn mac_complete_head(&mut self, node: NodeId) {
-        let n = &mut self.nodes[node.index()];
-        n.mac.queue.pop_front();
-        n.mac.attempt = 0;
-        n.mac.phase = MacPhase::Idle;
-        if n.sleep_pending {
+        let i = node.index();
+        let mac = &mut self.hosts.macs[i];
+        mac.queue.pop_front();
+        mac.attempt = 0;
+        mac.phase = MacPhase::Idle;
+        if self.hosts.sleep_pending[i] {
             // the protocol already decided to sleep; node_sleep applies it
             // if the queue has drained, or re-defers until it has
             self.node_sleep(node);
-            if self.nodes[node.index()].meter.mode() == RadioMode::Sleep {
+            if self.hosts.meters[i].mode() == RadioMode::Sleep {
                 return;
             }
         }
@@ -1296,23 +1402,22 @@ impl<P: Protocol> World<P> {
         let now = self.sched.now();
         let range = self.cfg.ras.range_m;
         let mut addressed = Vec::new();
-        for j in 0..self.nodes.len() {
+        for j in 0..self.hosts.len() {
             let jid = NodeId(j as u32);
             if !self.touch(jid) {
                 continue;
             }
-            let nj = &self.nodes[j];
-            let pj = nj.trace.position_at(now);
+            let pj = self.hosts.traces[j].position_at(now);
             if !origin.within_range(pj, range) {
                 continue;
             }
-            if signal.addresses(jid, nj.cell) {
+            if signal.addresses(jid, self.hosts.cells[j]) {
                 addressed.push(jid);
             }
         }
         for jid in addressed {
             // a crashed host's paging receiver is as dead as its radio
-            if self.nodes[jid.index()].crashed {
+            if self.hosts.crashed[jid.index()] {
                 continue;
             }
             // injected paging-channel loss
@@ -1324,7 +1429,7 @@ impl<P: Protocol> World<P> {
                 });
                 continue;
             }
-            if self.nodes[jid.index()].meter.mode() == RadioMode::Sleep {
+            if self.hosts.meters[jid.index()].mode() == RadioMode::Sleep {
                 self.set_mode(jid, RadioMode::Idle);
                 self.stats.pages_woken += 1;
                 self.mac_kick(jid);
@@ -1342,18 +1447,18 @@ impl<P: Protocol> World<P> {
         // would otherwise report a 0-delay crossing forever (at 10 m/s the
         // skipped distance is 10 µm — far below any physical relevance).
         let from = now + SimDuration::from_micros(1);
-        if let Some((t, _)) = self.nodes[i].trace.next_cell_crossing(&self.cfg.grid, from) {
+        if let Some((t, _)) = self.hosts.traces[i].next_cell_crossing(&self.cfg.grid, from) {
             self.sched.schedule_at(t.max(from), Event::CellCrossing { node });
         }
         if !self.touch(node) {
             return;
         }
-        let old = self.nodes[i].cell;
-        let new = self.nodes[i].trace.cell_at(&self.cfg.grid, now);
+        let old = self.hosts.cells[i];
+        let new = self.hosts.traces[i].cell_at(&self.cfg.grid, now);
         if new == old {
             return;
         }
-        self.nodes[i].cell = new;
+        self.hosts.cells[i] = new;
         // O(1) bucket move (slot-tracked), not a linear rescan of the old
         // cell's occupant list
         self.index.move_to(node.0, new.x, new.y);
@@ -1365,7 +1470,7 @@ impl<P: Protocol> World<P> {
         });
         // sleeping hosts don't observe the crossing (their GPS snapshot is
         // read when their dwell timer wakes them, §3.2)
-        if self.nodes[i].meter.mode() != RadioMode::Sleep {
+        if self.hosts.meters[i].mode() != RadioMode::Sleep {
             self.dispatch(node, move |p, ctx| p.on_cell_change(ctx, old, new));
         }
     }
@@ -1386,7 +1491,7 @@ impl<P: Protocol> World<P> {
         if !self.touch(src) {
             return; // a dead source issues nothing
         }
-        if self.nodes[src.index()].crashed {
+        if self.hosts.crashed[src.index()] {
             return; // nor does a crashed one (not even into the ledger)
         }
         let packet = AppPacket {
@@ -1407,7 +1512,7 @@ impl<P: Protocol> World<P> {
 
     fn sample(&mut self) {
         let now = self.sched.now();
-        for i in 0..self.nodes.len() {
+        for i in 0..self.hosts.len() {
             let id = NodeId(i as u32);
             self.touch(id); // integrates energy and processes deaths
         }

@@ -1,0 +1,116 @@
+//! The pooled scheduler seen from the framework level: the World's event
+//! slab must account for every event the run dispatches, and its
+//! high-water mark must agree with the independently-measured
+//! `SchedProfile` queue depth.
+
+use manet::testkit::{Probe, ProbeCfg};
+use manet::trace::TraceMode;
+use manet::{Backend, FlowSet, HostSetup, NodeId, SimTime, World, WorldConfig};
+use mobility::{MobilityModel, RandomWaypoint};
+use sim_engine::RngFactory;
+use traffic::FlowSpec;
+
+const HORIZON: SimTime = SimTime(200_000_000_000); // 200 s
+
+/// A busy little world: movers, CBR traffic, timers — enough churn that
+/// the slab recycles slots many times over.
+fn busy_world(backend: Backend) -> World<Probe> {
+    let n = 20;
+    let rngs = RngFactory::new(5);
+    let model = RandomWaypoint::paper(2.0, 0.0);
+    let hosts: Vec<HostSetup> = (0..n)
+        .map(|i| HostSetup::paper(model.build_trace(&mut rngs.stream("mobility", i as u64), HORIZON)))
+        .collect();
+    let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let spec = FlowSpec {
+        n_flows: 4,
+        packet_bytes: 256,
+        rate_pps: 2.0,
+        start: SimTime::from_secs(1),
+        stop: SimTime::from_secs(100),
+        stagger: true,
+    };
+    let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &ids, &spec);
+    let cfg = WorldConfig::paper_default(5).with_backend(backend);
+    let mut w = World::new(cfg, hosts, flows, |_| {
+        Probe::new(ProbeCfg {
+            timer_at_start: Some((0.5, 1)),
+            ..Default::default()
+        })
+    });
+    w.enable_trace(TraceMode::DigestOnly);
+    w
+}
+
+#[test]
+fn pool_high_water_agrees_with_the_sched_profile() {
+    let mut w = busy_world(Backend::Heap);
+    w.run_until(SimTime::from_secs(100));
+    let pool = w.event_pool_stats();
+    let rec = w.take_recorder().expect("tracing was enabled");
+    let prof = rec.profile();
+    // The profile observes queue depth immediately after every pop — so
+    // its maximum is one below the true peak (the pop that consumed the
+    // peak observed peak-1, and no later observation can exceed that).
+    // The pool's high-water mark IS the true peak: live slots == pending
+    // events at every instant.
+    assert_eq!(
+        pool.high_water,
+        prof.max_queue_depth + 1,
+        "slab high-water disagrees with the profiled queue depth: {pool:?}"
+    );
+    assert!(
+        pool.allocated > 10 * pool.high_water as u64,
+        "the run must recycle slots many times over: {pool:?}"
+    );
+}
+
+#[test]
+fn pool_accounting_balances_at_end_of_run() {
+    let mut w = busy_world(Backend::Heap);
+    w.run_until(SimTime::from_secs(100));
+    let pool = w.event_pool_stats();
+    // every slot is either freed or still live (events scheduled past the
+    // end of the run stay pending — run_until stops at EndOfRun, it does
+    // not drain)
+    assert_eq!(pool.allocated, pool.freed + pool.live as u64, "{pool:?}");
+    assert!(pool.capacity >= pool.high_water, "{pool:?}");
+    // identical advance, identical books
+    let mut w2 = busy_world(Backend::Heap);
+    w2.run_until(SimTime::from_secs(100));
+    assert_eq!(format!("{:?}", w2.event_pool_stats()), format!("{pool:?}"));
+}
+
+#[test]
+fn pool_books_are_backend_independent() {
+    // Both pending-set backends pop the same events in the same order, so
+    // the slab sees the same alloc/free sequence: every statistic matches.
+    let mut heap = busy_world(Backend::Heap);
+    let mut cal = busy_world(Backend::Calendar);
+    heap.run_until(SimTime::from_secs(100));
+    cal.run_until(SimTime::from_secs(100));
+    let (h, c) = (heap.event_pool_stats(), cal.event_pool_stats());
+    assert_eq!(h.allocated, c.allocated);
+    assert_eq!(h.freed, c.freed);
+    assert_eq!(h.live, c.live);
+    assert_eq!(h.high_water, c.high_water);
+    let hd = heap.take_recorder().unwrap().digest();
+    let cd = cal.take_recorder().unwrap().digest();
+    assert_eq!(hd, cd, "backends diverged");
+}
+
+#[test]
+fn reserved_slab_never_grows_on_a_paper_scale_run() {
+    // World::new pre-sizes the slab from the profiled shape of paper-scale
+    // runs (≈2 pending events per host); the steady state must live
+    // inside the reservation with no mid-run slab growth.
+    let mut w = busy_world(Backend::Heap);
+    let before = w.event_pool_stats().capacity;
+    w.run_until(SimTime::from_secs(100));
+    let after = w.event_pool_stats();
+    assert_eq!(
+        before, after.capacity,
+        "slab grew mid-run past its reservation: {after:?}"
+    );
+    assert!(after.high_water <= before, "{after:?}");
+}

@@ -52,6 +52,14 @@ pub struct ChannelState {
 /// ns-2's default capture threshold (10 dB) under d⁻⁴ path loss.
 pub const CAPTURE_RATIO_10DB: f64 = 1.7782794100389228;
 
+/// Live-transmission count at or below which channel queries take the
+/// linear scan even when the bucket index is enabled.  Nine bucket headers
+/// cost more than a dozen predictable `Transmission` comparisons — at the
+/// paper's offered load (a handful of concurrent frames) the index only
+/// pays off in the loaded large-N regimes.  Both paths compute identical
+/// order-insensitive aggregates, so the switch is invisible to results.
+const SPATIAL_LINEAR_CUTOFF: usize = 12;
+
 impl ChannelState {
     pub fn new(range_m: f64) -> Self {
         assert!(range_m > 0.0);
@@ -83,6 +91,16 @@ impl ChannelState {
     /// Is the bucket index active? (diagnostic)
     pub fn spatial_enabled(&self) -> bool {
         self.spatial.is_some()
+    }
+
+    /// The bucket index, if enabled *and* worth querying at the current
+    /// occupancy (see [`SPATIAL_LINEAR_CUTOFF`]).
+    #[inline]
+    fn spatial_for_query(&self) -> Option<&SpatialIndex> {
+        if self.active.len() <= SPATIAL_LINEAR_CUTOFF {
+            return None;
+        }
+        self.spatial.as_ref()
     }
 
     /// Disable/enable the capture effect (ablation).
@@ -135,7 +153,7 @@ impl ChannelState {
     /// any transmission in progress whose signal reaches `p`.  `None` means
     /// the medium is sensed idle.
     pub fn busy_until(&self, p: Point2, at: SimTime) -> Option<SimTime> {
-        if let Some(sp) = &self.spatial {
+        if let Some(sp) = self.spatial_for_query() {
             // Buckets have side == range, so every transmission audible at
             // `p` lives in the 3×3 neighborhood of p's bucket; the exact
             // time/range filter below does the rest.  `max` is
@@ -190,7 +208,7 @@ impl ChannelState {
                 None => true,
             }
         };
-        if let Some(sp) = &self.spatial {
+        if let Some(sp) = self.spatial_for_query() {
             // Only transmissions audible at the receiver can corrupt it,
             // and those all sit in the receiver's 3×3 bucket neighborhood
             // (bucket side == range).  `any` is order-insensitive.
@@ -374,6 +392,32 @@ mod tests {
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn low_occupancy_cutoff_is_invisible_across_the_boundary() {
+        // Add transmissions one at a time straddling the linear-scan
+        // cutoff; plain and bucketed channels must agree at every step,
+        // including the exact population where the query path flips.
+        let mut seed = 0xface0ff_u64;
+        let mut plain = ChannelState::paper_default();
+        let mut fast = ChannelState::paper_default();
+        fast.enable_spatial(1000.0, 1000.0);
+        for i in 0..(SPATIAL_LINEAR_CUTOFF as u64 + 5) {
+            let o = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
+            let (s, e) = (t(10), t(40));
+            plain.begin_tx(NodeId(i as u32), o, s, e);
+            fast.begin_tx(NodeId(i as u32), o, s, e);
+            for _ in 0..10 {
+                let p = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
+                assert_eq!(
+                    plain.busy_until(p, t(20)),
+                    fast.busy_until(p, t(20)),
+                    "diverged at occupancy {}",
+                    plain.in_flight()
+                );
+            }
+        }
     }
 
     #[test]

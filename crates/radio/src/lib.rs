@@ -29,4 +29,4 @@ pub use channel::{ChannelState, Transmission};
 pub use frame::{FrameKind, FrameMeta, NodeId};
 pub use mac::MacConfig;
 pub use ras::{PageSignal, RasConfig};
-pub use spatial::{NeighborIndex, SpatialIndex};
+pub use spatial::{auto_gather_threshold, GatherFallback, NeighborIndex, SpatialIndex};

@@ -8,7 +8,7 @@
 //! ```
 
 use manet::trace::TraceMode;
-use manet::{Backend, FaultPlan, NeighborIndex};
+use manet::{Backend, FaultPlan, GatherFallback, NeighborIndex};
 use runner::supervisor::{run_point, SupervisorConfig};
 use runner::{run_scenario_probed, run_scenario_with, sweep_supervised, ProtocolKind, RunOptions, Scenario};
 use std::fmt::Display;
@@ -23,8 +23,9 @@ USAGE:
     run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
             [--backend heap|calendar] [--neighbor-index brute|grid]
-            [--trace FILE.jsonl] [--digest] [--faults SPEC]
-            [--event-budget N] [--max-retries N] [--journal FILE.jsonl]
+            [--gather-fallback auto|on|off] [--trace FILE.jsonl]
+            [--digest] [--faults SPEC] [--event-budget N]
+            [--max-retries N] [--journal FILE.jsonl]
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
 pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
@@ -35,6 +36,10 @@ pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
 --neighbor-index  receiver-discovery strategy: the spatial grid-bucket
                index (default) or the brute-force reference scan; trace
                digests are bit-identical either way
+--gather-fallback  when the grid index falls back to a brute scan:
+               adaptively below the occupancy crossover (default),
+               always, or never; digests are identical in all three
+               modes (ignored under --neighbor-index brute)
 --faults SPEC  comma-separated fault plan, e.g.
                loss=0.1,churn=0.01,page_fail=0.2,drain=0.005,gps=15
                (keys: loss, ge, page_fail, page_delay, churn, rejoin,
@@ -129,6 +134,10 @@ fn parse_args() -> Cli {
                 cli.opts.neighbor_index = NeighborIndex::parse(v)
                     .unwrap_or_else(|| fail(format!("--neighbor-index: {v:?} (expected brute|grid)")))
             }
+            "--gather-fallback" => {
+                cli.opts.gather_fallback = GatherFallback::parse(v)
+                    .unwrap_or_else(|| fail(format!("--gather-fallback: {v:?} (expected auto|on|off)")))
+            }
             "--faults" => match FaultPlan::parse(v) {
                 Ok(plan) => cli.opts.faults = plan,
                 Err(e) => fail(format!("--faults: {e}")),
@@ -182,10 +191,11 @@ fn main() {
     }
 
     eprintln!(
-        "running: {} [{}, {} index]",
+        "running: {} [{}, {} index, fallback {}]",
         sc.label(),
         opts.backend.name(),
-        opts.neighbor_index.name()
+        opts.neighbor_index.name(),
+        opts.gather_fallback.name()
     );
     let start = std::time::Instant::now();
 

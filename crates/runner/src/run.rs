@@ -7,8 +7,8 @@ use grid_routing::{GridConfig, GridProto};
 use manet::progress::ProgressProbe;
 use manet::trace::{Recorder, TraceDigest, TraceMode};
 use manet::{
-    Backend, Battery, FaultPlan, FlowSet, FlowSpec, HostSetup, NeighborIndex, NodeId, PowerProfile, SimTime,
-    World, WorldConfig,
+    Backend, Battery, FaultPlan, FlowSet, FlowSpec, GatherFallback, HostSetup, NeighborIndex, NodeId,
+    PowerProfile, SimTime, World, WorldConfig,
 };
 use metrics::{PacketLedger, TimeSeries};
 use mobility::{MobilityModel, RandomWaypoint};
@@ -36,6 +36,11 @@ pub struct RunOptions {
     /// — are bit-identical either way; the toggle keeps the baseline
     /// runnable for equivalence tests and benchmarks.
     pub neighbor_index: NeighborIndex,
+    /// Grid-mode low-occupancy fallback policy (adaptive by default).
+    /// Another digest-neutral knob: all three settings produce identical
+    /// candidate lists, only the query path differs.  Ignored under
+    /// `NeighborIndex::Brute`.
+    pub gather_fallback: GatherFallback,
 }
 
 impl RunOptions {
@@ -48,6 +53,7 @@ impl RunOptions {
             faults: FaultPlan::none(),
             event_budget: None,
             neighbor_index: NeighborIndex::default(),
+            gather_fallback: GatherFallback::default(),
         }
     }
 
@@ -68,6 +74,11 @@ impl RunOptions {
 
     pub fn with_neighbor_index(mut self, neighbor_index: NeighborIndex) -> Self {
         self.neighbor_index = neighbor_index;
+        self
+    }
+
+    pub fn with_gather_fallback(mut self, gather_fallback: GatherFallback) -> Self {
+        self.gather_fallback = gather_fallback;
         self
     }
 }
@@ -201,7 +212,8 @@ pub fn run_scenario_probed(
         .with_backend(opts.backend)
         .with_faults(faults)
         .with_budget(budget)
-        .with_neighbor_index(opts.neighbor_index);
+        .with_neighbor_index(opts.neighbor_index)
+        .with_gather_fallback(opts.gather_fallback);
 
     match sc.protocol {
         ProtocolKind::Grid | ProtocolKind::Ecgrid => {

@@ -18,6 +18,7 @@
 pub mod backend;
 pub mod budget;
 pub mod calendar;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod sched;
@@ -26,6 +27,7 @@ pub mod time;
 pub use backend::{AnyQueue, Backend};
 pub use budget::{BudgetExceeded, RunBudget};
 pub use calendar::CalendarQueue;
+pub use pool::{EventPool, PoolStats};
 pub use queue::{EventQueue, PendingEvents};
 pub use rng::{derive_seed, RngFactory, SplitMix64};
 pub use sched::{EventHandle, Scheduler};

@@ -1,0 +1,208 @@
+//! Slab allocator for in-flight scheduler events.
+//!
+//! The pending-event set used to own its events by value, so every
+//! schedule/dispatch pair was a heap allocation and a free for any event
+//! type with a payload.  [`EventPool`] breaks that churn: events live in a
+//! slab of reusable slots and the queue orders bare `u32` slot indices.
+//! Freed slots go on a free list (LIFO, so the hottest slot is reused
+//! first while its cache lines are still warm) and the slab only grows
+//! when the live population exceeds everything seen before — which, per
+//! `SchedProfile`, plateaus at the run's queue high-water mark.
+//!
+//! Slot numbers carry **no ordering information**; FIFO tie-breaking
+//! remains entirely the queue's sequence numbers, so pooling is invisible
+//! to dispatch order (property-tested in `sched.rs` and the manet suite).
+
+/// Counters describing a pool's lifetime behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total slot allocations over the pool's lifetime.
+    pub allocated: u64,
+    /// Total slots returned.  `allocated == freed` once the queue drains.
+    pub freed: u64,
+    /// Currently live (allocated and not yet freed) slots.
+    pub live: usize,
+    /// High-water mark of simultaneously live slots.
+    pub high_water: usize,
+    /// Slab capacity (live + free-listed slots).
+    pub capacity: usize,
+}
+
+/// Free-list slab of event slots.  See the module docs.
+pub struct EventPool<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+    allocated: u64,
+    freed: u64,
+    high_water: usize,
+}
+
+impl<E> Default for EventPool<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventPool<E> {
+    pub fn new() -> Self {
+        EventPool {
+            slots: Vec::new(),
+            free: Vec::new(),
+            allocated: 0,
+            freed: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Grow the slab by `additional` free slots up front, so a run whose
+    /// high-water mark is known (e.g. from a previous `SchedProfile`)
+    /// never grows the slab mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        let start = self.slots.len();
+        let end = start
+            .checked_add(additional)
+            .filter(|&e| e <= u32::MAX as usize)
+            .expect("event pool exceeds u32 slot space");
+        self.slots.resize_with(end, || None);
+        // Push in reverse so the lowest new slot is handed out first.
+        self.free.extend((start as u32..end as u32).rev());
+    }
+
+    /// Store `event`, returning its slot index.
+    #[inline]
+    pub fn alloc(&mut self, event: E) -> u32 {
+        self.allocated += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none());
+                self.slots[s as usize] = Some(event);
+                s
+            }
+            None => {
+                let s = self.slots.len();
+                assert!(s <= u32::MAX as usize, "event pool exceeds u32 slot space");
+                self.slots.push(Some(event));
+                s as u32
+            }
+        };
+        let live = (self.allocated - self.freed) as usize;
+        if live > self.high_water {
+            self.high_water = live;
+        }
+        slot
+    }
+
+    /// Take the event out of `slot` and return the slot to the free list.
+    /// Panics on a double free — that is always a scheduler bug.
+    #[inline]
+    pub fn free(&mut self, slot: u32) -> E {
+        let ev = self.slots[slot as usize].take().expect("event pool double free");
+        self.freed += 1;
+        self.free.push(slot);
+        ev
+    }
+
+    /// Read an event in place without freeing its slot.
+    #[inline]
+    pub fn get(&self, slot: u32) -> Option<&E> {
+        self.slots.get(slot as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Currently live slots.
+    #[inline]
+    pub fn live(&self) -> usize {
+        (self.allocated - self.freed) as usize
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            allocated: self.allocated,
+            freed: self.freed,
+            live: self.live(),
+            high_water: self.high_water,
+            capacity: self.slots.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrips_events() {
+        let mut p = EventPool::new();
+        let a = p.alloc("a");
+        let b = p.alloc("b");
+        assert_ne!(a, b);
+        assert_eq!(p.free(a), "a");
+        assert_eq!(p.free(b), "b");
+        let s = p.stats();
+        assert_eq!(s.allocated, 2);
+        assert_eq!(s.freed, 2);
+        assert_eq!(s.live, 0);
+    }
+
+    #[test]
+    fn slots_are_reused_lifo() {
+        let mut p = EventPool::new();
+        let a = p.alloc(1);
+        let b = p.alloc(2);
+        p.free(a);
+        p.free(b);
+        // b was freed last, so it comes back first
+        assert_eq!(p.alloc(3), b);
+        assert_eq!(p.alloc(4), a);
+        assert_eq!(p.stats().capacity, 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_live() {
+        let mut p = EventPool::new();
+        let mut slots = Vec::new();
+        for i in 0..5 {
+            slots.push(p.alloc(i));
+        }
+        for s in slots.drain(..) {
+            p.free(s);
+        }
+        for i in 0..3 {
+            slots.push(p.alloc(i));
+        }
+        let s = p.stats();
+        assert_eq!(s.high_water, 5);
+        assert_eq!(s.live, 3);
+        assert_eq!(s.capacity, 5, "slab never grows past the high water");
+    }
+
+    #[test]
+    fn reserve_pre_grows_without_allocating() {
+        let mut p: EventPool<u64> = EventPool::new();
+        p.reserve(8);
+        assert_eq!(p.stats().capacity, 8);
+        assert_eq!(p.stats().live, 0);
+        // lowest slots are handed out first for locality
+        assert_eq!(p.alloc(0), 0);
+        assert_eq!(p.alloc(1), 1);
+        assert_eq!(p.stats().capacity, 8);
+    }
+
+    #[test]
+    fn get_reads_in_place() {
+        let mut p = EventPool::new();
+        let s = p.alloc(42);
+        assert_eq!(p.get(s), Some(&42));
+        p.free(s);
+        assert_eq!(p.get(s), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = EventPool::new();
+        let s = p.alloc(());
+        p.free(s);
+        p.free(s);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::backend::{AnyQueue, Backend};
 use crate::budget::{BudgetExceeded, RunBudget};
+use crate::pool::{EventPool, PoolStats};
 use crate::queue::PendingEvents;
 use crate::time::{SimDuration, SimTime};
 use std::collections::HashSet;
@@ -13,6 +14,12 @@ pub struct EventHandle(u64);
 
 /// A virtual clock driving a pending-event set, with O(1) lazy
 /// cancellation: cancelled sequence numbers are skipped at pop time.
+///
+/// Events are stored in an [`EventPool`] slab and the queue orders bare
+/// slot indices, so steady-state scheduling never touches the allocator:
+/// the slab plateaus at the run's pending-event high-water mark and slots
+/// recycle through a free list.  Ordering is untouched — FIFO tie-breaks
+/// come from the queue's own sequence numbers, never from slot numbers.
 ///
 /// ```
 /// use sim_engine::{Scheduler, SimDuration, SimTime};
@@ -27,7 +34,8 @@ pub struct EventHandle(u64);
 /// assert!(sched.next().is_none());
 /// ```
 pub struct Scheduler<E> {
-    queue: AnyQueue<E>,
+    queue: AnyQueue<u32>,
+    pool: EventPool<E>,
     cancelled: HashSet<u64>,
     now: SimTime,
     processed: u64,
@@ -52,6 +60,7 @@ impl<E> Scheduler<E> {
     pub fn with_backend(backend: Backend) -> Self {
         Scheduler {
             queue: AnyQueue::new(backend),
+            pool: EventPool::new(),
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             processed: 0,
@@ -104,6 +113,20 @@ impl<E> Scheduler<E> {
         self.max_pending
     }
 
+    /// Lifetime counters of the event slab.  `stats().live` always equals
+    /// [`Scheduler::pending`] — every queued slot index owns exactly one
+    /// pooled event, cancelled or not.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Pre-grow the event slab so a run with a known pending-event
+    /// high-water mark (e.g. from a prior `SchedProfile`) never grows it
+    /// mid-run.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.pool.reserve(additional);
+    }
+
     #[inline]
     fn note_depth(&mut self) {
         let d = self.queue.len();
@@ -121,7 +144,8 @@ impl<E> Scheduler<E> {
             at,
             self.now
         );
-        let h = EventHandle(self.queue.insert(at, event));
+        let slot = self.pool.alloc(event);
+        let h = EventHandle(self.queue.insert(at, slot));
         self.note_depth();
         h
     }
@@ -129,7 +153,8 @@ impl<E> Scheduler<E> {
     /// Schedule `event` after a relative delay.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventHandle {
         let at = self.now.checked_add(delay).expect("virtual time overflow");
-        let h = EventHandle(self.queue.insert(at, event));
+        let slot = self.pool.alloc(event);
+        let h = EventHandle(self.queue.insert(at, slot));
         self.note_depth();
         h
     }
@@ -146,7 +171,9 @@ impl<E> Scheduler<E> {
     /// mutates the clock).
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
-        while let Some((at, seq, ev)) = self.queue.pop_next() {
+        while let Some((at, seq, slot)) = self.queue.pop_next() {
+            // free the slot either way — cancelled events recycle here
+            let ev = self.pool.free(slot);
             if self.cancelled.remove(&seq) {
                 continue;
             }
@@ -162,8 +189,9 @@ impl<E> Scheduler<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // drop leading cancelled events so the peek is accurate
         while let Some(t) = self.queue.next_time() {
-            let (at, seq, ev) = self.queue.pop_next().unwrap();
+            let (at, seq, slot) = self.queue.pop_next().unwrap();
             if self.cancelled.remove(&seq) {
+                self.pool.free(slot);
                 continue;
             }
             // push back the live event; seq changes but ordering among
@@ -172,21 +200,23 @@ impl<E> Scheduler<E> {
             // To keep strict FIFO semantics we avoid this path in the hot
             // loop and only use peek for idle/termination checks.
             let _ = t;
-            self.requeue_front(at, seq, ev);
+            self.requeue_front(at, seq, slot);
             return Some(at);
         }
         None
     }
 
     // Reinsert an entry preserving its original sequence number ordering.
-    fn requeue_front(&mut self, at: SimTime, _orig_seq: u64, ev: E) {
+    // The event itself never leaves the pool — only its slot index cycles
+    // through the queue.
+    fn requeue_front(&mut self, at: SimTime, _orig_seq: u64, slot: u32) {
         // EventQueue has no keyed reinsert; emulate by inserting and
         // recording nothing: all entries at `at` inserted *after* this call
         // get larger seqs, so FIFO order relative to them is preserved.
         // Order relative to other entries already queued at the same
         // timestamp could in principle change, which is why `next()` never
         // uses this path.
-        self.queue.insert(at, ev);
+        self.queue.insert(at, slot);
     }
 
     /// Number of pending (possibly cancelled) events.
@@ -317,6 +347,88 @@ mod tests {
             s.check_budget(),
             Err(BudgetExceeded::Events { limit: 3, .. })
         ));
+    }
+
+    #[test]
+    fn pool_drains_with_no_leak() {
+        // Every allocation is eventually freed — including cancelled
+        // events (recycled at pop) and peeked events (requeued in place).
+        for backend in [Backend::Heap, Backend::Calendar] {
+            let mut s = Scheduler::with_backend(backend);
+            for i in 0..50u64 {
+                let h = s.schedule_at(SimTime::from_millis(i % 7), i);
+                if i % 3 == 0 {
+                    s.cancel(h);
+                }
+            }
+            s.peek_time();
+            while s.next().is_some() {}
+            let st = s.pool_stats();
+            assert_eq!(st.allocated, st.freed, "{backend:?}: leaked events");
+            assert_eq!(st.live, 0);
+            assert_eq!(s.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn pool_live_tracks_pending_and_high_water_tracks_max_pending() {
+        let mut s = Scheduler::new();
+        for i in 0..20 {
+            s.schedule_at(SimTime::from_secs(i), i);
+            assert_eq!(s.pool_stats().live, s.pending());
+        }
+        for _ in 0..5 {
+            s.next();
+            assert_eq!(s.pool_stats().live, s.pending());
+        }
+        assert_eq!(s.pool_stats().high_water, s.max_pending());
+        assert_eq!(s.pool_stats().high_water, 20);
+    }
+
+    #[test]
+    fn pooling_preserves_fifo_across_backends_with_cancels() {
+        // Slot indices get recycled aggressively (LIFO free list), so a
+        // mixed schedule/cancel/dispatch workload exercises slot reuse at
+        // shared timestamps; order must still be pure (time, seq).
+        let run = |backend: Backend| -> Vec<(SimTime, u32)> {
+            let mut s = Scheduler::with_backend(backend);
+            let mut out = Vec::new();
+            for round in 0..10u64 {
+                let base = round * 100;
+                let mut handles = Vec::new();
+                for i in 0..30u32 {
+                    let at = SimTime::from_millis(base + (i as u64 * 37) % 50);
+                    handles.push(s.schedule_at(at, round as u32 * 100 + i));
+                }
+                for (i, h) in handles.iter().enumerate() {
+                    if i % 5 == 4 {
+                        s.cancel(*h);
+                    }
+                }
+                while let Some(x) = s.next() {
+                    out.push(x);
+                }
+            }
+            assert_eq!(s.pool_stats().live, 0);
+            let st = s.pool_stats();
+            assert!(
+                st.capacity < st.allocated as usize,
+                "{backend:?}: draining between rounds must recycle slots"
+            );
+            out
+        };
+        assert_eq!(run(Backend::Heap), run(Backend::Calendar));
+    }
+
+    #[test]
+    fn reserved_slab_capacity_is_stable() {
+        let mut s = Scheduler::new();
+        s.reserve_events(16);
+        for i in 0..16 {
+            s.schedule_at(SimTime::from_secs(i), ());
+        }
+        while s.next().is_some() {}
+        assert_eq!(s.pool_stats().capacity, 16, "pre-sized slab must not grow");
     }
 
     #[test]
