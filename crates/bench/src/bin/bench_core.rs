@@ -12,7 +12,11 @@
 //!   scan vs bucketed transmissions;
 //! * `end_to_end` — the full simulator on the same constant-density
 //!   scenario under both `NeighborIndex` modes, with a digest-equality
-//!   check so the speedup is never bought with a behavior change.
+//!   check so the speedup is never bought with a behavior change;
+//! * the `parallel` column inside `end_to_end` — the same grid-mode
+//!   scenario on the sharded conservative-sync engine (4 strips), digest-
+//!   checked against the serial run; its win is per-shard channel
+//!   bookkeeping amortized to epoch barriers (DESIGN.md §12).
 //!
 //! ```sh
 //! cargo run --release -p ecgrid-bench --bin bench_core -- --quick --check --out BENCH_core.json
@@ -27,7 +31,8 @@
 
 use ecgrid_bench::core_scaling::{
     broadcast_round_brute, broadcast_round_grid, build_index, build_world, carrier_sense_round,
-    discovery_sweep, field_side, loaded_channel, placements, run_end_to_end, EndToEnd, QUICK_MAX_N, SCALES,
+    discovery_sweep, field_side, loaded_channel, placements, run_end_to_end_sharded, EndToEnd, QUICK_MAX_N,
+    SCALES,
 };
 use manet::NeighborIndex;
 use runner::write_atomic;
@@ -63,9 +68,13 @@ struct ScaleReport {
     cs_grid_ns: f64,
     e2e_brute_s: f64,
     e2e_grid_s: f64,
+    e2e_par_s: f64,
     e2e_events: u64,
     digest_match: bool,
 }
+
+/// Strip count of the parallel end-to-end column.
+const PAR_SHARDS: usize = 4;
 
 impl ScaleReport {
     fn rd_speedup(&self) -> f64 {
@@ -79,6 +88,10 @@ impl ScaleReport {
     }
     fn e2e_speedup(&self) -> f64 {
         self.e2e_brute_s / self.e2e_grid_s
+    }
+    /// Sharded engine vs the serial grid-mode run (same scenario).
+    fn par_speedup(&self) -> f64 {
+        self.e2e_grid_s / self.e2e_par_s
     }
 }
 
@@ -136,10 +149,12 @@ fn render_json(quick: bool, scales: &[ScaleReport]) -> String {
         );
         let _ = writeln!(
             s,
-            "      \"end_to_end\": {{\"brute_wall_s\": {}, \"grid_wall_s\": {}, \"speedup\": {}, \"events\": {}, \"digest_match\": {}}}",
+            "      \"end_to_end\": {{\"brute_wall_s\": {}, \"grid_wall_s\": {}, \"speedup\": {}, \"parallel_wall_s\": {}, \"parallel_shards\": {PAR_SHARDS}, \"parallel_speedup\": {}, \"events\": {}, \"digest_match\": {}}}",
             json_f(r.e2e_brute_s),
             json_f(r.e2e_grid_s),
             json_f(r.e2e_speedup()),
+            json_f(r.e2e_par_s),
+            json_f(r.par_speedup()),
             r.e2e_events,
             r.digest_match
         );
@@ -153,10 +168,17 @@ fn render_json(quick: bool, scales: &[ScaleReport]) -> String {
 /// Run the end-to-end scenario `reps` times and keep the fastest wall
 /// time (small-N runs are sub-second, where scheduler noise dominates).
 /// Digests must agree across repetitions — the runs are deterministic.
-fn e2e_best_of(reps: usize, n: usize, secs: f64, mode: NeighborIndex, seed: u64) -> EndToEnd {
-    let mut best = run_end_to_end(n, secs, mode, seed);
+fn e2e_best_of(
+    reps: usize,
+    n: usize,
+    secs: f64,
+    mode: NeighborIndex,
+    seed: u64,
+    shards: Option<usize>,
+) -> EndToEnd {
+    let mut best = run_end_to_end_sharded(n, secs, mode, seed, shards);
     for _ in 1..reps {
-        let r = run_end_to_end(n, secs, mode, seed);
+        let r = run_end_to_end_sharded(n, secs, mode, seed, shards);
         assert_eq!(r.digest, best.digest, "n={n}: nondeterministic end-to-end run");
         if r.wall_s < best.wall_s {
             best = r;
@@ -198,8 +220,14 @@ fn main() {
             _ if quick => 10.0,
             _ => 30.0,
         };
-        // short runs at small N additionally need best-of to beat noise
-        let e2e_reps = if n <= 200 { 5 } else { 1 };
+        // short runs at small N additionally need best-of to beat noise;
+        // the mid-ladder gets best-of-2 (single-digit-second runs still
+        // wobble a few percent under scheduler noise)
+        let e2e_reps = match n {
+            n if n <= 200 => 5,
+            n if n <= 1000 => 2,
+            _ => 1,
+        };
         eprintln!("bench_core: n={n} (field {:.0} m)", field_side(n));
         let pts = placements(n, seed);
         let idx = build_index(&pts, n);
@@ -223,9 +251,13 @@ fn main() {
         let (cs_grid_ns, cs_g) = time_ns(micro_reps, || carrier_sense_round(&fast, &pts));
         assert_eq!(cs_b, cs_g, "n={n}: carrier-sense verdicts diverged");
 
-        let brute = e2e_best_of(e2e_reps, n, e2e_secs, NeighborIndex::Brute, seed);
-        let grid = e2e_best_of(e2e_reps, n, e2e_secs, NeighborIndex::Grid, seed);
-        let digest_match = brute.digest == grid.digest && brute.events == grid.events;
+        let brute = e2e_best_of(e2e_reps, n, e2e_secs, NeighborIndex::Brute, seed, None);
+        let grid = e2e_best_of(e2e_reps, n, e2e_secs, NeighborIndex::Grid, seed, None);
+        let par = e2e_best_of(e2e_reps, n, e2e_secs, NeighborIndex::Grid, seed, Some(PAR_SHARDS));
+        let digest_match = brute.digest == grid.digest
+            && brute.events == grid.events
+            && par.digest == grid.digest
+            && par.events == grid.events;
         assert!(digest_match, "n={n}: end-to-end digests diverged across modes");
 
         let r = ScaleReport {
@@ -239,15 +271,17 @@ fn main() {
             cs_grid_ns,
             e2e_brute_s: brute.wall_s,
             e2e_grid_s: grid.wall_s,
+            e2e_par_s: par.wall_s,
             e2e_events: grid.events,
             digest_match,
         };
         eprintln!(
-            "  receiver discovery {:>6.2}x   geometry kernel {:>5.2}x   carrier sense {:>5.2}x   end-to-end {:>5.2}x ({} events)",
+            "  receiver discovery {:>6.2}x   geometry kernel {:>5.2}x   carrier sense {:>5.2}x   end-to-end {:>5.2}x   parallel {:>5.2}x ({} events)",
             r.rd_speedup(),
             r.gk_speedup(),
             r.cs_speedup(),
             r.e2e_speedup(),
+            r.par_speedup(),
             r.e2e_events
         );
         reports.push(r);
@@ -280,6 +314,16 @@ fn main() {
                     "n={}: grid end-to-end regressed to {:.2}x of brute (floor 0.95x)",
                     r.n,
                     r.e2e_speedup()
+                ));
+            }
+            // the sharded engine must at least break even once the
+            // population is large enough for its amortized bookkeeping to
+            // matter; below that the column is informational
+            if r.n >= 1000 && r.par_speedup() < 1.0 {
+                failures.push(format!(
+                    "n={}: sharded end-to-end regressed to {:.2}x of serial (floor 1.0x)",
+                    r.n,
+                    r.par_speedup()
                 ));
             }
         }

@@ -146,12 +146,27 @@ pub fn carrier_sense_round(ch: &ChannelState, points: &[Point2]) -> u64 {
 /// flows, digest-only tracing, mobility traces covering
 /// `duration_secs + 10`.
 pub fn build_world(n: usize, duration_secs: f64, mode: NeighborIndex, seed: u64) -> World<Ecgrid> {
+    build_world_sharded(n, duration_secs, mode, seed, None)
+}
+
+/// [`build_world`] on the sharded conservative-sync engine when `shards`
+/// is `Some(k)` (serial otherwise).  Digest-identical either way.
+pub fn build_world_sharded(
+    n: usize,
+    duration_secs: f64,
+    mode: NeighborIndex,
+    seed: u64,
+    shards: Option<usize>,
+) -> World<Ecgrid> {
     let side = field_side(n);
-    let cfg = WorldConfig {
+    let mut cfg = WorldConfig {
         grid: GridMap::new(side, side, 100.0),
         ..WorldConfig::paper_default(seed)
     }
     .with_neighbor_index(mode);
+    if let Some(k) = shards {
+        cfg = cfg.with_parallel_world(k);
+    }
     let end = SimTime::from_secs_f64(duration_secs);
     let horizon = end + sim_engine::SimDuration::from_secs(10);
     let rngs = RngFactory::new(seed);
@@ -211,7 +226,20 @@ pub struct EndToEnd {
 /// (n, seed, duration) runs are bit-identical across `mode`s — the
 /// caller should assert it.
 pub fn run_end_to_end(n: usize, duration_secs: f64, mode: NeighborIndex, seed: u64) -> EndToEnd {
-    let mut world = build_world(n, duration_secs, mode, seed);
+    run_end_to_end_sharded(n, duration_secs, mode, seed, None)
+}
+
+/// [`run_end_to_end`] on the sharded engine when `shards` is `Some(k)`.
+/// The digest must equal the serial run's — the bench caller asserts it,
+/// so the parallel column can never buy speed with a behavior change.
+pub fn run_end_to_end_sharded(
+    n: usize,
+    duration_secs: f64,
+    mode: NeighborIndex,
+    seed: u64,
+    shards: Option<usize>,
+) -> EndToEnd {
+    let mut world = build_world_sharded(n, duration_secs, mode, seed, shards);
     let end = SimTime::from_secs_f64(duration_secs);
     let start = Instant::now();
     world.run_until(end);
@@ -276,5 +304,8 @@ mod tests {
         assert_eq!(brute.digest, grid.digest);
         assert_eq!(brute.events, grid.events);
         assert!(grid.events > 1000, "the scenario must actually do work");
+        let sharded = run_end_to_end_sharded(50, 5.0, NeighborIndex::Grid, 3, Some(4));
+        assert_eq!(sharded.digest, grid.digest, "sharded engine diverged");
+        assert_eq!(sharded.events, grid.events);
     }
 }

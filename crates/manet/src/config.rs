@@ -56,6 +56,17 @@ pub struct WorldConfig {
     /// change (proven by `tests/soa_equivalence.rs`).  Ignored when
     /// `neighbor_index` is `Brute`.
     pub gather_fallback: GatherFallback,
+    /// Run the sharded conservative-sync engine: the field is split into
+    /// `shards` vertical strips of grid-cell columns, each with its own
+    /// event queue, event slab, and channel state, merged at every pop in
+    /// deterministic `(time, queue_seq, shard_id)` order.  Replays are
+    /// bit-identical to the serial engine (proven by
+    /// `tests/parallel_equivalence.rs`); the win is per-shard channel
+    /// bookkeeping amortized to epoch barriers.  See DESIGN.md §12.
+    pub parallel_world: bool,
+    /// Shard count for `parallel_world` (clamped to ≥ 1).  Ignored by the
+    /// serial engine.
+    pub shards: usize,
 }
 
 impl WorldConfig {
@@ -74,6 +85,8 @@ impl WorldConfig {
             budget: RunBudget::UNLIMITED,
             neighbor_index: NeighborIndex::default(),
             gather_fallback: GatherFallback::default(),
+            parallel_world: false,
+            shards: 1,
         }
     }
 
@@ -104,6 +117,14 @@ impl WorldConfig {
     /// Same configuration with an explicit gather-fallback policy.
     pub fn with_gather_fallback(mut self, gather_fallback: GatherFallback) -> Self {
         self.gather_fallback = gather_fallback;
+        self
+    }
+
+    /// Same configuration on the sharded conservative-sync engine with
+    /// `shards` strips (clamped to ≥ 1).
+    pub fn with_parallel_world(mut self, shards: usize) -> Self {
+        self.parallel_world = true;
+        self.shards = shards.max(1);
         self
     }
 }

@@ -14,17 +14,28 @@ use mobility::MobilityTrace;
 use radio::frame::FrameMeta;
 use radio::{
     auto_gather_threshold, ChannelState, FrameKind, GatherFallback, NeighborIndex, NodeId, PageSignal,
-    SpatialIndex,
+    ShardMap, ShardedChannel, SpatialIndex,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
-use sim_engine::{BudgetExceeded, EventHandle, RngFactory, Scheduler, SimDuration, SimTime};
+use sim_engine::{
+    BudgetExceeded, EventHandle, RngFactory, Scheduler, ShardedScheduler, SimDuration, SimTime,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use trace::{Event as TraceEvent, EventKind, FaultKind, Recorder, TraceDigest, TraceMode};
 
 /// How long ended transmissions are kept for collision back-checks.
 const CHANNEL_GC_GRACE: SimDuration = SimDuration(50_000_000); // 50 ms
+
+/// Epoch-barrier maintenance cadence of the sharded engine (sim time):
+/// per-shard channel gc runs when the merged clock crosses this stride,
+/// instead of twice per transmission like the serial channel.  Retaining
+/// ended transmissions longer is invisible to results — carrier-sense and
+/// collision checks filter candidates by time — so the cadence is purely
+/// a memory/scan-length trade (a quarter of the gc grace keeps per-shard
+/// in-flight lists within ~2x of the serial channel's).
+const SHARD_GC_STRIDE: SimDuration = SimDuration(CHANNEL_GC_GRACE.0 / 4);
 
 /// Interface queue depth (frames); the tail is dropped beyond this.
 const MAC_QUEUE_CAP: usize = 128;
@@ -122,6 +133,219 @@ struct Flight<M> {
     receivers: Vec<NodeId>,
 }
 
+/// The event engine behind the world: the historical serial scheduler, or
+/// the sharded conservative-sync engine (`--parallel-world`).  Every
+/// `schedule_*` call names a target shard; the serial arm ignores it, the
+/// sharded arm files the event in that shard's queue.  Dispatch order is
+/// identical either way — the sharded merge pops in global
+/// `(time, queue_seq, shard_id)` order, which `sim_engine::shard` proves
+/// equal to the single queue's `(time, seq)` order — so every handler,
+/// RNG draw, and trace emission replays bit-for-bit
+/// (`tests/parallel_equivalence.rs`).
+enum WorldSched {
+    Serial(Scheduler<Event>),
+    Sharded(ShardedScheduler<Event>),
+}
+
+impl WorldSched {
+    #[inline]
+    fn now(&self) -> SimTime {
+        match self {
+            WorldSched::Serial(s) => s.now(),
+            WorldSched::Sharded(s) => s.now(),
+        }
+    }
+
+    #[inline]
+    fn processed(&self) -> u64 {
+        match self {
+            WorldSched::Serial(s) => s.processed(),
+            WorldSched::Sharded(s) => s.processed(),
+        }
+    }
+
+    #[inline]
+    fn pending(&self) -> usize {
+        match self {
+            WorldSched::Serial(s) => s.pending(),
+            WorldSched::Sharded(s) => s.pending(),
+        }
+    }
+
+    #[inline]
+    fn check_budget(&self) -> Result<(), BudgetExceeded> {
+        match self {
+            WorldSched::Serial(s) => s.check_budget(),
+            WorldSched::Sharded(s) => s.check_budget(),
+        }
+    }
+
+    fn pool_stats(&self) -> sim_engine::PoolStats {
+        match self {
+            WorldSched::Serial(s) => s.pool_stats(),
+            WorldSched::Sharded(s) => s.pool_stats(),
+        }
+    }
+
+    fn reserve_events(&mut self, additional: usize) {
+        match self {
+            WorldSched::Serial(s) => s.reserve_events(additional),
+            WorldSched::Sharded(s) => s.reserve_events(additional),
+        }
+    }
+
+    #[inline]
+    fn schedule_at(&mut self, shard: usize, at: SimTime, ev: Event) -> EventHandle {
+        match self {
+            WorldSched::Serial(s) => s.schedule_at(at, ev),
+            WorldSched::Sharded(s) => s.schedule_at(shard, at, ev),
+        }
+    }
+
+    #[inline]
+    fn schedule_in(&mut self, shard: usize, delay: SimDuration, ev: Event) -> EventHandle {
+        match self {
+            WorldSched::Serial(s) => s.schedule_in(delay, ev),
+            WorldSched::Sharded(s) => s.schedule_in(shard, delay, ev),
+        }
+    }
+
+    #[inline]
+    fn cancel(&mut self, h: EventHandle) {
+        match self {
+            WorldSched::Serial(s) => s.cancel(h),
+            WorldSched::Sharded(s) => s.cancel(h),
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            WorldSched::Serial(s) => s.next(),
+            WorldSched::Sharded(s) => s.next(),
+        }
+    }
+}
+
+/// The channel behind the world: one global in-flight set (serial), or
+/// per-shard sets with boundary mirrors (`--parallel-world`).  Queries
+/// name the shard they are issued from; the serial arm ignores it.
+enum WorldChannel {
+    Serial(ChannelState),
+    Sharded(ShardedChannel),
+}
+
+impl WorldChannel {
+    #[inline]
+    fn busy_until(&self, shard: usize, p: Point2, at: SimTime) -> Option<SimTime> {
+        match self {
+            WorldChannel::Serial(c) => c.busy_until(p, at),
+            WorldChannel::Sharded(c) => c.busy_until(shard, p, at),
+        }
+    }
+
+    #[inline]
+    fn begin_tx(&mut self, shard: usize, src: NodeId, origin: Point2, start: SimTime, end: SimTime) -> u64 {
+        match self {
+            WorldChannel::Serial(c) => c.begin_tx(src, origin, start, end),
+            WorldChannel::Sharded(c) => c.begin_tx(shard, src, origin, start, end),
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn corrupted(
+        &self,
+        shard: usize,
+        tx_id: u64,
+        src_origin: Point2,
+        receiver: Point2,
+        start: SimTime,
+        end: SimTime,
+    ) -> bool {
+        match self {
+            WorldChannel::Serial(c) => c.corrupted(tx_id, src_origin, receiver, start, end),
+            WorldChannel::Sharded(c) => c.corrupted(shard, tx_id, src_origin, receiver, start, end),
+        }
+    }
+
+    #[inline]
+    fn reaches(&self, origin: Point2, p: Point2) -> bool {
+        match self {
+            WorldChannel::Serial(c) => c.reaches(origin, p),
+            WorldChannel::Sharded(c) => c.reaches(origin, p),
+        }
+    }
+
+    /// The serial channel's historical per-transmission gc.  The sharded
+    /// channel skips it — ended entries are pruned at epoch barriers
+    /// instead, which is invisible to query results (both `busy_until`
+    /// and `corrupted` filter candidates by time, so entries retained
+    /// longer never change an answer) but removes the dominant
+    /// per-transmission cost at scale: the gc's index rebuild.
+    #[inline]
+    fn gc_tx_path(&mut self, before: SimTime) {
+        match self {
+            WorldChannel::Serial(c) => c.gc_before(before),
+            WorldChannel::Sharded(_) => {}
+        }
+    }
+
+    /// Epoch-barrier maintenance: prune every shard channel.
+    fn gc_barrier(&mut self, before: SimTime) {
+        match self {
+            WorldChannel::Serial(c) => c.gc_before(before),
+            WorldChannel::Sharded(c) => c.gc_before(before),
+        }
+    }
+
+    /// Lifetime boundary-mirror insertions (0 for the serial channel).
+    fn mirrored(&self) -> u64 {
+        match self {
+            WorldChannel::Serial(_) => 0,
+            WorldChannel::Sharded(c) => c.mirrored(),
+        }
+    }
+}
+
+/// Shard bookkeeping of a parallel world: the strip partition, per-shard
+/// host membership, and barrier/migration counters.  Ownership of a host
+/// is a *function* of its maintained grid cell (`ShardMap::shard_of_col`)
+/// plus these membership counts — the SoA columns stay dense and
+/// id-indexed, because every hot loop (receiver gather, energy folds)
+/// iterates them in ascending-id order, and physically splitting the
+/// columns per shard would force a K-way merge on exactly those loops.
+/// Migration between shards is therefore O(1): a counter move when a
+/// cell-crossing event lands in a different strip.
+struct ShardRuntime {
+    map: ShardMap,
+    /// Live (not dead-handled) hosts per shard.
+    members: Vec<u32>,
+    /// Conservative lookahead bounding an epoch: the smallest interval
+    /// the MAC or RAS can react across (min of SIFS, slot, DIFS, and the
+    /// RAS wake latency).  Barrier maintenance runs every
+    /// `max(lookahead, SHARD_GC_STRIDE)` of virtual time.
+    stride: SimDuration,
+    next_gc: SimTime,
+    migrations: u64,
+    barriers: u64,
+}
+
+/// Diagnostic counters of a parallel world (see [`World::shard_stats`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard count K.
+    pub shards: usize,
+    /// Live hosts currently owned by each shard.
+    pub members: Vec<u32>,
+    /// Cell crossings that moved a host between shards.
+    pub migrations: u64,
+    /// Epoch barriers taken (gc maintenance points).
+    pub barriers: u64,
+    /// Boundary transmissions mirrored into neighbor shards.
+    pub mirrored_tx: u64,
+}
+
 /// Host state in struct-of-arrays layout: one dense parallel array per
 /// field, indexed by `NodeId`.  The hot loops — receiver gather, the
 /// brute candidate scan, energy ticks, the alive/aen folds — each touch
@@ -216,8 +440,10 @@ pub struct RunOutput {
 pub struct World<P: Protocol> {
     cfg: WorldConfig,
     hosts: Hosts<P>,
-    sched: Scheduler<Event>,
-    channel: ChannelState,
+    sched: WorldSched,
+    channel: WorldChannel,
+    /// `Some` iff running the sharded conservative-sync engine.
+    shards: Option<ShardRuntime>,
     flights: HashMap<u64, Flight<P::Msg>>,
     flows: traffic::FlowSet,
     ledger: PacketLedger,
@@ -271,20 +497,38 @@ impl<P: Protocol> World<P> {
         assert!(!hosts.is_empty(), "a world needs hosts");
         let rngs = RngFactory::new(cfg.seed);
         let n_hosts = hosts.len();
-        let mut channel = ChannelState::new(cfg.range_m);
-        channel.set_capture_ratio(cfg.capture_ratio);
         let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
-        if cfg.neighbor_index == NeighborIndex::Grid && n_hosts > auto_gather_threshold(reach_cells) {
-            // Bucketed carrier-sense/interference queries ride the same
-            // toggle as receiver discovery, so `brute` really is the
-            // end-to-end baseline.  Small populations skip the bucket
-            // structure entirely: their in-flight set is small enough that
-            // the channel's own linear-scan cutoff would ignore the
-            // buckets anyway, leaving per-transmission maintenance as pure
-            // overhead (the historical N ≤ 200 regression).  Presence or
-            // absence of the index never changes a verdict, only its cost.
-            channel.enable_spatial(cfg.grid.width(), cfg.grid.height());
-        }
+        // Bucketed carrier-sense/interference queries ride the same
+        // toggle as receiver discovery, so `brute` really is the
+        // end-to-end baseline.  Small populations skip the bucket
+        // structure entirely: their in-flight set is small enough that
+        // the channel's own linear-scan cutoff would ignore the
+        // buckets anyway, leaving per-transmission maintenance as pure
+        // overhead (the historical N ≤ 200 regression).  Presence or
+        // absence of the index never changes a verdict, only its cost.
+        let channel_spatial =
+            cfg.neighbor_index == NeighborIndex::Grid && n_hosts > auto_gather_threshold(reach_cells);
+        let channel = if cfg.parallel_world {
+            let map = ShardMap::new(
+                cfg.grid.cells_x().max(1) as usize,
+                cfg.grid.cell_side(),
+                cfg.grid.width(),
+                cfg.shards.max(1),
+            );
+            let mut ch = ShardedChannel::new(cfg.range_m, map);
+            ch.set_capture_ratio(cfg.capture_ratio);
+            if channel_spatial {
+                ch.enable_spatial(cfg.grid.width(), cfg.grid.height());
+            }
+            WorldChannel::Sharded(ch)
+        } else {
+            let mut ch = ChannelState::new(cfg.range_m);
+            ch.set_capture_ratio(cfg.capture_ratio);
+            if channel_spatial {
+                ch.enable_spatial(cfg.grid.width(), cfg.grid.height());
+            }
+            WorldChannel::Serial(ch)
+        };
         // Buckets coincide with the paper's logical grid cells: the
         // per-node cell is already maintained by cell-crossing events, so
         // index maintenance is free — and candidate sets are identical to
@@ -307,20 +551,62 @@ impl<P: Protocol> World<P> {
             let meter = EnergyMeter::new(h.profile, battery);
             soa.push(factory(id), meter, h.trace, cell, rngs.stream("node", i as u64));
         }
-        let backend = cfg.backend;
-        let mut sched = Scheduler::with_backend(backend);
-        sched.set_budget(cfg.budget);
         // Pre-size the event slab to the measured shape of paper-scale
         // runs: SchedProfile high-water marks sit near 2 pending events
         // per host (cell crossing + one MAC/timer each) plus flow and
         // bookkeeping heads.  4n + 64 covers every profiled scenario with
         // slack; the slab still grows on demand if a run out-paces it.
+        // (The sharded engine reserves that much *per shard* — any one
+        // shard can transiently hold most of the pending set.)
+        let mut sched = if cfg.parallel_world {
+            // The backend knob is inert here: shard queues are binary
+            // heaps keyed (time, global_seq).  Dispatch order is the same
+            // contract either backend honors, so nothing observable
+            // depends on the difference.
+            let mut s = ShardedScheduler::new(cfg.shards.max(1));
+            s.set_budget(cfg.budget);
+            WorldSched::Sharded(s)
+        } else {
+            let mut s = Scheduler::with_backend(cfg.backend);
+            s.set_budget(cfg.budget);
+            WorldSched::Serial(s)
+        };
         sched.reserve_events(4 * n_hosts + 64);
+        let shards = if cfg.parallel_world {
+            let map = ShardMap::new(
+                cfg.grid.cells_x().max(1) as usize,
+                cfg.grid.cell_side(),
+                cfg.grid.width(),
+                cfg.shards.max(1),
+            );
+            let mut members = vec![0u32; map.shard_count()];
+            for c in &soa.cells {
+                members[map.shard_of_col(c.x)] += 1;
+            }
+            let lookahead = cfg
+                .mac
+                .sifs
+                .min(cfg.mac.slot)
+                .min(cfg.mac.difs)
+                .min(cfg.ras.wake_latency);
+            let stride = lookahead.max(SHARD_GC_STRIDE);
+            Some(ShardRuntime {
+                map,
+                members,
+                stride,
+                next_gc: SimTime::ZERO + stride,
+                migrations: 0,
+                barriers: 0,
+            })
+        } else {
+            None
+        };
         World {
             cfg,
             hosts: soa,
             sched,
             channel,
+            shards,
             flights: HashMap::new(),
             flows,
             ledger: PacketLedger::new(),
@@ -476,9 +762,37 @@ impl<P: Protocol> World<P> {
     }
 
     /// Lifetime counters of the scheduler's event slab (see
-    /// [`sim_engine::EventPool`]).
+    /// [`sim_engine::EventPool`]).  Under `--parallel-world` these are
+    /// aggregated across shards — summed books plus the *global* live
+    /// high-water mark — so invariants like "allocated = freed + live"
+    /// and "high water = profile queue depth + 1" hold in both modes
+    /// (pinned by `crates/manet/tests/event_pool.rs`).
     pub fn event_pool_stats(&self) -> sim_engine::PoolStats {
         self.sched.pool_stats()
+    }
+
+    /// Shard and migration counters of a parallel world; `None` on the
+    /// serial engine.
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        self.shards.as_ref().map(|sr| ShardStats {
+            shards: sr.map.shard_count(),
+            members: sr.members.clone(),
+            migrations: sr.migrations,
+            barriers: sr.barriers,
+            mirrored_tx: self.channel.mirrored(),
+        })
+    }
+
+    /// The shard whose strip owns `node`'s maintained grid cell (always 0
+    /// on the serial engine).  Every event concerning a node is filed in
+    /// its owning shard's queue; which shard that is never affects
+    /// dispatch order (the merge key is global), only storage locality.
+    #[inline]
+    fn shard_of_node(&self, node: NodeId) -> usize {
+        match &self.shards {
+            Some(sr) => sr.map.shard_of_col(self.hosts.cells[node.index()].x),
+            None => 0,
+        }
     }
 
     /// Immutable protocol access (tests, examples, result extraction).
@@ -596,7 +910,8 @@ impl<P: Protocol> World<P> {
             self.started = true;
             self.bootstrap();
         }
-        self.sched.schedule_at(end.max(self.sched.now()), Event::EndOfRun);
+        self.sched
+            .schedule_at(0, end.max(self.sched.now()), Event::EndOfRun);
         // tripwire against zero-delay event cycles: no sane configuration
         // processes millions of events within one virtual nanosecond
         let mut last_t = SimTime::MAX;
@@ -637,6 +952,20 @@ impl<P: Protocol> World<P> {
                 prof.bump(ev.domain());
                 prof.observe_depth(depth);
             }
+            // Epoch barrier of the sharded engine: when the merged clock
+            // crosses the stride, prune every shard channel of entries
+            // older than the collision-back-check grace.  Timing of the
+            // prune is invisible to results (queries filter by time);
+            // amortizing it here is where the parallel speedup lives.
+            if let Some(sr) = &mut self.shards {
+                if t >= sr.next_gc {
+                    if t > SimTime::ZERO + CHANNEL_GC_GRACE {
+                        self.channel.gc_barrier(t - CHANNEL_GC_GRACE);
+                    }
+                    sr.barriers += 1;
+                    sr.next_gc = t + sr.stride;
+                }
+            }
             match ev {
                 Event::EndOfRun => break,
                 other => self.handle(other),
@@ -661,18 +990,24 @@ impl<P: Protocol> World<P> {
 
     fn bootstrap(&mut self) {
         // initial metric sample at t=0, then periodic
-        self.sched.schedule_at(SimTime::ZERO, Event::Sample);
+        self.sched.schedule_at(0, SimTime::ZERO, Event::Sample);
         // first grid crossing per node
         for i in 0..self.hosts.len() {
             let id = NodeId(i as u32);
             if let Some((t, _)) = self.hosts.traces[i].next_cell_crossing(&self.cfg.grid, SimTime::ZERO) {
-                self.sched.schedule_at(t, Event::CellCrossing { node: id });
+                let sh = self.shard_of_node(id);
+                self.sched.schedule_at(sh, t, Event::CellCrossing { node: id });
             }
         }
-        // traffic
+        // traffic (flow events live with the flow's source host)
         for (idx, f) in self.flows.flows().iter().enumerate() {
             if let Some(t) = f.packet_time(0) {
+                let sh = match &self.shards {
+                    Some(sr) => sr.map.shard_of_col(self.hosts.cells[f.src.index()].x),
+                    None => 0,
+                };
                 self.sched.schedule_at(
+                    sh,
                     t,
                     Event::AppSend {
                         flow_idx: idx,
@@ -686,13 +1021,20 @@ impl<P: Protocol> World<P> {
         if self.fault.is_active() {
             for i in 0..self.hosts.len() {
                 let node = NodeId(i as u32);
+                let sh = self.shard_of_node(node);
                 if let Some(gap) = self.fault.crash_gap_secs(node.0, 0) {
-                    self.sched
-                        .schedule_in(SimDuration::from_secs_f64(gap), Event::FaultCrash { node, k: 0 });
+                    self.sched.schedule_in(
+                        sh,
+                        SimDuration::from_secs_f64(gap),
+                        Event::FaultCrash { node, k: 0 },
+                    );
                 }
                 if let Some(gap) = self.fault.drain_gap_secs(node.0, 0) {
-                    self.sched
-                        .schedule_in(SimDuration::from_secs_f64(gap), Event::FaultDrain { node, k: 0 });
+                    self.sched.schedule_in(
+                        sh,
+                        SimDuration::from_secs_f64(gap),
+                        Event::FaultDrain { node, k: 0 },
+                    );
                 }
             }
         }
@@ -758,7 +1100,9 @@ impl<P: Protocol> World<P> {
             node,
             fault: FaultKind::Crash,
         });
+        let sh = self.shard_of_node(node);
         self.sched.schedule_in(
+            sh,
             SimDuration::from_secs_f64(self.fault.rejoin_secs()),
             Event::FaultRejoin { node, k: k + 1 },
         );
@@ -782,8 +1126,9 @@ impl<P: Protocol> World<P> {
         self.hosts.protos[node.index()] = (self.factory)(node);
         self.dispatch(node, |p, ctx| p.on_start(ctx));
         if let Some(gap) = self.fault.crash_gap_secs(node.0, k) {
+            let sh = self.shard_of_node(node);
             self.sched
-                .schedule_in(SimDuration::from_secs_f64(gap), Event::FaultCrash { node, k });
+                .schedule_in(sh, SimDuration::from_secs_f64(gap), Event::FaultCrash { node, k });
         }
     }
 
@@ -808,7 +1153,9 @@ impl<P: Protocol> World<P> {
             self.touch(node); // a deep drain can be fatal on the spot
         }
         if let Some(gap) = self.fault.drain_gap_secs(node.0, k + 1) {
+            let sh = self.shard_of_node(node);
             self.sched.schedule_in(
+                sh,
                 SimDuration::from_secs_f64(gap),
                 Event::FaultDrain { node, k: k + 1 },
             );
@@ -849,6 +1196,9 @@ impl<P: Protocol> World<P> {
             // filtering on the same `dead_handled` flag.
             self.index.remove(node.0);
             self.stats.deaths += 1;
+            if let Some(sr) = &mut self.shards {
+                sr.members[sr.map.shard_of_col(self.hosts.cells[i].x)] -= 1;
+            }
         }
         if let Some((from, to)) = level_change {
             self.emit(|| EventKind::BatteryLevel { node, from, to });
@@ -934,7 +1284,9 @@ impl<P: Protocol> World<P> {
                     });
                     let latency = self.cfg.ras.wake_latency
                         + SimDuration::from_nanos(self.fault.page_extra_delay_ns(node.0, now.as_nanos()));
+                    let sh = self.shard_of_node(node);
                     self.sched.schedule_in(
+                        sh,
                         latency,
                         Event::Page {
                             signal: PageSignal::Host(id),
@@ -951,7 +1303,9 @@ impl<P: Protocol> World<P> {
                     });
                     let latency = self.cfg.ras.wake_latency
                         + SimDuration::from_nanos(self.fault.page_extra_delay_ns(node.0, now.as_nanos()));
+                    let sh = self.shard_of_node(node);
                     self.sched.schedule_in(
+                        sh,
                         latency,
                         Event::Page {
                             signal: PageSignal::Grid(cell),
@@ -960,7 +1314,8 @@ impl<P: Protocol> World<P> {
                     );
                 }
                 Cmd::SetTimer { id, delay, timer } => {
-                    let handle = self.sched.schedule_in(delay, Event::Timer { node, id: id.0 });
+                    let sh = self.shard_of_node(node);
+                    let handle = self.sched.schedule_in(sh, delay, Event::Timer { node, id: id.0 });
                     self.timers.insert(id.0, (node, timer, handle));
                 }
                 Cmd::CancelTimer(TimerId(id)) => {
@@ -1093,7 +1448,8 @@ impl<P: Protocol> World<P> {
             self.hosts.macs[i].phase = MacPhase::WaitTry;
             let slots = self.hosts.rngs[i].gen_range(0..=cw);
             let delay = self.cfg.mac.difs + self.cfg.mac.backoff(slots);
-            self.sched.schedule_in(delay, Event::MacTryTx { node });
+            let sh = self.shard_of_node(node);
+            self.sched.schedule_in(sh, delay, Event::MacTryTx { node });
         }
     }
 
@@ -1115,15 +1471,16 @@ impl<P: Protocol> World<P> {
             return;
         }
         if now > SimTime::ZERO + CHANNEL_GC_GRACE {
-            self.channel.gc_before(now - CHANNEL_GC_GRACE);
+            self.channel.gc_tx_path(now - CHANNEL_GC_GRACE);
         }
+        let sh = self.shard_of_node(node);
         let pos = self.hosts.traces[i].position_at(now);
-        if let Some(busy_end) = self.channel.busy_until(pos, now) {
+        if let Some(busy_end) = self.channel.busy_until(sh, pos, now) {
             // deferral: re-sense after the medium frees plus DIFS + backoff
             let cw = self.head_cw(node);
             let slots = self.hosts.rngs[i].gen_range(0..=cw);
             let at = busy_end + self.cfg.mac.difs + self.cfg.mac.backoff(slots);
-            self.sched.schedule_at(at.max(now), Event::MacTryTx { node });
+            self.sched.schedule_at(sh, at.max(now), Event::MacTryTx { node });
             return;
         }
         // medium idle: transmit the head-of-queue frame
@@ -1138,7 +1495,7 @@ impl<P: Protocol> World<P> {
         };
         let dur = self.cfg.mac.airtime(&meta);
         let end = now + dur;
-        let tx_id = self.channel.begin_tx(node, pos, now, end);
+        let tx_id = self.channel.begin_tx(sh, node, pos, now, end);
 
         // freeze the receiver set: alive, transceiver on, not transmitting,
         // within range at tx start.  Candidates come from the reusable
@@ -1197,7 +1554,7 @@ impl<P: Protocol> World<P> {
                 receivers,
             },
         );
-        self.sched.schedule_at(end, Event::TxEnd { node, tx_id });
+        self.sched.schedule_at(sh, end, Event::TxEnd { node, tx_id });
     }
 
     fn tx_end(&mut self, node: NodeId, tx_id: u64) {
@@ -1234,9 +1591,10 @@ impl<P: Protocol> World<P> {
             }
             let pr = self.hosts.traces[j].position_at(now);
             let src_pos = self.hosts.traces[flight.src.index()].position_at(flight.start);
+            let rsh = self.shard_of_node(r);
             if self
                 .channel
-                .corrupted(tx_id, src_pos, pr, flight.start, flight.end)
+                .corrupted(rsh, tx_id, src_pos, pr, flight.start, flight.end)
             {
                 self.stats.corrupted += 1;
                 let from = flight.src;
@@ -1308,7 +1666,8 @@ impl<P: Protocol> World<P> {
                     } else {
                         self.cfg.mac.ack_timeout()
                     };
-                    self.sched.schedule_in(delay, Event::AckDone { node, ok });
+                    let sh = self.shard_of_node(node);
+                    self.sched.schedule_in(sh, delay, Event::AckDone { node, ok });
                 }
             }
         }
@@ -1319,7 +1678,7 @@ impl<P: Protocol> World<P> {
         recv.clear();
         self.recv_pool.push(recv);
         if now > SimTime::ZERO + CHANNEL_GC_GRACE {
-            self.channel.gc_before(now - CHANNEL_GC_GRACE);
+            self.channel.gc_tx_path(now - CHANNEL_GC_GRACE);
         }
     }
 
@@ -1363,7 +1722,8 @@ impl<P: Protocol> World<P> {
             let slots = self.hosts.rngs[i].gen_range(0..=cw);
             let delay = self.cfg.mac.difs + self.cfg.mac.backoff(slots);
             self.hosts.macs[i].phase = MacPhase::WaitTry;
-            self.sched.schedule_in(delay, Event::MacTryTx { node });
+            let sh = self.shard_of_node(node);
+            self.sched.schedule_in(sh, delay, Event::MacTryTx { node });
         }
     }
 
@@ -1448,7 +1808,9 @@ impl<P: Protocol> World<P> {
         // skipped distance is 10 µm — far below any physical relevance).
         let from = now + SimDuration::from_micros(1);
         if let Some((t, _)) = self.hosts.traces[i].next_cell_crossing(&self.cfg.grid, from) {
-            self.sched.schedule_at(t.max(from), Event::CellCrossing { node });
+            let sh = self.shard_of_node(node);
+            self.sched
+                .schedule_at(sh, t.max(from), Event::CellCrossing { node });
         }
         if !self.touch(node) {
             return;
@@ -1462,6 +1824,18 @@ impl<P: Protocol> World<P> {
         // O(1) bucket move (slot-tracked), not a linear rescan of the old
         // cell's occupant list
         self.index.move_to(node.0, new.x, new.y);
+        // shard ownership is a function of the maintained cell, so a
+        // crossing into another strip is the whole migration: two counter
+        // moves, no column shuffling
+        if let Some(sr) = &mut self.shards {
+            let os = sr.map.shard_of_col(old.x);
+            let ns = sr.map.shard_of_col(new.x);
+            if os != ns {
+                sr.members[os] -= 1;
+                sr.members[ns] += 1;
+                sr.migrations += 1;
+            }
+        }
         self.stats.cell_crossings += 1;
         self.emit(|| EventKind::CellChange {
             node,
@@ -1479,7 +1853,12 @@ impl<P: Protocol> World<P> {
         let flow = self.flows.flows()[flow_idx];
         // schedule the next packet of this flow
         if let Some(t) = flow.packet_time(seq + 1) {
+            let sh = match &self.shards {
+                Some(sr) => sr.map.shard_of_col(self.hosts.cells[flow.src.index()].x),
+                None => 0,
+            };
             self.sched.schedule_at(
+                sh,
                 t,
                 Event::AppSend {
                     flow_idx,
@@ -1521,6 +1900,6 @@ impl<P: Protocol> World<P> {
         let aen = self.aen();
         self.alive_series.push(t, alive);
         self.aen_series.push(t, aen);
-        self.sched.schedule_in(self.cfg.sample_every, Event::Sample);
+        self.sched.schedule_in(0, self.cfg.sample_every, Event::Sample);
     }
 }

@@ -15,6 +15,10 @@ const HORIZON: SimTime = SimTime(200_000_000_000); // 200 s
 /// A busy little world: movers, CBR traffic, timers — enough churn that
 /// the slab recycles slots many times over.
 fn busy_world(backend: Backend) -> World<Probe> {
+    busy_world_sharded(backend, None)
+}
+
+fn busy_world_sharded(backend: Backend, shards: Option<usize>) -> World<Probe> {
     let n = 20;
     let rngs = RngFactory::new(5);
     let model = RandomWaypoint::paper(2.0, 0.0);
@@ -31,7 +35,10 @@ fn busy_world(backend: Backend) -> World<Probe> {
         stagger: true,
     };
     let flows = FlowSet::random(&mut rngs.stream("traffic", 0), &ids, &spec);
-    let cfg = WorldConfig::paper_default(5).with_backend(backend);
+    let mut cfg = WorldConfig::paper_default(5).with_backend(backend);
+    if let Some(k) = shards {
+        cfg = cfg.with_parallel_world(k);
+    }
     let mut w = World::new(cfg, hosts, flows, |_| {
         Probe::new(ProbeCfg {
             timer_at_start: Some((0.5, 1)),
@@ -113,4 +120,39 @@ fn reserved_slab_never_grows_on_a_paper_scale_run() {
         "slab grew mid-run past its reservation: {after:?}"
     );
     assert!(after.high_water <= before, "{after:?}");
+}
+
+#[test]
+fn pool_invariants_hold_across_shard_counts() {
+    // The sharded engine keeps one slab per strip but reports aggregated
+    // books and a *globally* tracked high-water mark — so every invariant
+    // the serial tests pin must survive K > 1 unchanged: the high water
+    // agrees with the profiled queue depth, the books balance, no slab
+    // grows mid-run, and (the whole point) the digest matches serial.
+    let mut serial = busy_world(Backend::Heap);
+    serial.run_until(SimTime::from_secs(100));
+    let want = serial.event_pool_stats();
+    let want_digest = serial.take_recorder().unwrap().digest();
+    for k in [2, 4, 7] {
+        let mut w = busy_world_sharded(Backend::Heap, Some(k));
+        let before = w.event_pool_stats().capacity;
+        w.run_until(SimTime::from_secs(100));
+        let pool = w.event_pool_stats();
+        let rec = w.take_recorder().unwrap();
+        let prof = rec.profile();
+        assert_eq!(
+            pool.high_water,
+            prof.max_queue_depth + 1,
+            "K={k}: aggregated high water disagrees with the profiled depth: {pool:?}"
+        );
+        assert_eq!(pool.allocated, pool.freed + pool.live as u64, "K={k}: {pool:?}");
+        assert_eq!(
+            pool.capacity, before,
+            "K={k}: a shard slab grew mid-run: {pool:?}"
+        );
+        // same dispatch order, same alloc/free sequence, same totals
+        assert_eq!(pool.allocated, want.allocated, "K={k}");
+        assert_eq!(pool.high_water, want.high_water, "K={k}");
+        assert_eq!(rec.digest(), want_digest, "K={k}: sharded run diverged");
+    }
 }

@@ -1,0 +1,163 @@
+//! Shard-boundary behavior of the sharded conservative-sync engine,
+//! probed at framework level (the radio-crate unit tests cover the raw
+//! channel mirrors; here the whole World is in the loop).
+//!
+//! The hazards live exactly *on* the strip edges: a transmitter sitting
+//! on the boundary between two strips must be heard by the same
+//! ascending-id receiver set whichever engine runs the world, and a host
+//! whose trace crosses a boundary must migrate shards without its events
+//! reordering.  Same boundary-sitter discipline as `tests/spatial_index.rs`.
+
+use manet::testkit::{Probe, ProbeCfg};
+use manet::trace::TraceMode;
+use manet::{FlowSet, HostSetup, NodeId, SimDuration, SimTime, World, WorldConfig};
+use mobility::{MobilityTrace, Segment};
+use traffic::{CbrFlow, FlowId};
+
+const HORIZON: SimTime = SimTime(3_000_000_000_000); // 3000 s
+
+fn fixed(x: f64, y: f64) -> HostSetup {
+    HostSetup::paper(MobilityTrace::stationary(geo::Point2::new(x, y), HORIZON))
+}
+
+fn boundary_world(shards: Option<usize>) -> World<Probe> {
+    // Transmitter 0 sits exactly on x = 500 — the strip boundary for
+    // K = 2 (cols 0–4 | 5–9) and an interior edge for K = 4 and 7.
+    // Receivers bracket the boundary, including two *exactly* at the
+    // 250 m range limit on either side (within_range is inclusive, so
+    // both must hear — dropping a boundary sitter in only one engine
+    // would change the receiver set and the digest).
+    let hosts = vec![
+        fixed(500.0, 500.0), // transmitter, on the boundary
+        fixed(250.0, 500.0), // exactly at range, west strip
+        fixed(750.0, 500.0), // exactly at range, east strip
+        fixed(499.0, 500.0), // just west of the boundary
+        fixed(501.0, 500.0), // just east of the boundary
+        fixed(500.0, 260.0), // north of the transmitter, on the x-boundary
+        fixed(950.0, 500.0), // out of range: must stay silent
+    ];
+    let mut cfgs = vec![ProbeCfg::default(); hosts.len()];
+    cfgs[0] = ProbeCfg {
+        broadcast_at_start: Some((7, 64)),
+        ..Default::default()
+    };
+    let mut cfg = WorldConfig::paper_default(42);
+    if let Some(k) = shards {
+        cfg = cfg.with_parallel_world(k);
+    }
+    let mut w = World::new(cfg, hosts, FlowSet::default(), move |id| {
+        Probe::new(cfgs[id.index()].clone())
+    });
+    w.enable_trace(TraceMode::DigestOnly);
+    w
+}
+
+#[test]
+fn boundary_transmitter_reaches_the_same_receivers_in_both_engines() {
+    let mut serial = boundary_world(None);
+    serial.run_until(SimTime::from_secs(1));
+    let heard_by = |w: &World<Probe>| -> Vec<u32> {
+        (1..7u32)
+            .filter(|&i| !w.protocol(NodeId(i)).heard.is_empty())
+            .collect()
+    };
+    let want = heard_by(&serial);
+    assert_eq!(
+        want,
+        vec![1, 2, 3, 4, 5],
+        "the boundary sitters at exactly 250 m must be included"
+    );
+    let serial_digest = serial.take_recorder().unwrap().digest();
+    for k in [2, 4, 7] {
+        let mut w = boundary_world(Some(k));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            heard_by(&w),
+            want,
+            "K={k}: receiver set drifted for a boundary transmitter"
+        );
+        let stats = w.shard_stats().expect("sharded world reports shard stats");
+        assert_eq!(stats.shards, k);
+        assert_eq!(
+            stats.members.iter().sum::<u32>(),
+            7,
+            "K={k}: membership counts must cover every host"
+        );
+        assert!(
+            stats.mirrored_tx >= 1,
+            "K={k}: a boundary transmission must mirror into the adjacent strip"
+        );
+        assert_eq!(
+            w.take_recorder().unwrap().digest(),
+            serial_digest,
+            "K={k}: boundary broadcast digest drifted from serial"
+        );
+    }
+}
+
+#[test]
+fn a_host_crossing_a_strip_boundary_migrates_between_shards() {
+    // Node 1 walks east from (350,500) to (650,500) at 10 m/s, crossing
+    // x = 500 at t = 15 s; a 1 pkt/s CBR flow from node 0 keeps traffic
+    // flowing to it across the migration.  The crossing must move exactly
+    // one member from strip 0 to strip 1 (K = 2) and be invisible in the
+    // digest.
+    let build = |shards: Option<usize>| {
+        let leg = Segment::travel(
+            SimTime::ZERO,
+            geo::Point2::new(350.0, 500.0),
+            geo::Point2::new(650.0, 500.0),
+            10.0,
+        );
+        let rest = Segment::rest(leg.end, HORIZON, leg.end_position());
+        let hosts = vec![
+            fixed(500.0, 400.0),
+            HostSetup::paper(MobilityTrace::new(vec![leg, rest])),
+        ];
+        let flows = FlowSet::new(vec![CbrFlow {
+            id: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            packet_bytes: 64,
+            interval: SimDuration::from_secs(1),
+            start: SimTime::from_secs(1),
+            stop: SimTime::from_secs(35),
+        }]);
+        let mut cfg = WorldConfig::paper_default(42);
+        if let Some(k) = shards {
+            cfg = cfg.with_parallel_world(k);
+        }
+        let mut w = World::new(cfg, hosts, flows, |_| Probe::new(ProbeCfg::default()));
+        w.enable_trace(TraceMode::DigestOnly);
+        w
+    };
+    let mut serial = build(None);
+    serial.run_until(SimTime::from_secs(40));
+    assert!(
+        serial.shard_stats().is_none(),
+        "serial worlds report no shard stats"
+    );
+    let want_heard = serial.protocol(NodeId(1)).heard.clone();
+    assert!(
+        want_heard.len() >= 10,
+        "the mover must keep hearing traffic across the crossing"
+    );
+    let serial_digest = serial.take_recorder().unwrap().digest();
+    let mut w = build(Some(2));
+    w.run_until(SimTime::from_secs(40));
+    let stats = w.shard_stats().unwrap();
+    assert!(
+        stats.migrations >= 1,
+        "crossing x=500 must migrate the mover between strips: {stats:?}"
+    );
+    // node 0 at x=500 lives in column 5 (the east strip) from the start;
+    // the mover joins it there after crossing
+    assert_eq!(
+        stats.members,
+        vec![0, 2],
+        "both hosts east of the boundary after the move"
+    );
+    assert!(stats.barriers > 0, "epoch barriers must have fired over 40 s");
+    assert_eq!(w.protocol(NodeId(1)).heard, want_heard);
+    assert_eq!(w.take_recorder().unwrap().digest(), serial_digest);
+}

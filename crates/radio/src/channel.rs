@@ -117,6 +117,16 @@ impl ChannelState {
     pub fn begin_tx(&mut self, src: NodeId, origin: Point2, start: SimTime, end: SimTime) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        self.insert_tx(id, src, origin, start, end);
+        id
+    }
+
+    /// Register a transmission under an externally-allocated id.  The
+    /// sharded channel (`crate::shard`) mirrors one transmission into
+    /// several shard-local channels under a single global id; everyone
+    /// else should use [`ChannelState::begin_tx`], which allocates from
+    /// this channel's own counter.
+    pub fn insert_tx(&mut self, id: u64, src: NodeId, origin: Point2, start: SimTime, end: SimTime) {
         if let Some(sp) = &mut self.spatial {
             sp.insert_at(self.active.len() as u32, origin);
         }
@@ -127,7 +137,6 @@ impl ChannelState {
             start,
             end,
         });
-        id
     }
 
     /// Drop transmissions that ended at or before `now` (they can no longer

@@ -23,10 +23,12 @@ pub mod channel;
 pub mod frame;
 pub mod mac;
 pub mod ras;
+pub mod shard;
 pub mod spatial;
 
 pub use channel::{ChannelState, Transmission};
 pub use frame::{FrameKind, FrameMeta, NodeId};
 pub use mac::MacConfig;
 pub use ras::{PageSignal, RasConfig};
+pub use shard::{ShardMap, ShardedChannel};
 pub use spatial::{auto_gather_threshold, GatherFallback, NeighborIndex, SpatialIndex};

@@ -23,9 +23,9 @@ USAGE:
     run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
             [--backend heap|calendar] [--neighbor-index brute|grid]
-            [--gather-fallback auto|on|off] [--trace FILE.jsonl]
-            [--digest] [--faults SPEC] [--event-budget N]
-            [--max-retries N] [--journal FILE.jsonl]
+            [--gather-fallback auto|on|off] [--parallel-world] [--shards K]
+            [--trace FILE.jsonl] [--digest] [--faults SPEC]
+            [--event-budget N] [--max-retries N] [--journal FILE.jsonl]
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
 pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
@@ -40,6 +40,11 @@ pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
                adaptively below the occupancy crossover (default),
                always, or never; digests are identical in all three
                modes (ignored under --neighbor-index brute)
+--parallel-world  run on the sharded conservative-sync engine (4 strips
+               unless --shards says otherwise); the trace digest is
+               bit-identical to the serial engine's
+--shards K     shard count for the sharded engine (implies
+               --parallel-world)
 --faults SPEC  comma-separated fault plan, e.g.
                loss=0.1,churn=0.01,page_fail=0.2,drain=0.005,gps=15
                (keys: loss, ge, page_fail, page_delay, churn, rejoin,
@@ -104,6 +109,14 @@ fn parse_args() -> Cli {
             i += 1;
             continue;
         }
+        if k == "--parallel-world" {
+            cli.opts.parallel_world = true;
+            if cli.opts.shards < 2 {
+                cli.opts.shards = 4;
+            }
+            i += 1;
+            continue;
+        }
         let Some(v) = args.get(i + 1) else {
             fail(format!("flag {k} needs a value"));
         };
@@ -145,6 +158,10 @@ fn parse_args() -> Cli {
             "--trace" => {
                 cli.opts.trace = Some(TraceMode::Full);
                 cli.trace_path = Some(v.clone());
+            }
+            "--shards" => {
+                cli.opts.parallel_world = true;
+                cli.opts.shards = parse_val::<usize>(k, v).max(1);
             }
             "--event-budget" => cli.opts.event_budget = Some(parse_val(k, v)),
             "--max-retries" => cli.max_retries = Some(parse_val(k, v)),
@@ -190,8 +207,13 @@ fn main() {
         return;
     }
 
+    let engine = if opts.parallel_world {
+        format!("sharded x{}", opts.shards.max(1))
+    } else {
+        "serial".into()
+    };
     eprintln!(
-        "running: {} [{}, {} index, fallback {}]",
+        "running: {} [{}, {} index, fallback {}, {engine} engine]",
         sc.label(),
         opts.backend.name(),
         opts.neighbor_index.name(),

@@ -41,6 +41,12 @@ pub struct RunOptions {
     /// candidate lists, only the query path differs.  Ignored under
     /// `NeighborIndex::Brute`.
     pub gather_fallback: GatherFallback,
+    /// Run on the sharded conservative-sync engine instead of the serial
+    /// one.  Digest-neutral by construction (proven by
+    /// `tests/parallel_equivalence.rs`); the engines differ only in cost.
+    pub parallel_world: bool,
+    /// Shard count when `parallel_world` is set (clamped to ≥ 1).
+    pub shards: usize,
 }
 
 impl RunOptions {
@@ -54,6 +60,8 @@ impl RunOptions {
             event_budget: None,
             neighbor_index: NeighborIndex::default(),
             gather_fallback: GatherFallback::default(),
+            parallel_world: false,
+            shards: 1,
         }
     }
 
@@ -79,6 +87,13 @@ impl RunOptions {
 
     pub fn with_gather_fallback(mut self, gather_fallback: GatherFallback) -> Self {
         self.gather_fallback = gather_fallback;
+        self
+    }
+
+    /// Same options on the sharded engine with `shards` strips.
+    pub fn with_parallel_world(mut self, shards: usize) -> Self {
+        self.parallel_world = true;
+        self.shards = shards.max(1);
         self
     }
 }
@@ -208,12 +223,15 @@ pub fn run_scenario_probed(
     if let Some(n) = opts.event_budget {
         budget = budget.with_max_events(n);
     }
-    let cfg = WorldConfig::paper_default(sc.seed)
+    let mut cfg = WorldConfig::paper_default(sc.seed)
         .with_backend(opts.backend)
         .with_faults(faults)
         .with_budget(budget)
         .with_neighbor_index(opts.neighbor_index)
         .with_gather_fallback(opts.gather_fallback);
+    if opts.parallel_world {
+        cfg = cfg.with_parallel_world(opts.shards);
+    }
 
     match sc.protocol {
         ProtocolKind::Grid | ProtocolKind::Ecgrid => {

@@ -10,6 +10,9 @@
 //!   O(1) amortized hold operations under stationary event populations
 //!   (the classic DES data structure; benchmarked against the heap).
 //! * [`Scheduler`] — clock + queue + lazy cancellation handles.
+//! * [`ShardedScheduler`] — K per-shard queues sharing one global
+//!   insertion counter; merged dispatch order is provably identical to
+//!   the single queue's (the conservative-sync determinism kernel).
 //! * [`RunBudget`] — event-count / virtual-time ceilings turning runaway
 //!   loops into [`BudgetExceeded`] diagnostics instead of hangs.
 //! * [`rng`] — a master seed fanned out into independent, stable streams
@@ -22,6 +25,7 @@ pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod time;
 
 pub use backend::{AnyQueue, Backend};
@@ -31,4 +35,5 @@ pub use pool::{EventPool, PoolStats};
 pub use queue::{EventQueue, PendingEvents};
 pub use rng::{derive_seed, RngFactory, SplitMix64};
 pub use sched::{EventHandle, Scheduler};
+pub use shard::ShardedScheduler;
 pub use time::{SimDuration, SimTime};

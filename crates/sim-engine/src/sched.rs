@@ -8,9 +8,11 @@ use crate::time::{SimDuration, SimTime};
 use std::collections::HashSet;
 
 /// Handle returned by [`Scheduler::schedule_at`]; pass it to
-/// [`Scheduler::cancel`] to revoke the event before it fires.
+/// [`Scheduler::cancel`] to revoke the event before it fires.  The sharded
+/// scheduler (`crate::shard`) issues the same handle type, so an event loop
+/// can hold handles without caring which engine produced them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct EventHandle(u64);
+pub struct EventHandle(pub(crate) u64);
 
 /// A virtual clock driving a pending-event set, with O(1) lazy
 /// cancellation: cancelled sequence numbers are skipped at pop time.

@@ -1,0 +1,157 @@
+//! The conservative-sync test wall: the sharded parallel engine must be
+//! *bit-for-bit* indistinguishable from the serial one.
+//!
+//! PR 7 added `--parallel-world`: the field is cut into K vertical strips
+//! of grid-cell columns, each with its own event queue, event slab, and
+//! channel bookkeeping, merged at every pop in deterministic
+//! `(time, queue_seq)` order (see DESIGN.md §12).  Nothing about that
+//! reorganization may show in a trace — same dispatch order, same RNG
+//! draws, same energy-integration sequences, same digest.  These tests
+//! hold the claim to account the same way the SoA and neighbor-index PRs
+//! did, by digest, against fixtures that predate the sharded engine:
+//!
+//! * every committed golden fixture reproduces under K ∈ {1, 2, 4, 7}
+//!   (1 exercises the degenerate single-strip engine, 2 and 4 split the
+//!   10-column paper grid evenly-ish, 7 forces ragged 2/1-column strips);
+//! * the faulted fixtures reproduce too, so crash freezing, fault RNG
+//!   streams, and death pruning agree across the boundary mirrors;
+//! * a heavy-drain run whose hosts die *and* migrate between strips
+//!   mid-run digests identically, with the migrations proven to happen.
+
+use ecgrid_suite::manet::{FaultPlan, NeighborIndex};
+use ecgrid_suite::runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
+use ecgrid_suite::trace::TraceDigest;
+use std::path::PathBuf;
+
+/// The golden scenario (keep in sync with `tests/golden_trace.rs`).
+fn golden(protocol: ProtocolKind) -> Scenario {
+    Scenario {
+        protocol,
+        n_hosts: 30,
+        max_speed: 1.0,
+        pause_secs: 0.0,
+        n_flows: 3,
+        flow_rate_pps: 1.0,
+        duration_secs: 40.0,
+        seed: 11,
+        model1_endpoints: 4,
+    }
+}
+
+const PROTOCOLS: [ProtocolKind; 3] = [ProtocolKind::Ecgrid, ProtocolKind::Grid, ProtocolKind::Gaf];
+
+/// Strip counts under test: degenerate, even, the CLI default, and a
+/// ragged split of the paper's 10 columns (strips of 2 and 1 columns).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// The chaos plan pinned by the faulted golden fixtures.
+fn golden_plan() -> FaultPlan {
+    FaultPlan::parse("loss=0.15,churn=0.02,rejoin=3,page_fail=0.1").unwrap()
+}
+
+fn read_fixture(name: &str) -> TraceDigest {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.digest"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    TraceDigest::parse(&text).unwrap_or_else(|| panic!("unparseable fixture {}", path.display()))
+}
+
+#[test]
+fn sharded_engine_reproduces_the_golden_fixtures_at_every_shard_count() {
+    for p in PROTOCOLS {
+        let want = read_fixture(&p.name().to_lowercase());
+        for k in SHARD_COUNTS {
+            let r = run_scenario_with(&golden(p), RunOptions::digest().with_parallel_world(k));
+            assert_eq!(
+                r.trace_digest,
+                Some(want),
+                "{p:?}: sharded run (K={k}) drifted from the golden fixture"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_reproduces_the_faulted_fixtures_at_every_shard_count() {
+    // Faults are the adversarial case for shard assignment: crash/rejoin
+    // chains, per-node fault RNG draws keyed by dispatch order, and frame
+    // losses drawn *during* tx_end all must land identically.
+    for p in PROTOCOLS {
+        let want = read_fixture(&format!("{}_faulted", p.name().to_lowercase()));
+        for k in SHARD_COUNTS {
+            let r = run_scenario_with(
+                &golden(p),
+                RunOptions::digest()
+                    .with_faults(golden_plan())
+                    .with_parallel_world(k),
+            );
+            assert_eq!(
+                r.trace_digest,
+                Some(want),
+                "{p:?}: faulted sharded run (K={k}) drifted from the fixture"
+            );
+            assert!(
+                r.stats.crashes > 0 && r.stats.frames_lost_fault > 0,
+                "{p:?} (K={k}): the chaos plan must actually engage"
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_sharded_agree_while_deaths_and_migrations_cross_strips() {
+    // The hard case for shard ownership: hosts at 2 m/s cross strip
+    // boundaries mid-run (events migrate queues) while a heavy drain plan
+    // kills others (shard membership shrinks).  Serial and sharded runs
+    // must agree on everything — digest and stats — and the run must
+    // actually exercise both hazards.
+    let sc = Scenario {
+        protocol: ProtocolKind::Ecgrid,
+        n_hosts: 120,
+        max_speed: 2.0,
+        pause_secs: 0.0,
+        n_flows: 5,
+        flow_rate_pps: 1.0,
+        duration_secs: 30.0,
+        seed: 17,
+        model1_endpoints: 4,
+    };
+    let plan = FaultPlan::parse("drain=0.2,drain_frac=0.95,churn=0.02,rejoin=2").unwrap();
+    let base = RunOptions::digest()
+        .with_faults(plan)
+        .with_neighbor_index(NeighborIndex::Grid);
+    let serial = run_scenario_with(&sc, base);
+    assert!(
+        serial.stats.deaths > 0,
+        "drain plan produced no deaths; the scenario lost its teeth"
+    );
+    for k in SHARD_COUNTS {
+        let sharded = run_scenario_with(&sc, base.with_parallel_world(k));
+        assert_eq!(
+            sharded.trace_digest, serial.trace_digest,
+            "sharded run (K={k}) diverged from serial under drain + migration"
+        );
+        assert_eq!(sharded.stats, serial.stats, "stats drift at K={k}");
+    }
+}
+
+#[test]
+fn sharding_is_orthogonal_to_the_other_digest_neutral_knobs() {
+    // Every engine knob claims digest-neutrality; the claims must compose.
+    // Brute neighbor mode on the sharded engine still has to match the
+    // fixture recorded on the serial grid-mode engine.
+    let want = read_fixture("ecgrid");
+    let r = run_scenario_with(
+        &golden(ProtocolKind::Ecgrid),
+        RunOptions::digest()
+            .with_neighbor_index(NeighborIndex::Brute)
+            .with_parallel_world(4),
+    );
+    assert_eq!(
+        r.trace_digest,
+        Some(want),
+        "sharded + brute-index run drifted from the golden fixture"
+    );
+}
