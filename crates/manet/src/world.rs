@@ -702,6 +702,17 @@ impl<P: Protocol> World<P> {
         self.enable_trace(TraceMode::Full);
     }
 
+    /// [`World::enable_trace`] with a live event tap: `sink` sees every
+    /// event in recording order, from this thread, as the run proceeds.
+    /// The sweep service streams from here; the sink must never block
+    /// (hand off to a bounded drop-counting buffer instead).  Digest,
+    /// buffer and profile behave exactly as without a sink.
+    pub fn enable_trace_with_sink(&mut self, mode: TraceMode, sink: trace::EventSink) {
+        let mut rec = Recorder::new(mode);
+        rec.set_sink(sink);
+        self.recorder = Some(rec);
+    }
+
     /// Share a progress probe with a supervisor.  The run loop updates it
     /// after every dispatch (and snapshots the trace digest at each sample
     /// boundary), so if this world panics mid-run the probe still tells

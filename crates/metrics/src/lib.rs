@@ -1,10 +1,12 @@
 //! Measurement: time series, packet accounting, and summary statistics —
 //! everything needed to regenerate the paper's Figs. 4–8.
 
+pub mod drops;
 pub mod ledger;
 pub mod series;
 pub mod stats;
 
+pub use drops::{DropCounter, DropStats};
 pub use ledger::PacketLedger;
 pub use series::{TimePoint, TimeSeries};
 pub use stats::{mean, percentile, stddev};

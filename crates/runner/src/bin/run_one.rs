@@ -25,7 +25,8 @@ USAGE:
             [--backend heap|calendar] [--neighbor-index brute|grid]
             [--gather-fallback auto|on|off] [--parallel-world] [--shards K]
             [--trace FILE.jsonl] [--digest] [--faults SPEC]
-            [--event-budget N] [--max-retries N] [--journal FILE.jsonl]
+            [--event-budget N] [--wall-budget SECS] [--max-retries N]
+            [--journal FILE.jsonl]
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
 pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
@@ -53,6 +54,9 @@ pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
 
 Supervision (see DESIGN.md §9):
 --event-budget N   watchdog: abort after N dispatched events (exit 2)
+--wall-budget S    watchdog: abort after S wall-clock seconds (exit 2);
+                   unlike the event budget this is non-deterministic, so
+                   trips are quarantined, never retried into the journal
 --max-retries N    run under panic isolation; retry failures up to N
                    times on re-derived seeds, then exit 3 with a
                    failure report
@@ -164,6 +168,13 @@ fn parse_args() -> Cli {
                 cli.opts.shards = parse_val::<usize>(k, v).max(1);
             }
             "--event-budget" => cli.opts.event_budget = Some(parse_val(k, v)),
+            "--wall-budget" => {
+                let secs: f64 = parse_val(k, v);
+                if secs.is_nan() || secs <= 0.0 {
+                    fail(format!("--wall-budget: {v:?} must be positive"));
+                }
+                cli.opts.wall_budget_ms = Some((secs * 1000.0).ceil() as u64);
+            }
             "--max-retries" => cli.max_retries = Some(parse_val(k, v)),
             "--journal" => cli.journal = Some(v.clone()),
             other => fail(format!("unknown flag {other}")),

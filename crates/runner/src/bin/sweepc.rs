@@ -1,0 +1,284 @@
+//! `sweepc` — command-line client for the resident sweep service.
+//!
+//! Speaks the line-delimited JSON protocol of `sweepd`, with jittered
+//! exponential-backoff reconnects: idempotent requests (ping, status,
+//! stats, result, stream subscriptions) retry transparently; `submit`
+//! never blindly retries, because a resend after an ambiguous failure
+//! could double-enqueue the job.
+
+use service::proto::{FilterSpec, JobSpec, Request};
+use service::{Client, ClientConfig, ClientError, SubmitOutcome};
+use std::fmt::Display;
+use std::str::FromStr;
+
+const HELP: &str = "\
+sweepc — client for the sweepd resident sweep service
+
+USAGE:
+    sweepc [--addr HOST:PORT] [--attempts N] <command> [args]
+
+COMMANDS:
+    ping                      liveness + protocol version + drain state
+    stats                     server counters (submitted/shed/queue/drops)
+    status [JOB]              one job's lifecycle, or all jobs + queue
+    submit [spec flags]       enqueue a job; prints `job N config HEX`
+    stream JOB [filter flags] subscribe and print frames until the job ends
+    result CONFIG_HEX SEED    look up one journaled replica by resume key
+    shutdown                  ask the server to drain and exit
+
+Submit spec flags (defaults = the golden smoke scenario):
+    --protocol grid|ecgrid|gaf|span   --hosts N      --speed M/S
+    --pause S    --flows N    --rate PPS    --duration S    --seed N
+    --endpoints N    --replicas N    --faults SPEC
+    --stream     also subscribe and stream the submitted job to completion
+    --max-sheds N   on shed replies, honor the retry-after hint up to N
+                    times before giving up (default 0: report the shed)
+
+Stream filter flags:
+    --layers CSV (radio,grid,route,app,energy)   --node ID
+    --cell X,Y   --proto NAME
+
+Streamed `done` summaries print averaged metrics decoded bit-exactly,
+and each replica's digest as `trace digest: <hex>`.  Reconnects during a
+stream are transparent: frames may be lost (the final `bye` counts this
+subscriber's delivered/dropped), the terminal summary is not.
+
+EXIT STATUS:
+    0 success · 1 bad usage · 2 cannot reach server (after bounded
+    jittered-backoff reconnects) · 3 job quarantined · 4 submission shed";
+
+fn usage(msg: impl Display) -> ! {
+    eprintln!("sweepc: {msg}");
+    eprintln!("(run with --help for usage)");
+    std::process::exit(1);
+}
+
+fn parse_val<T: FromStr>(flag: &str, v: &str) -> T
+where
+    T::Err: Display,
+{
+    v.parse()
+        .unwrap_or_else(|e| usage(format!("{flag}: invalid value {v:?}: {e}")))
+}
+
+fn exit_for(err: ClientError) -> ! {
+    let code = match &err {
+        ClientError::Io(_) => 2,
+        ClientError::ShedLimit { .. } => 4,
+        _ => 1,
+    };
+    eprintln!("sweepc: {err}");
+    std::process::exit(code);
+}
+
+struct Cli {
+    cfg: ClientConfig,
+    cmd: String,
+    rest: Vec<String>,
+}
+
+fn parse_args() -> Cli {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 2 || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        std::process::exit(if args.len() < 2 { 1 } else { 0 });
+    }
+    let mut cfg = ClientConfig::default();
+    let mut i = 1;
+    while i < args.len() && args[i].starts_with("--") {
+        let k = &args[i];
+        let Some(v) = args.get(i + 1) else {
+            usage(format!("flag {k} needs a value"));
+        };
+        match k.as_str() {
+            "--addr" => cfg = cfg.with_addr(v.clone()),
+            "--attempts" => cfg = cfg.with_connect_attempts(parse_val::<u32>(k, v).max(1)),
+            other => usage(format!(
+                "unknown global flag {other} (flags go before the command)"
+            )),
+        }
+        i += 2;
+    }
+    let Some(cmd) = args.get(i) else {
+        usage("missing command");
+    };
+    Cli {
+        cfg,
+        cmd: cmd.clone(),
+        rest: args[i + 1..].to_vec(),
+    }
+}
+
+fn parse_spec(rest: &[String]) -> (JobSpec, bool, u32) {
+    let mut spec = JobSpec::default();
+    let mut stream = false;
+    let mut max_sheds = 0u32;
+    let mut i = 0;
+    while i < rest.len() {
+        let k = &rest[i];
+        if k == "--stream" {
+            stream = true;
+            i += 1;
+            continue;
+        }
+        let Some(v) = rest.get(i + 1) else {
+            usage(format!("flag {k} needs a value"));
+        };
+        match k.as_str() {
+            "--protocol" => spec.protocol = v.to_lowercase(),
+            "--hosts" => spec.n_hosts = parse_val(k, v),
+            "--speed" => spec.max_speed = parse_val(k, v),
+            "--pause" => spec.pause_secs = parse_val(k, v),
+            "--flows" => spec.n_flows = parse_val(k, v),
+            "--rate" => spec.flow_rate_pps = parse_val(k, v),
+            "--duration" => spec.duration_secs = parse_val(k, v),
+            "--seed" => spec.seed = parse_val(k, v),
+            "--endpoints" => spec.model1_endpoints = parse_val(k, v),
+            "--replicas" => spec.replicas = parse_val::<u64>(k, v).max(1),
+            "--faults" => spec.faults = v.clone(),
+            "--max-sheds" => max_sheds = parse_val(k, v),
+            other => usage(format!("unknown submit flag {other}")),
+        }
+        i += 2;
+    }
+    (spec, stream, max_sheds)
+}
+
+fn parse_filter(rest: &[String]) -> FilterSpec {
+    let mut f = FilterSpec::default();
+    let mut i = 0;
+    while i < rest.len() {
+        let k = &rest[i];
+        let Some(v) = rest.get(i + 1) else {
+            usage(format!("flag {k} needs a value"));
+        };
+        match k.as_str() {
+            "--layers" => f.layers = v.clone(),
+            "--node" => f.node = Some(parse_val(k, v)),
+            "--cell" => {
+                let (x, y) = v
+                    .split_once(',')
+                    .unwrap_or_else(|| usage(format!("--cell: {v:?} (expected X,Y)")));
+                f.cell = Some((parse_val(k, x), parse_val(k, y)));
+            }
+            "--proto" => f.protocol = Some(v.clone()),
+            other => usage(format!("unknown stream flag {other}")),
+        }
+        i += 2;
+    }
+    f
+}
+
+/// Stream one job to completion, printing every frame, then a summary.
+/// Exit code 3 if the job ends quarantined.
+fn stream_to_end(client: &mut Client, job: u64, filter: &FilterSpec) -> ! {
+    let info = client
+        .stream_job(job, filter, |frame| println!("{frame}"))
+        .unwrap_or_else(|e| exit_for(e));
+    for d in &info.digests {
+        println!("trace digest: {d}");
+    }
+    let fmt_pdr = info
+        .pdr
+        .map(|p| format!("{:.4}% ({:016x})", 100.0 * p, p.to_bits()))
+        .unwrap_or_else(|| "-".into());
+    let fmt_lat = info
+        .latency_ms
+        .map(|l| format!("{l:.4} ms ({:016x})", l.to_bits()))
+        .unwrap_or_else(|| "-".into());
+    eprintln!(
+        "job {}: {} ({}/{} replicas, {} from journal, {} quarantined) pdr {} latency {}",
+        info.job,
+        info.state.map(|s| s.name()).unwrap_or("?"),
+        info.completed,
+        info.replicas,
+        info.from_journal,
+        info.quarantined,
+        fmt_pdr,
+        fmt_lat,
+    );
+    eprintln!(
+        "stream: {} frames delivered, {} dropped, {} reconnects",
+        info.delivered, info.dropped, info.reconnects
+    );
+    if let Some(e) = &info.error {
+        eprintln!("job error: {e}");
+    }
+    let quarantined = matches!(info.state, Some(service::JobState::Quarantined)) || info.quarantined > 0;
+    std::process::exit(if quarantined { 3 } else { 0 });
+}
+
+fn main() {
+    let cli = parse_args();
+    let mut client = Client::connect(cli.cfg).unwrap_or_else(|e| exit_for(e));
+
+    match cli.cmd.as_str() {
+        "ping" => {
+            let r = client
+                .request_idempotent(&Request::Ping)
+                .unwrap_or_else(|e| exit_for(e));
+            println!("{r}");
+        }
+        "stats" => {
+            let r = client
+                .request_idempotent(&Request::Stats)
+                .unwrap_or_else(|e| exit_for(e));
+            println!("{r}");
+        }
+        "status" => {
+            let job = cli.rest.first().map(|v| parse_val::<u64>("JOB", v));
+            let r = client
+                .request_idempotent(&Request::Status { job })
+                .unwrap_or_else(|e| exit_for(e));
+            println!("{r}");
+        }
+        "result" => {
+            let [config, seed] = cli.rest.as_slice() else {
+                usage("result needs CONFIG_HEX and SEED");
+            };
+            let config = u64::from_str_radix(config.trim_start_matches("0x"), 16)
+                .unwrap_or_else(|e| usage(format!("CONFIG_HEX: {e}")));
+            let seed = parse_val::<u64>("SEED", seed);
+            let r = client
+                .request_idempotent(&Request::Result { config, seed })
+                .unwrap_or_else(|e| exit_for(e));
+            println!("{r}");
+        }
+        "shutdown" => {
+            let r = client
+                .request_idempotent(&Request::Shutdown)
+                .unwrap_or_else(|e| exit_for(e));
+            println!("{r}");
+        }
+        "submit" => {
+            let (spec, stream, max_sheds) = parse_spec(&cli.rest);
+            let (job, config) = if max_sheds > 0 {
+                client
+                    .submit_until_accepted(&spec, max_sheds)
+                    .unwrap_or_else(|e| exit_for(e))
+            } else {
+                match client.submit(&spec) {
+                    Ok(SubmitOutcome::Accepted { job, config }) => (job, config),
+                    Ok(SubmitOutcome::Shed { retry_after_ms }) => {
+                        eprintln!("sweepc: submission shed (server busy; retry in {retry_after_ms} ms)");
+                        std::process::exit(4);
+                    }
+                    Err(e) => exit_for(e),
+                }
+            };
+            println!("job {job} config {config:016x}");
+            if stream {
+                stream_to_end(&mut client, job, &FilterSpec::default());
+            }
+        }
+        "stream" => {
+            let Some(job) = cli.rest.first() else {
+                usage("stream needs a JOB id");
+            };
+            let job = parse_val::<u64>("JOB", job);
+            let filter = parse_filter(&cli.rest[1..]);
+            stream_to_end(&mut client, job, &filter);
+        }
+        other => usage(format!("unknown command {other:?}")),
+    }
+}

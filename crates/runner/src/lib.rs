@@ -18,6 +18,7 @@ pub mod figures;
 pub mod report;
 pub mod run;
 pub mod scenario;
+pub mod serve;
 pub mod supervisor;
 pub mod sweep;
 
@@ -27,6 +28,7 @@ pub use run::{
     ScenarioResult,
 };
 pub use scenario::{ProtocolKind, Scenario};
+pub use serve::EcgridJobHandler;
 pub use supervisor::{
     sweep_resumable, sweep_supervised, sweep_supervised_with, FailureKind, QuarantinedPoint, ReplicaRecord,
     RunFailure, SupervisorConfig, SweepReport,

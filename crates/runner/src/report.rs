@@ -37,7 +37,10 @@ pub fn render_series_table(title: &str, labelled: &[(&str, &TimeSeries)], every:
 /// Crash-safe file write: the contents land in `<path>.tmp` first and are
 /// renamed over `path` only once fully flushed, so a sweep killed mid-write
 /// never leaves a truncated result file — readers see either the old
-/// complete file or the new complete file.
+/// complete file or the new complete file.  Durable against power loss,
+/// not just process death: the temp file is fsynced before the rename and
+/// the parent directory after it (the rename itself lives in the
+/// directory, so without the second fsync a crash can forget it).
 pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
@@ -48,7 +51,12 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
         f.write_all(contents)?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
 }
 
 /// `<path>.tmp`, appended to the full file name (not swapping the

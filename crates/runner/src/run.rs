@@ -31,6 +31,12 @@ pub struct RunOptions {
     /// is unbounded; a bounded run that trips the ceiling terminates with
     /// [`ScenarioResult::budget_exceeded`] set instead of hanging.
     pub event_budget: Option<u64>,
+    /// Watchdog: maximum wall-clock milliseconds per run — the axis that
+    /// catches runs whose every event is legitimate but pathologically
+    /// slow.  Non-deterministic by nature (the trip point depends on the
+    /// host), so a tripped run is a failure to quarantine, never a result
+    /// to average.
+    pub wall_budget_ms: Option<u64>,
     /// Neighbor-query strategy: the spatial grid-bucket index (default) or
     /// the brute-force reference scan.  Results — including trace digests
     /// — are bit-identical either way; the toggle keeps the baseline
@@ -58,6 +64,7 @@ impl RunOptions {
             trace: Some(TraceMode::DigestOnly),
             faults: FaultPlan::none(),
             event_budget: None,
+            wall_budget_ms: None,
             neighbor_index: NeighborIndex::default(),
             gather_fallback: GatherFallback::default(),
             parallel_world: false,
@@ -77,6 +84,11 @@ impl RunOptions {
 
     pub fn with_event_budget(mut self, budget: Option<u64>) -> Self {
         self.event_budget = budget;
+        self
+    }
+
+    pub fn with_wall_budget_ms(mut self, ms: Option<u64>) -> Self {
+        self.wall_budget_ms = ms;
         self
     }
 
@@ -162,11 +174,14 @@ fn finish<P: manet::Protocol>(
     sc: &Scenario,
     opts: RunOptions,
     probe: Option<Arc<ProgressProbe>>,
+    sink: Option<manet::trace::EventSink>,
     mut world: World<P>,
     end: SimTime,
 ) -> ScenarioResult {
-    if let Some(mode) = opts.trace {
-        world.enable_trace(mode);
+    match (opts.trace, sink) {
+        (Some(mode), Some(s)) => world.enable_trace_with_sink(mode, s),
+        (Some(mode), None) => world.enable_trace(mode),
+        (None, _) => {}
     }
     if let Some(p) = probe {
         world.attach_probe(p);
@@ -211,6 +226,28 @@ pub fn run_scenario_probed(
     opts: RunOptions,
     probe: Option<Arc<ProgressProbe>>,
 ) -> ScenarioResult {
+    run_scenario_inner(sc, opts, probe, None)
+}
+
+/// [`run_scenario_probed`] with a live event sink: every recorded trace
+/// event is also handed to `sink` as it is recorded — the sweep
+/// service's streaming path.  Digest-neutral by construction: the sink
+/// observes recording, it cannot alter it.
+pub fn run_scenario_streamed(
+    sc: &Scenario,
+    opts: RunOptions,
+    probe: Option<Arc<ProgressProbe>>,
+    sink: manet::trace::EventSink,
+) -> ScenarioResult {
+    run_scenario_inner(sc, opts, probe, Some(sink))
+}
+
+fn run_scenario_inner(
+    sc: &Scenario,
+    opts: RunOptions,
+    probe: Option<Arc<ProgressProbe>>,
+    sink: Option<manet::trace::EventSink>,
+) -> ScenarioResult {
     let end = SimTime::from_secs_f64(sc.duration_secs);
     // traces must outlive the run comfortably
     let horizon = end + sim_engine::SimDuration::from_secs(10);
@@ -222,6 +259,9 @@ pub fn run_scenario_probed(
     let mut budget = RunBudget::UNLIMITED;
     if let Some(n) = opts.event_budget {
         budget = budget.with_max_events(n);
+    }
+    if let Some(ms) = opts.wall_budget_ms {
+        budget = budget.with_max_wall_ms(ms);
     }
     let mut cfg = WorldConfig::paper_default(sc.seed)
         .with_backend(opts.backend)
@@ -243,11 +283,11 @@ pub fn run_scenario_probed(
             match sc.protocol {
                 ProtocolKind::Grid => {
                     let world = World::new(cfg, hosts, flows, |id| GridProto::new(GridConfig::default(), id));
-                    finish(sc, opts, probe, world, end)
+                    finish(sc, opts, probe, sink, world, end)
                 }
                 ProtocolKind::Ecgrid => {
                     let world = World::new(cfg, hosts, flows, |id| Ecgrid::new(EcgridConfig::default(), id));
-                    finish(sc, opts, probe, world, end)
+                    finish(sc, opts, probe, sink, world, end)
                 }
                 ProtocolKind::Gaf | ProtocolKind::Span => unreachable!(),
             }
@@ -288,7 +328,7 @@ pub fn run_scenario_probed(
                             GafProto::endpoint(GafConfig::default(), id)
                         }
                     });
-                    finish(sc, opts, probe, world, end)
+                    finish(sc, opts, probe, sink, world, end)
                 }
                 ProtocolKind::Span => {
                     let world = World::new(cfg, hosts, flows, move |id| {
@@ -298,7 +338,7 @@ pub fn run_scenario_probed(
                             SpanProto::endpoint(SpanConfig::default(), id)
                         }
                     });
-                    finish(sc, opts, probe, world, end)
+                    finish(sc, opts, probe, sink, world, end)
                 }
                 _ => unreachable!(),
             }

@@ -48,6 +48,11 @@ pub struct SupervisorConfig {
     /// Watchdog ceiling on dispatched events per replica; overrides
     /// `RunOptions::event_budget` when set.
     pub event_budget: Option<u64>,
+    /// Watchdog ceiling on wall-clock milliseconds per replica; overrides
+    /// `RunOptions::wall_budget_ms` when set.  Unlike the event budget
+    /// this axis is non-deterministic (host-dependent), so a tripped run
+    /// is quarantined, never averaged.
+    pub wall_budget_ms: Option<u64>,
     /// Checkpoint journal path.  `None` disables journaling.
     pub journal: Option<PathBuf>,
 }
@@ -57,6 +62,7 @@ impl Default for SupervisorConfig {
         SupervisorConfig {
             max_retries: 2,
             event_budget: None,
+            wall_budget_ms: None,
             journal: None,
         }
     }
@@ -73,9 +79,21 @@ impl SupervisorConfig {
         self
     }
 
+    pub fn with_wall_budget_ms(mut self, ms: Option<u64>) -> Self {
+        self.wall_budget_ms = ms;
+        self
+    }
+
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal = Some(path.into());
         self
+    }
+
+    /// Fold the supervisor's watchdog ceilings into a run's options (the
+    /// supervisor's settings win where both are present).
+    pub fn apply_budgets(&self, opts: RunOptions) -> RunOptions {
+        opts.with_event_budget(self.event_budget.or(opts.event_budget))
+            .with_wall_budget_ms(self.wall_budget_ms.or(opts.wall_budget_ms))
     }
 }
 
@@ -344,7 +362,7 @@ pub fn run_point(
     opts: RunOptions,
     sup: &SupervisorConfig,
 ) -> PointOutcome {
-    let opts = opts.with_event_budget(sup.event_budget.or(opts.event_budget));
+    let opts = sup.apply_budgets(opts);
     let mut failures = Vec::new();
     for attempt in 0..=sup.max_retries {
         let seed = if attempt == 0 {
@@ -434,24 +452,25 @@ fn dec_series(s: &str) -> Option<TimeSeries> {
 }
 
 /// One parsed journal line (scenario-free; the sweep re-binds it to its
-/// in-memory scenario via the config hash).
+/// in-memory scenario via the config hash).  `pub(crate)` so the sweep
+/// service's job handler can reuse the journal as its resume store.
 #[derive(Clone, Debug)]
-struct JournalEntry {
-    config: u64,
-    seed: u64,
-    replica: u64,
-    alive: TimeSeries,
-    aen: TimeSeries,
-    pdr: Option<f64>,
-    latency_ms: Option<f64>,
-    pdr_590: Option<f64>,
-    latency_ms_590: Option<f64>,
-    network_death_s: Option<f64>,
-    digest: Option<TraceDigest>,
+pub(crate) struct JournalEntry {
+    pub(crate) config: u64,
+    pub(crate) seed: u64,
+    pub(crate) replica: u64,
+    pub(crate) alive: TimeSeries,
+    pub(crate) aen: TimeSeries,
+    pub(crate) pdr: Option<f64>,
+    pub(crate) latency_ms: Option<f64>,
+    pub(crate) pdr_590: Option<f64>,
+    pub(crate) latency_ms_590: Option<f64>,
+    pub(crate) network_death_s: Option<f64>,
+    pub(crate) digest: Option<TraceDigest>,
 }
 
 impl JournalEntry {
-    fn into_record(self, scenario: Scenario) -> ReplicaRecord {
+    pub(crate) fn into_record(self, scenario: Scenario) -> ReplicaRecord {
         ReplicaRecord {
             scenario,
             replica: self.replica,
@@ -470,7 +489,7 @@ impl JournalEntry {
 /// Encode one completed replica as a journal line.  No value may contain
 /// a comma or `}` — hex, digits, `:` and `;` only — which keeps the
 /// decoder a flat split.
-fn encode_line(config: u64, seed: u64, rec: &ReplicaRecord) -> String {
+pub(crate) fn encode_line(config: u64, seed: u64, rec: &ReplicaRecord) -> String {
     format!(
         "{{\"v\":1,\"config\":\"{:016x}\",\"seed\":{},\"replica\":{},\
          \"pdr\":{},\"latency_ms\":{},\"pdr_590\":{},\"latency_ms_590\":{},\"death_s\":{},\
@@ -536,11 +555,16 @@ fn parse_entry(line: &str) -> Option<JournalEntry> {
 }
 
 /// Load a journal, tolerating a missing file and skipping (but counting)
-/// malformed lines.
+/// malformed lines.  The file is read as raw bytes and decoded lossily:
+/// garbage bytes mid-file (a torn write, disk corruption) poison only the
+/// lines they touch — which then fail to parse and are counted — instead
+/// of making the whole journal unreadable and silently re-running
+/// everything.
 fn load_journal(path: &Path) -> (Vec<JournalEntry>, usize) {
-    let Ok(body) = fs::read_to_string(path) else {
+    let Ok(bytes) = fs::read(path) else {
         return (Vec::new(), 0);
     };
+    let body = String::from_utf8_lossy(&bytes);
     let mut entries = Vec::new();
     let mut malformed = 0;
     for line in body.lines() {
@@ -553,6 +577,22 @@ fn load_journal(path: &Path) -> (Vec<JournalEntry>, usize) {
         }
     }
     (entries, malformed)
+}
+
+/// [`load_journal`] indexed by the resume key (config hash, seed).
+/// Duplicate keys — e.g. two interrupted sweeps appending the same
+/// replica — deduplicate with last-write-wins (the later line is the
+/// more recent run of an identical, deterministic job) and are counted
+/// with the malformed lines so the dedup is observable.
+pub(crate) fn load_journal_indexed(path: &Path) -> (HashMap<(u64, u64), JournalEntry>, usize) {
+    let (entries, mut anomalies) = load_journal(path);
+    let mut index: HashMap<(u64, u64), JournalEntry> = HashMap::new();
+    for e in entries {
+        if index.insert((e.config, e.seed), e).is_some() {
+            anomalies += 1;
+        }
+    }
+    (index, anomalies)
 }
 
 // ----- the supervised sweep ---------------------------------------------
@@ -586,17 +626,15 @@ pub fn sweep_supervised_with(
     runner: &ScenarioRunner,
 ) -> SweepReport {
     assert!(replicas >= 1);
-    let opts = opts.with_event_budget(sup.event_budget.or(opts.event_budget));
+    let opts = sup.apply_budgets(opts);
 
     // resume: index the journal by (config hash, seed)
     let mut journaled: HashMap<(u64, u64), JournalEntry> = HashMap::new();
     let mut malformed = 0;
     if let Some(path) = &sup.journal {
-        let (entries, bad) = load_journal(path);
+        let (index, bad) = load_journal_indexed(path);
+        journaled = index;
         malformed = bad;
-        for e in entries {
-            journaled.insert((e.config, e.seed), e);
-        }
     }
 
     // split the grid into journal hits and jobs still to run

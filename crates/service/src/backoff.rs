@@ -1,0 +1,99 @@
+//! Jittered exponential backoff for client-side reconnection.
+//!
+//! Delay for attempt `n` is drawn uniformly from
+//! `[base·2ⁿ/2, base·2ⁿ]`, capped at `cap` — "equal jitter", which keeps
+//! a floor under the delay (so a flapping server is not hammered) while
+//! still decorrelating clients that all lost the same server at the same
+//! instant.  The jitter source is a seeded [`SplitMix64`], so a client
+//! constructed with a fixed seed backs off reproducibly — tests assert
+//! the exact schedule instead of sleeping and hoping.
+
+use sim_engine::SplitMix64;
+use std::time::Duration;
+
+#[derive(Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// `base_ms` is the attempt-0 ceiling; delays cap at `cap_ms`.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            attempt: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The delay to sleep before the next attempt (and advance the
+    /// attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 · base already dwarfs any cap
+        let ceil = self.base_ms.saturating_mul(1u64 << exp).min(self.cap_ms);
+        let floor = (ceil / 2).max(1);
+        let span = ceil - floor + 1;
+        let jitter = self.rng.next_u64() % span;
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_millis(floor + jitter)
+    }
+
+    /// Attempts made so far (i.e. `next_delay` calls).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Back to attempt 0 — call after a successful connection.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_stay_within_the_envelope() {
+        let mut b = Backoff::new(100, 2_000, 42);
+        let mut prev_ceil = 0;
+        for n in 0..8 {
+            let ceil = (100u64 << n).min(2_000);
+            let floor = (ceil / 2).max(1);
+            let d = b.next_delay().as_millis() as u64;
+            assert!(
+                d >= floor && d <= ceil,
+                "attempt {n}: {d} outside [{floor},{ceil}]"
+            );
+            assert!(ceil >= prev_ceil);
+            prev_ceil = ceil;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_distinct_seeds_diverge() {
+        let schedule = |seed| {
+            let mut b = Backoff::new(50, 5_000, seed);
+            (0..6).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8));
+    }
+
+    #[test]
+    fn reset_restarts_the_envelope() {
+        let mut b = Backoff::new(100, 10_000, 1);
+        for _ in 0..5 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempts(), 5);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay().as_millis() as u64;
+        assert!((50..=100).contains(&d));
+    }
+}

@@ -1,0 +1,105 @@
+//! Durable small-file writes for the crash-safe job lifecycle.
+//!
+//! A job manifest must survive both a torn write (solved by
+//! write-to-temp + rename) and a power cut that loses buffered data
+//! (solved by fsyncing the temp file *and the directory entry*: on Unix
+//! a rename is only durable once the parent directory's metadata is on
+//! disk).  Without the directory fsync, a crash after rename can resurrect
+//! the old file — the lifecycle would then requeue a finished job, which
+//! is wasteful, or worse, forget an interrupted one.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Write `contents` to `path` atomically *and durably*: temp file in the
+/// same directory, `write_all` + `sync_all`, rename over `path`, then
+/// fsync the parent directory so the rename itself is on disk.
+pub fn write_atomic_durable(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(d) = dir {
+        fs::create_dir_all(d)?;
+    }
+    let tmp = tmp_sibling(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(d) = dir {
+        fsync_dir(d)?;
+    }
+    Ok(())
+}
+
+/// Fsync a directory so renames/creates inside it are durable.  On
+/// non-Unix platforms directories cannot be opened for sync; the rename
+/// alone is the best available guarantee there.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// `<path>.tmp` with the suffix appended to the whole file name, so two
+/// files differing only in extension cannot collide on a temp name.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Read a file as a lossily-decoded string; `None` when it is missing or
+/// unreadable.  Used by journal/manifest loaders that must survive
+/// arbitrary garbage bytes mid-file: invalid UTF-8 degrades to
+/// replacement characters on the affected lines (which then fail to parse
+/// and are counted), instead of poisoning the whole file.
+pub fn read_lossy(path: &Path) -> Option<String> {
+    fs::read(path)
+        .ok()
+        .map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_durable_replaces_and_survives_reread() {
+        let dir = std::env::temp_dir().join("ecgrid_fsutil_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("m.json");
+        write_atomic_durable(&path, b"one").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "one");
+        write_atomic_durable(&path, b"two").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "two");
+        // no temp file left behind
+        assert!(!dir.join("m.json.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_lossy_tolerates_garbage_bytes() {
+        let dir = std::env::temp_dir().join("ecgrid_fsutil_lossy_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.jsonl");
+        let mut body = b"good line\n".to_vec();
+        body.extend_from_slice(&[0xff, 0xfe, 0x80]);
+        body.extend_from_slice(b"\nanother line\n");
+        fs::write(&path, &body).unwrap();
+        let s = read_lossy(&path).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "good line");
+        assert_eq!(lines[2], "another line");
+        assert!(read_lossy(&dir.join("missing")).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

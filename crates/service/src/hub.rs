@@ -1,0 +1,227 @@
+//! The subscriber hub: fan-out of stream frames to live subscribers with
+//! bounded buffers and drop-and-count overload behavior.
+//!
+//! The cardinal rule is that a slow or dead consumer must never slow the
+//! producer: the simulation worker publishes with `try_send` into each
+//! subscriber's bounded channel and *drops* the frame when the buffer is
+//! full, incrementing that subscriber's [`DropCounter`] (and a hub-wide
+//! aggregate).  The subscriber learns its own loss total from the `bye`
+//! frame its connection writes at end of stream, so "I saw every event"
+//! stays a falsifiable claim.
+//!
+//! Filtering happens here, producer-side: an event frame is only
+//! rendered (and only offered) to subscribers whose [`EventFilter`]
+//! matches its labels, so a narrow subscription costs the wire — and the
+//! render path — only its own events.  When a job has no subscribers at
+//! all, the per-event overhead is one relaxed atomic load.
+
+use crate::proto;
+use metrics::{DropCounter, DropStats};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use trace::{Event, EventFilter};
+
+struct SubEntry {
+    id: u64,
+    job: u64,
+    filter: EventFilter,
+    tx: SyncSender<String>,
+    counter: Arc<DropCounter>,
+}
+
+/// A subscription as its owning connection sees it: the receive side of
+/// the bounded buffer plus the loss counter the hub updates.
+pub struct SubscriberHandle {
+    pub id: u64,
+    pub job: u64,
+    pub rx: Receiver<String>,
+    pub counter: Arc<DropCounter>,
+}
+
+impl SubscriberHandle {
+    pub fn stats(&self) -> DropStats {
+        self.counter.snapshot()
+    }
+}
+
+/// Fan-out hub shared by the server's workers and connection threads.
+#[derive(Default)]
+pub struct Hub {
+    subs: Mutex<Vec<SubEntry>>,
+    /// Cached count so the no-subscriber hot path is one atomic load.
+    n_subs: AtomicUsize,
+    next_id: AtomicU64,
+    /// Aggregate loss over all subscribers, live and departed.
+    drops: DropCounter,
+}
+
+impl Hub {
+    pub fn new() -> Self {
+        Hub::default()
+    }
+
+    /// Register a subscriber for `job` with a buffer of `depth` frames.
+    pub fn subscribe(&self, job: u64, filter: EventFilter, depth: usize) -> SubscriberHandle {
+        let (tx, rx) = sync_channel(depth.max(1));
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let counter = Arc::new(DropCounter::new());
+        let mut subs = self.subs.lock().expect("hub lock");
+        subs.push(SubEntry {
+            id,
+            job,
+            filter,
+            tx,
+            counter: counter.clone(),
+        });
+        self.n_subs.store(subs.len(), Ordering::Relaxed);
+        SubscriberHandle { id, job, rx, counter }
+    }
+
+    /// Drop one subscription (the connection went away or finished).
+    pub fn unsubscribe(&self, id: u64) {
+        let mut subs = self.subs.lock().expect("hub lock");
+        subs.retain(|s| s.id != id);
+        self.n_subs.store(subs.len(), Ordering::Relaxed);
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.n_subs.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate delivered/dropped totals across all subscribers ever.
+    pub fn drop_stats(&self) -> DropStats {
+        self.drops.snapshot()
+    }
+
+    fn offer(&self, entry: &SubEntry, frame: &str) {
+        match entry.tx.try_send(frame.to_string()) {
+            Ok(()) => {
+                entry.counter.note_delivered();
+                self.drops.note_delivered();
+            }
+            Err(TrySendError::Full(_)) => {
+                entry.counter.note_dropped();
+                self.drops.note_dropped();
+            }
+            // a disconnected receiver is reaped by unsubscribe; until
+            // then its frames just vanish without accounting noise
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Publish one simulation event for `job`; the frame is rendered at
+    /// most once, and only if some subscriber's filter matches.
+    pub fn publish_event(&self, job: u64, replica: u64, protocol: &str, ev: &Event) {
+        if self.n_subs.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let labels = ev.labels(protocol);
+        let mut frame: Option<String> = None;
+        let subs = self.subs.lock().expect("hub lock");
+        for s in subs.iter() {
+            if s.job != job || !s.filter.matches(&labels) {
+                continue;
+            }
+            let f = frame.get_or_insert_with(|| proto::frame_event(job, replica, protocol, ev));
+            self.offer(s, f);
+        }
+    }
+
+    /// Publish a control frame (metric, replica_done, job, done, …) to
+    /// every subscriber of `job`, bypassing event filters.
+    pub fn publish_frame(&self, job: u64, frame: &str) {
+        if self.n_subs.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let subs = self.subs.lock().expect("hub lock");
+        for s in subs.iter().filter(|s| s.job == job) {
+            self.offer(s, frame);
+        }
+    }
+
+    /// End of stream for `job`: disconnect its subscribers' senders so
+    /// each connection's receive loop sees the channel close (its cue to
+    /// write the `bye` frame) after draining buffered frames.
+    pub fn finish_job(&self, job: u64) {
+        let mut subs = self.subs.lock().expect("hub lock");
+        subs.retain(|s| s.job != job);
+        self.n_subs.store(subs.len(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::SimTime;
+    use trace::EventKind;
+
+    fn ev() -> Event {
+        Event {
+            t: SimTime::from_secs(1),
+            kind: EventKind::MacRetry {
+                node: radio_node(3),
+                attempt: 1,
+            },
+        }
+    }
+
+    fn radio_node(n: u32) -> radio::NodeId {
+        radio::NodeId(n)
+    }
+
+    #[test]
+    fn frames_reach_matching_subscribers_only() {
+        let hub = Hub::new();
+        let mac = hub.subscribe(1, EventFilter::all().with_layers("mac").unwrap(), 8);
+        let route = hub.subscribe(1, EventFilter::all().with_layers("route").unwrap(), 8);
+        let other_job = hub.subscribe(2, EventFilter::all(), 8);
+        hub.publish_event(1, 0, "ECGRID", &ev());
+        assert!(mac.rx.try_recv().is_ok());
+        assert!(route.rx.try_recv().is_err());
+        assert!(other_job.rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn full_buffer_drops_and_counts_instead_of_blocking() {
+        let hub = Hub::new();
+        let sub = hub.subscribe(1, EventFilter::all(), 2);
+        for _ in 0..5 {
+            hub.publish_frame(1, "{\"stream\":\"job\"}");
+        }
+        let s = sub.stats();
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(hub.drop_stats().dropped, 3);
+        // the producer side never blocked: we are still here
+    }
+
+    #[test]
+    fn finish_job_closes_the_channel_after_buffered_frames() {
+        let hub = Hub::new();
+        let sub = hub.subscribe(1, EventFilter::all(), 8);
+        hub.publish_frame(1, "a");
+        hub.finish_job(1);
+        assert_eq!(hub.subscriber_count(), 0);
+        assert_eq!(sub.rx.recv().unwrap(), "a");
+        assert!(sub.rx.recv().is_err()); // disconnected = end of stream
+    }
+
+    #[test]
+    fn no_subscribers_is_a_cheap_no_op() {
+        let hub = Hub::new();
+        hub.publish_event(1, 0, "ECGRID", &ev());
+        hub.publish_frame(1, "x");
+        assert_eq!(hub.drop_stats().offered(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let hub = Hub::new();
+        let sub = hub.subscribe(1, EventFilter::all(), 8);
+        hub.unsubscribe(sub.id);
+        hub.publish_frame(1, "x");
+        assert_eq!(hub.subscriber_count(), 0);
+        assert!(sub.rx.try_recv().is_err());
+    }
+}

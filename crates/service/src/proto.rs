@@ -1,0 +1,518 @@
+//! The wire protocol: requests, replies, and stream frames.
+//!
+//! Transport is TCP carrying UTF-8 lines; every line is one flat JSON
+//! object (see [`crate::json`]).  Grammar:
+//!
+//! ```text
+//! request  := {"cmd":"ping"}
+//!           | {"cmd":"submit", <scenario fields>, "replicas":N, "faults":S}
+//!           | {"cmd":"status"} | {"cmd":"status","job":N}
+//!           | {"cmd":"subscribe","job":N [,"layers":S][,"node":N]
+//!              [,"cell_x":N,"cell_y":N][,"protocol":S]}
+//!           | {"cmd":"result","config":H,"seed":N}
+//!           | {"cmd":"stats"} | {"cmd":"shutdown"}
+//! reply    := {"ok":true, ...} | {"ok":false,"error":S [,"shed":true,
+//!              "retry_after_ms":N,"queued":N,"capacity":N]}
+//! frame    := {"stream":"event"|"metric"|"replica_done"|
+//!              "replica_quarantined"|"failure"|"job"|"done"|"bye", ...}
+//! ```
+//!
+//! A `subscribe` switches the connection into stream mode: the server
+//! sends frames until the job's terminal `done` frame, then a `bye` frame
+//! carrying the subscriber's own delivered/dropped totals, after which
+//! the connection reverts to request/reply.  Floats that must survive a
+//! round trip bit for bit (averaged metrics) travel as 16-hex-digit bit
+//! patterns; human-oriented floats (scenario config) travel as shortest
+//! decimal, which Rust's formatter already round-trips exactly.
+
+use crate::json::{self, Obj};
+use trace::{Event, EventFilter};
+
+/// Protocol version, checked on `submit` manifests.
+pub const PROTO_VERSION: u64 = 1;
+
+/// One job: a scenario shape, replica count, and fault plan — everything
+/// the server needs to reconstruct the work after a crash, which is why
+/// the same encoding serves as both the submit request body and the
+/// on-disk job manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    pub protocol: String,
+    pub n_hosts: u64,
+    pub max_speed: f64,
+    pub pause_secs: f64,
+    pub n_flows: u64,
+    pub flow_rate_pps: f64,
+    pub duration_secs: f64,
+    pub seed: u64,
+    pub model1_endpoints: u64,
+    /// Replicas to run (replica `k` re-derives its seed from `seed`).
+    pub replicas: u64,
+    /// Fault-plan spec string (e.g. `"loss=0.1,churn=2"`); empty = none.
+    pub faults: String,
+}
+
+impl Default for JobSpec {
+    /// A small smoke-scale ECGRID point (the golden-trace scenario).
+    fn default() -> Self {
+        JobSpec {
+            protocol: "ecgrid".into(),
+            n_hosts: 30,
+            max_speed: 1.0,
+            pause_secs: 0.0,
+            n_flows: 3,
+            flow_rate_pps: 1.0,
+            duration_secs: 40.0,
+            seed: 11,
+            model1_endpoints: 4,
+            replicas: 1,
+            faults: String::new(),
+        }
+    }
+}
+
+impl JobSpec {
+    /// Append the spec's fields onto an [`Obj`] under construction.
+    pub fn encode_onto(&self, o: Obj) -> Obj {
+        o.str("protocol", &self.protocol)
+            .u64("n_hosts", self.n_hosts)
+            .f64("max_speed", self.max_speed)
+            .f64("pause_secs", self.pause_secs)
+            .u64("n_flows", self.n_flows)
+            .f64("flow_rate_pps", self.flow_rate_pps)
+            .f64("duration_secs", self.duration_secs)
+            .u64("seed", self.seed)
+            .u64("model1_endpoints", self.model1_endpoints)
+            .u64("replicas", self.replicas)
+            .str("faults", &self.faults)
+    }
+
+    /// Parse the spec fields out of any line carrying them (submit
+    /// request or job manifest).  Missing fields fall back to the
+    /// defaults; present-but-garbled fields are an error.
+    pub fn parse(line: &str) -> Result<JobSpec, String> {
+        let d = JobSpec::default();
+        fn take<T>(
+            line: &str,
+            key: &str,
+            get: impl Fn(&str, &str) -> Option<T>,
+            dflt: T,
+        ) -> Result<T, String> {
+            if json::field(line, key).is_none() {
+                return Ok(dflt);
+            }
+            get(line, key).ok_or_else(|| format!("bad field {key}"))
+        }
+        Ok(JobSpec {
+            protocol: take(
+                line,
+                "protocol",
+                |l, k| json::field(l, k).map(str::to_string),
+                d.protocol,
+            )?,
+            n_hosts: take(line, "n_hosts", json::u64_field, d.n_hosts)?,
+            max_speed: take(line, "max_speed", json::f64_field, d.max_speed)?,
+            pause_secs: take(line, "pause_secs", json::f64_field, d.pause_secs)?,
+            n_flows: take(line, "n_flows", json::u64_field, d.n_flows)?,
+            flow_rate_pps: take(line, "flow_rate_pps", json::f64_field, d.flow_rate_pps)?,
+            duration_secs: take(line, "duration_secs", json::f64_field, d.duration_secs)?,
+            seed: take(line, "seed", json::u64_field, d.seed)?,
+            model1_endpoints: take(line, "model1_endpoints", json::u64_field, d.model1_endpoints)?,
+            replicas: take(line, "replicas", json::u64_field, d.replicas)?.max(1),
+            faults: take(
+                line,
+                "faults",
+                |l, k| json::field(l, k).map(str::to_string),
+                d.faults,
+            )?,
+        })
+    }
+}
+
+/// Wire form of an [`EventFilter`]: the optional axes of a `subscribe`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FilterSpec {
+    /// Comma-separated layer names; empty = all layers.
+    pub layers: String,
+    pub node: Option<u32>,
+    pub cell: Option<(i32, i32)>,
+    pub protocol: Option<String>,
+}
+
+impl FilterSpec {
+    pub fn to_filter(&self) -> Result<EventFilter, String> {
+        let mut f = EventFilter::all()
+            .with_layers(&self.layers)
+            .ok_or_else(|| format!("unknown layer in \"{}\"", self.layers))?;
+        if let Some(n) = self.node {
+            f = f.with_node(n);
+        }
+        if let Some((x, y)) = self.cell {
+            f = f.with_cell(x, y);
+        }
+        if let Some(p) = &self.protocol {
+            f = f.with_protocol(p.clone());
+        }
+        Ok(f)
+    }
+
+    fn encode_onto(&self, mut o: Obj) -> Obj {
+        if !self.layers.is_empty() {
+            o = o.str("layers", &self.layers);
+        }
+        if let Some(n) = self.node {
+            o = o.u64("node", n as u64);
+        }
+        if let Some((x, y)) = self.cell {
+            o = o.i64("cell_x", x as i64).i64("cell_y", y as i64);
+        }
+        if let Some(p) = &self.protocol {
+            o = o.str("protocol", p);
+        }
+        o
+    }
+
+    fn parse(line: &str) -> FilterSpec {
+        FilterSpec {
+            layers: json::field(line, "layers").unwrap_or("").to_string(),
+            node: json::u64_field(line, "node").map(|n| n as u32),
+            cell: match (json::i64_field(line, "cell_x"), json::i64_field(line, "cell_y")) {
+                (Some(x), Some(y)) => Some((x as i32, y as i32)),
+                _ => None,
+            },
+            protocol: json::field(line, "protocol").map(str::to_string),
+        }
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Ping,
+    Submit(JobSpec),
+    Status { job: Option<u64> },
+    Subscribe { job: u64, filter: FilterSpec },
+    Result { config: u64, seed: u64 },
+    Stats,
+    Shutdown,
+}
+
+impl Request {
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => Obj::new().str("cmd", "ping").finish(),
+            Request::Submit(spec) => spec.encode_onto(Obj::new().str("cmd", "submit")).finish(),
+            Request::Status { job } => {
+                let mut o = Obj::new().str("cmd", "status");
+                if let Some(j) = job {
+                    o = o.u64("job", *j);
+                }
+                o.finish()
+            }
+            Request::Subscribe { job, filter } => filter
+                .encode_onto(Obj::new().str("cmd", "subscribe").u64("job", *job))
+                .finish(),
+            Request::Result { config, seed } => Obj::new()
+                .str("cmd", "result")
+                .raw("config", &format!("\"{config:016x}\""))
+                .u64("seed", *seed)
+                .finish(),
+            Request::Stats => Obj::new().str("cmd", "stats").finish(),
+            Request::Shutdown => Obj::new().str("cmd", "shutdown").finish(),
+        }
+    }
+
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let cmd = json::field(line, "cmd").ok_or("missing cmd")?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "submit" => Ok(Request::Submit(JobSpec::parse(line)?)),
+            "status" => Ok(Request::Status {
+                job: json::u64_field(line, "job"),
+            }),
+            "subscribe" => Ok(Request::Subscribe {
+                job: json::u64_field(line, "job").ok_or("subscribe needs job")?,
+                filter: FilterSpec::parse(line),
+            }),
+            "result" => Ok(Request::Result {
+                config: json::hex_field(line, "config").ok_or("result needs config (hex)")?,
+                seed: json::u64_field(line, "seed").ok_or("result needs seed")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd \"{other}\"")),
+        }
+    }
+}
+
+/// Lifecycle of one job.  `Interrupted` is the resumable state: the
+/// server was drained or crashed while the job was queued or running; a
+/// restart requeues it and the journal makes the rerun incremental.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Quarantined,
+    Interrupted,
+}
+
+impl JobState {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Quarantined => "quarantined",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "quarantined" => JobState::Quarantined,
+            "interrupted" => JobState::Interrupted,
+            _ => return None,
+        })
+    }
+
+    /// A terminal state needs no further work after a restart.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Quarantined)
+    }
+}
+
+// ----- reply builders ----------------------------------------------------
+
+pub fn reply_err(msg: &str) -> String {
+    Obj::new().bool("ok", false).str("error", msg).finish()
+}
+
+/// The load-shed reply: explicit refusal with a retry hint — the bounded
+/// admission queue's alternative to letting a submit hang.
+pub fn reply_shed(retry_after_ms: u64, queued: usize, capacity: usize) -> String {
+    Obj::new()
+        .bool("ok", false)
+        .bool("shed", true)
+        .str("error", "admission queue full")
+        .u64("retry_after_ms", retry_after_ms)
+        .u64("queued", queued as u64)
+        .u64("capacity", capacity as u64)
+        .finish()
+}
+
+pub fn reply_ok() -> Obj {
+    Obj::new().bool("ok", true)
+}
+
+// ----- stream frame builders ---------------------------------------------
+
+/// An event frame: the event's own JSONL object with the stream header
+/// spliced in front of its fields.
+pub fn frame_event(job: u64, replica: u64, protocol: &str, ev: &Event) -> String {
+    let body = ev.to_jsonl(protocol);
+    let head = Obj::new()
+        .str("stream", "event")
+        .u64("job", job)
+        .u64("replica", replica)
+        .finish();
+    // "{head…}" + "{body…}" → "{head…,body…}"
+    let mut s = String::with_capacity(head.len() + body.len());
+    s.push_str(&head[..head.len() - 1]);
+    s.push(',');
+    s.push_str(&body[1..]);
+    s
+}
+
+pub fn frame_counter(job: u64, replica: u64, name: &str, value: u64) -> String {
+    Obj::new()
+        .str("stream", "metric")
+        .u64("job", job)
+        .u64("replica", replica)
+        .str("kind", "counter")
+        .str("name", name)
+        .u64("value", value)
+        .finish()
+}
+
+pub fn frame_gauge(job: u64, replica: u64, name: &str, value: f64) -> String {
+    Obj::new()
+        .str("stream", "metric")
+        .u64("job", job)
+        .u64("replica", replica)
+        .str("kind", "gauge")
+        .str("name", name)
+        .f64("value", value)
+        .f64_bits("bits", Some(value))
+        .finish()
+}
+
+pub fn frame_replica_done(
+    job: u64,
+    replica: u64,
+    seed: u64,
+    from_journal: bool,
+    digest: Option<&str>,
+    pdr: Option<f64>,
+    latency_ms: Option<f64>,
+) -> String {
+    let mut o = Obj::new()
+        .str("stream", "replica_done")
+        .u64("job", job)
+        .u64("replica", replica)
+        .u64("seed", seed)
+        .bool("from_journal", from_journal);
+    o = match digest {
+        Some(d) => o.str("digest", d),
+        None => o.raw("digest", "null"),
+    };
+    o.f64_bits("pdr", pdr).f64_bits("latency_ms", latency_ms).finish()
+}
+
+pub fn frame_failure(job: u64, replica: u64, attempt: u32, error: &str) -> String {
+    Obj::new()
+        .str("stream", "failure")
+        .u64("job", job)
+        .u64("replica", replica)
+        .u64("attempt", attempt as u64)
+        .str("error", error)
+        .finish()
+}
+
+pub fn frame_replica_quarantined(job: u64, replica: u64, attempts: u32, error: &str) -> String {
+    Obj::new()
+        .str("stream", "replica_quarantined")
+        .u64("job", job)
+        .u64("replica", replica)
+        .u64("attempts", attempts as u64)
+        .str("error", error)
+        .finish()
+}
+
+pub fn frame_job_state(job: u64, state: JobState) -> String {
+    Obj::new()
+        .str("stream", "job")
+        .u64("job", job)
+        .str("state", state.name())
+        .finish()
+}
+
+/// The subscriber's end-of-stream marker, written by the connection
+/// thread itself so it can carry that subscriber's own loss accounting.
+pub fn frame_bye(job: u64, delivered: u64, dropped: u64) -> String {
+    Obj::new()
+        .str("stream", "bye")
+        .u64("job", job)
+        .u64("delivered", delivered)
+        .u64("dropped", dropped)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrips_through_parse() {
+        let spec = JobSpec {
+            protocol: "gaf".into(),
+            n_hosts: 55,
+            max_speed: 2.5,
+            pause_secs: 30.0,
+            n_flows: 8,
+            flow_rate_pps: 0.25,
+            duration_secs: 900.0,
+            seed: 1234,
+            model1_endpoints: 6,
+            replicas: 4,
+            faults: "loss=0.1,churn=2".into(),
+        };
+        let line = Request::Submit(spec.clone()).encode();
+        match Request::parse(&line).unwrap() {
+            Request::Submit(got) => assert_eq!(got, spec),
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_defaults_fill_missing_fields() {
+        let spec = JobSpec::parse("{\"cmd\":\"submit\",\"seed\":99}").unwrap();
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.protocol, "ecgrid");
+        assert_eq!(spec.replicas, 1);
+        // replicas clamp to >= 1
+        let spec = JobSpec::parse("{\"cmd\":\"submit\",\"replicas\":0}").unwrap();
+        assert_eq!(spec.replicas, 1);
+    }
+
+    #[test]
+    fn garbled_field_is_an_error_not_a_default() {
+        assert!(JobSpec::parse("{\"cmd\":\"submit\",\"n_hosts\":\"lots\"}").is_err());
+    }
+
+    #[test]
+    fn subscribe_filter_roundtrips() {
+        let req = Request::Subscribe {
+            job: 3,
+            filter: FilterSpec {
+                layers: "mac,route".into(),
+                node: Some(7),
+                cell: Some((-1, 4)),
+                protocol: Some("ECGRID".into()),
+            },
+        };
+        let line = req.encode();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+        match Request::parse(&line).unwrap() {
+            Request::Subscribe { filter, .. } => {
+                let f = filter.to_filter().unwrap();
+                assert_eq!(f.layers.len(), 2);
+                assert_eq!(f.node, Some(7));
+                assert_eq!(f.cell, Some((-1, 4)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn result_request_roundtrips_hex_config() {
+        let req = Request::Result {
+            config: 0xdead_beef_0123_4567,
+            seed: 42,
+        };
+        assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_cmd_is_a_parse_error() {
+        assert!(Request::parse("{\"cmd\":\"fire_missiles\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("").is_err());
+    }
+
+    #[test]
+    fn shed_reply_carries_the_hint() {
+        let line = reply_shed(750, 16, 16);
+        assert_eq!(crate::json::bool_field(&line, "ok"), Some(false));
+        assert_eq!(crate::json::bool_field(&line, "shed"), Some(true));
+        assert_eq!(crate::json::u64_field(&line, "retry_after_ms"), Some(750));
+    }
+
+    #[test]
+    fn job_state_roundtrips() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Quarantined,
+            JobState::Interrupted,
+        ] {
+            assert_eq!(JobState::parse(s.name()), Some(s));
+        }
+        assert!(JobState::Done.is_terminal());
+        assert!(!JobState::Interrupted.is_terminal());
+    }
+}

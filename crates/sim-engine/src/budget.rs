@@ -1,16 +1,30 @@
 //! Run budgets: hard ceilings that turn runaway event loops into
 //! diagnosable terminations.
 //!
-//! A discrete-event simulation has two independent axes a bug can run
-//! away along: the *event count* (zero-delay cycles, broadcast storms)
-//! and *virtual time* (a termination condition that never becomes true).
-//! A [`RunBudget`] bounds both; the event loop checks it after every
-//! dispatch and stops with a [`BudgetExceeded`] diagnostic instead of
-//! hanging the process.  The all-`None` default is free: two `Option`
-//! compares per event.
+//! A discrete-event simulation has three independent axes a bug can run
+//! away along: the *event count* (zero-delay cycles, broadcast storms),
+//! *virtual time* (a termination condition that never becomes true), and
+//! *wall-clock time* (each event legitimate but pathologically slow — the
+//! axis that matters to a resident service whose worker threads are a
+//! shared resource).  A [`RunBudget`] bounds all three; the event loop
+//! checks it after every dispatch and stops with a [`BudgetExceeded`]
+//! diagnostic instead of hanging the process.  The all-`None` default is
+//! free: two `Option` compares per event (the wall axis is only sampled
+//! every [`WALL_CHECK_STRIDE`] dispatches, and only when bounded).
+//!
+//! Unlike the other two axes, the wall axis is *not* deterministic: where
+//! it trips depends on the host machine.  That is fine for its purpose —
+//! a tripped run is a failure to quarantine, never a result to average —
+//! and the supervisor treats it exactly like an event-budget trip.
 
 use crate::time::SimTime;
 use std::fmt;
+
+/// How many dispatches pass between wall-clock samples.  `Instant::now`
+/// is cheap but not free; at a typical ≥ 1M events/s the stride bounds
+/// detection latency to well under a millisecond while keeping the hot
+/// loop clean.
+pub const WALL_CHECK_STRIDE: u64 = 1024;
 
 /// Ceilings for one event loop.  `None` on an axis means unbounded.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -19,13 +33,17 @@ pub struct RunBudget {
     pub max_events: Option<u64>,
     /// Maximum virtual time the clock may reach.
     pub max_sim_time: Option<SimTime>,
+    /// Maximum wall-clock milliseconds a run may consume.  The clock
+    /// starts at the run loop's first budget check.
+    pub max_wall_ms: Option<u64>,
 }
 
 impl RunBudget {
-    /// No ceilings on either axis.
+    /// No ceilings on any axis.
     pub const UNLIMITED: RunBudget = RunBudget {
         max_events: None,
         max_sim_time: None,
+        max_wall_ms: None,
     };
 
     pub fn unlimited() -> Self {
@@ -42,9 +60,14 @@ impl RunBudget {
         self
     }
 
-    /// True when neither axis is bounded (the check is then a no-op).
+    pub fn with_max_wall_ms(mut self, ms: u64) -> Self {
+        self.max_wall_ms = Some(ms);
+        self
+    }
+
+    /// True when no axis is bounded (the check is then a no-op).
     pub fn is_unlimited(&self) -> bool {
-        self.max_events.is_none() && self.max_sim_time.is_none()
+        self.max_events.is_none() && self.max_sim_time.is_none() && self.max_wall_ms.is_none()
     }
 
     /// Check `processed` events at virtual time `now` against the budget.
@@ -72,6 +95,22 @@ impl RunBudget {
         }
         Ok(())
     }
+
+    /// Check `elapsed_ms` of wall time against the wall axis.  Called by
+    /// the schedulers every [`WALL_CHECK_STRIDE`] dispatches (and only
+    /// when the axis is bounded).
+    #[inline]
+    pub fn check_wall(&self, elapsed_ms: u64, processed: u64, now: SimTime) -> Result<(), BudgetExceeded> {
+        match self.max_wall_ms {
+            Some(limit_ms) if elapsed_ms > limit_ms => Err(BudgetExceeded::Wall {
+                limit_ms,
+                elapsed_ms,
+                processed,
+                at: now,
+            }),
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Why a budgeted run was cut short.  Carries enough context to tell an
@@ -86,6 +125,14 @@ pub enum BudgetExceeded {
         limit: SimTime,
         now: SimTime,
         processed: u64,
+    },
+    /// The wall-clock ceiling was crossed (non-deterministic by nature:
+    /// the trip point depends on the host machine).
+    Wall {
+        limit_ms: u64,
+        elapsed_ms: u64,
+        processed: u64,
+        at: SimTime,
     },
 }
 
@@ -106,6 +153,17 @@ impl fmt::Display for BudgetExceeded {
                 "virtual-time budget exceeded: t={:.3}s (limit {:.3}s) after {processed} events",
                 now.as_secs_f64(),
                 limit.as_secs_f64()
+            ),
+            BudgetExceeded::Wall {
+                limit_ms,
+                elapsed_ms,
+                processed,
+                at,
+            } => write!(
+                f,
+                "wall-clock budget exceeded: {elapsed_ms} ms elapsed (limit {limit_ms} ms) after \
+                 {processed} events at t={:.3}s",
+                at.as_secs_f64()
             ),
         }
     }
@@ -155,6 +213,29 @@ mod tests {
     }
 
     #[test]
+    fn wall_ceiling_trips_past_limit() {
+        let b = RunBudget::default().with_max_wall_ms(50);
+        assert!(!b.is_unlimited());
+        assert!(b.check_wall(50, 10, SimTime::ZERO).is_ok());
+        let err = b.check_wall(51, 10, SimTime::from_secs(2)).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetExceeded::Wall {
+                limit_ms: 50,
+                elapsed_ms: 51,
+                processed: 10,
+                at: SimTime::from_secs(2)
+            }
+        );
+        // the deterministic axes are untouched by the wall axis
+        assert!(b.check(u64::MAX, SimTime::MAX).is_ok());
+        // an unbounded wall axis never trips
+        assert!(RunBudget::default()
+            .check_wall(u64::MAX, 0, SimTime::ZERO)
+            .is_ok());
+    }
+
+    #[test]
     fn display_names_the_axis() {
         let e = RunBudget::default()
             .with_max_events(1)
@@ -166,5 +247,10 @@ mod tests {
             .check(0, SimTime::from_secs(1))
             .unwrap_err();
         assert!(t.to_string().contains("virtual-time budget"));
+        let w = RunBudget::default()
+            .with_max_wall_ms(1)
+            .check_wall(2, 0, SimTime::ZERO)
+            .unwrap_err();
+        assert!(w.to_string().contains("wall-clock budget"));
     }
 }

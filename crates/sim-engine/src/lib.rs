@@ -29,7 +29,7 @@ pub mod shard;
 pub mod time;
 
 pub use backend::{AnyQueue, Backend};
-pub use budget::{BudgetExceeded, RunBudget};
+pub use budget::{BudgetExceeded, RunBudget, WALL_CHECK_STRIDE};
 pub use calendar::CalendarQueue;
 pub use pool::{EventPool, PoolStats};
 pub use queue::{EventQueue, PendingEvents};

@@ -1,7 +1,7 @@
 //! The scheduler: virtual clock + pending events + lazy cancellation.
 
 use crate::backend::{AnyQueue, Backend};
-use crate::budget::{BudgetExceeded, RunBudget};
+use crate::budget::{BudgetExceeded, RunBudget, WALL_CHECK_STRIDE};
 use crate::pool::{EventPool, PoolStats};
 use crate::queue::PendingEvents;
 use crate::time::{SimDuration, SimTime};
@@ -43,6 +43,10 @@ pub struct Scheduler<E> {
     processed: u64,
     max_pending: usize,
     budget: RunBudget,
+    /// Anchor of the wall-clock budget axis.  Like `processed`, it spans
+    /// the scheduler's lifetime, so multiple run calls share one wall
+    /// allowance.
+    wall_start: std::time::Instant,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -68,6 +72,7 @@ impl<E> Scheduler<E> {
             processed: 0,
             max_pending: 0,
             budget: RunBudget::UNLIMITED,
+            wall_start: std::time::Instant::now(),
         }
     }
 
@@ -86,9 +91,15 @@ impl<E> Scheduler<E> {
     }
 
     /// Check the dispatched-event count and clock against the budget.
+    /// The wall axis is sampled every [`WALL_CHECK_STRIDE`] dispatches.
     #[inline]
     pub fn check_budget(&self) -> Result<(), BudgetExceeded> {
-        self.budget.check(self.processed, self.now)
+        self.budget.check(self.processed, self.now)?;
+        if self.budget.max_wall_ms.is_some() && self.processed.is_multiple_of(WALL_CHECK_STRIDE) {
+            let elapsed_ms = self.wall_start.elapsed().as_millis() as u64;
+            self.budget.check_wall(elapsed_ms, self.processed, self.now)?;
+        }
+        Ok(())
     }
 
     /// Which backend this scheduler runs on.

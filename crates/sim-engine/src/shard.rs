@@ -27,7 +27,7 @@
 //!
 //! [`Scheduler`]: crate::sched::Scheduler
 
-use crate::budget::{BudgetExceeded, RunBudget};
+use crate::budget::{BudgetExceeded, RunBudget, WALL_CHECK_STRIDE};
 use crate::pool::{EventPool, PoolStats};
 use crate::sched::EventHandle;
 use crate::time::{SimDuration, SimTime};
@@ -64,6 +64,9 @@ pub struct ShardedScheduler<E> {
     live: usize,
     high_water: usize,
     budget: RunBudget,
+    /// Anchor of the wall-clock budget axis (spans the scheduler's
+    /// lifetime, like `processed`).
+    wall_start: std::time::Instant,
 }
 
 impl<E> ShardedScheduler<E> {
@@ -85,6 +88,7 @@ impl<E> ShardedScheduler<E> {
             live: 0,
             high_water: 0,
             budget: RunBudget::UNLIMITED,
+            wall_start: std::time::Instant::now(),
         }
     }
 
@@ -105,9 +109,15 @@ impl<E> ShardedScheduler<E> {
     }
 
     /// Check the dispatched-event count and clock against the budget.
+    /// The wall axis is sampled every [`WALL_CHECK_STRIDE`] dispatches.
     #[inline]
     pub fn check_budget(&self) -> Result<(), BudgetExceeded> {
-        self.budget.check(self.processed, self.now)
+        self.budget.check(self.processed, self.now)?;
+        if self.budget.max_wall_ms.is_some() && self.processed.is_multiple_of(WALL_CHECK_STRIDE) {
+            let elapsed_ms = self.wall_start.elapsed().as_millis() as u64;
+            self.budget.check_wall(elapsed_ms, self.processed, self.now)?;
+        }
+        Ok(())
     }
 
     /// Current virtual time.

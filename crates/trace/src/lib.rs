@@ -28,14 +28,16 @@
 
 pub mod digest;
 pub mod event;
+pub mod filter;
 pub mod profile;
 pub mod recorder;
 pub mod registry;
 
 pub use digest::{Fnv64, TraceDigest};
 pub use event::{Event, EventKind, FaultKind, Labels, Layer};
+pub use filter::EventFilter;
 pub use profile::SchedProfile;
-pub use recorder::{Recorder, TraceMode};
+pub use recorder::{EventSink, Recorder, TraceMode};
 pub use registry::{Histogram, Registry};
 
 /// Render a whole trace as classic one-line-per-event text (ns-2 style).

@@ -3,7 +3,16 @@
 use crate::digest::{Fnv64, TraceDigest};
 use crate::event::Event;
 use crate::profile::SchedProfile;
+use std::fmt;
 use std::io::{self, Write};
+use std::sync::Arc;
+
+/// A live event tap: called with every recorded event, in recording
+/// order, from the simulation thread.  Implementations must never block
+/// (the sweep service hands events to bounded per-subscriber buffers that
+/// drop-and-count on overflow precisely so a slow consumer cannot stall
+/// the simulation through this hook).
+pub type EventSink = Arc<dyn Fn(&Event) + Send + Sync>;
 
 /// How much a [`Recorder`] keeps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,12 +31,25 @@ pub enum TraceMode {
 /// The world holds an `Option<Recorder>`; with `None` the emission sites
 /// compile down to a branch on a discriminant and construct no event
 /// (zero-cost-when-disabled, same discipline as `Ctx::note`).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Recorder {
     digest: Fnv64,
     count: u64,
     buf: Option<Vec<Event>>,
     profile: SchedProfile,
+    sink: Option<EventSink>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("digest", &self.digest)
+            .field("count", &self.count)
+            .field("buf", &self.buf)
+            .field("profile", &self.profile)
+            .field("sink", &self.sink.as_ref().map(|_| "EventSink"))
+            .finish()
+    }
 }
 
 impl Recorder {
@@ -40,7 +62,15 @@ impl Recorder {
                 TraceMode::Full => Some(Vec::new()),
             },
             profile: SchedProfile::new(),
+            sink: None,
         }
+    }
+
+    /// Attach a live event tap (the sweep service's streaming hook).  The
+    /// sink sees every subsequent event in recording order; it does not
+    /// affect the digest, the buffer, or the profile.
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.sink = Some(sink);
     }
 
     #[inline]
@@ -49,6 +79,9 @@ impl Recorder {
         self.count += 1;
         if let Some(buf) = &mut self.buf {
             buf.push(ev);
+        }
+        if let Some(sink) = &self.sink {
+            sink(&ev);
         }
     }
 

@@ -1,0 +1,344 @@
+//! Chaos-client acceptance suite for the resident sweep service
+//! (DESIGN.md §13): real `sweepd` semantics — a [`Server`] over the real
+//! [`EcgridJobHandler`] — attacked the ways production clients fail.
+//!
+//! * a client killed mid-stream must leave the server healthy and the
+//!   job running to completion;
+//! * submissions past the admission bound are shed with a retry hint,
+//!   never queued unboundedly, never hung;
+//! * a graceful drain mid-sweep followed by a restart must resume the
+//!   interrupted job from its journal checkpoint and reproduce the
+//!   uninterrupted averaged results bit for bit;
+//! * a subscriber too slow to keep up loses frames (counted in its
+//!   `bye`) — but never stalls the simulation or perturbs its digest.
+//!
+//! Timing discipline: the tiny scenarios here complete in milliseconds,
+//! faster than a TCP subscription can attach.  Tests that must observe a
+//! job *while it runs* therefore use a single-worker server and park a
+//! larger "filler" job in front of the target, subscribing while the
+//! target is still queued — deterministic, no sleeps against the race.
+
+use ecgrid_suite::runner::supervisor::SupervisorConfig;
+use ecgrid_suite::runner::{EcgridJobHandler, RunOptions};
+use ecgrid_suite::service::proto::{FilterSpec, JobSpec, Request};
+use ecgrid_suite::service::{json, Client, ClientConfig, DoneInfo, Server, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Milliseconds of wall in a debug build, yet thousands of trace frames —
+/// plenty to stress a bounded subscriber buffer.
+fn tiny_spec(seed: u64, replicas: u64) -> JobSpec {
+    JobSpec {
+        n_hosts: 12,
+        duration_secs: 15.0,
+        n_flows: 2,
+        model1_endpoints: 2,
+        seed,
+        replicas,
+        ..JobSpec::default()
+    }
+}
+
+/// A job big enough to hold a single worker busy while a test attaches a
+/// subscription to the job queued behind it.
+fn filler_spec() -> JobSpec {
+    JobSpec {
+        n_hosts: 50,
+        duration_secs: 600.0,
+        n_flows: 2,
+        model1_endpoints: 2,
+        seed: 77,
+        replicas: 1,
+        ..JobSpec::default()
+    }
+}
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from("target/service_test").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(dir: &str, cfg: ServiceConfig) -> Server {
+    let handler = Arc::new(EcgridJobHandler::new(
+        RunOptions::default(),
+        SupervisorConfig::default(),
+    ));
+    Server::start(
+        cfg.with_addr("127.0.0.1:0").with_state_dir(state_dir(dir)),
+        handler,
+    )
+    .expect("server start")
+}
+
+fn connect(server: &Server) -> Client {
+    let cfg = ClientConfig::default()
+        .with_addr(server.local_addr().to_string())
+        .with_backoff(5, 100, 1);
+    Client::connect(cfg).expect("client connect")
+}
+
+/// Raw subscription socket: sends the subscribe request and returns the
+/// connected stream (reply and frames unread).
+fn raw_subscribe(server: &Server, job: u64) -> TcpStream {
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    let sub = Request::Subscribe {
+        job,
+        filter: FilterSpec::default(),
+    };
+    writeln!(sock, "{}", sub.encode()).unwrap();
+    sock
+}
+
+/// Poll job status until it reaches a terminal state.
+fn await_terminal(client: &mut Client, job: u64, deadline: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        let st = client
+            .request_idempotent(&Request::Status { job: Some(job) })
+            .expect("status");
+        let state = json::field(&st, "state").unwrap_or("?").to_string();
+        if state != "queued" && state != "running" {
+            return state;
+        }
+        assert!(start.elapsed() < deadline, "job {job} stuck in {state}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn killed_client_mid_stream_leaves_the_server_healthy() {
+    let server = start_server("killed_client", ServiceConfig::default().with_workers(1));
+    let mut client = connect(&server);
+    client.submit_until_accepted(&filler_spec(), 0).expect("filler");
+    let (job, _) = client.submit_until_accepted(&tiny_spec(3, 1), 0).expect("submit");
+
+    // a raw subscriber that reads a few frames and then dies without so
+    // much as a goodbye — the way a Ctrl-C'd terminal client does
+    {
+        let sock = raw_subscribe(&server, job);
+        sock.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut reader = BufReader::new(sock);
+        let mut line = String::new();
+        for _ in 0..5 {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+        }
+        // dropped here, mid-stream
+    }
+
+    // the sim is unperturbed: the job completes and the server still
+    // answers on fresh connections
+    assert_eq!(await_terminal(&mut client, job, Duration::from_secs(120)), "done");
+    let pong = client
+        .request_idempotent(&Request::Ping)
+        .expect("ping after kill");
+    assert_eq!(json::field(&pong, "pong"), Some("sweepd"));
+    let stats = client.request_idempotent(&Request::Stats).expect("stats");
+    assert_eq!(json::u64_field(&stats, "completed"), Some(2));
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
+fn submissions_past_the_admission_bound_are_shed_not_queued() {
+    // one worker, a queue of one: the third concurrent submission must
+    // be shed with the configured hint, and the reply must be immediate
+    let server = start_server(
+        "shed",
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_capacity(1)
+            .with_retry_after_ms(123),
+    );
+    let mut client = connect(&server);
+
+    let (running, _) = client.submit_until_accepted(&filler_spec(), 0).expect("first");
+    // wait until the worker picked it up, so the queue is empty again
+    let start = Instant::now();
+    loop {
+        let st = client
+            .request_idempotent(&Request::Status { job: Some(running) })
+            .unwrap();
+        if json::field(&st, "state") == Some("running") {
+            break;
+        }
+        assert!(start.elapsed() < Duration::from_secs(30), "job never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // fills the queue slot
+    client.submit_until_accepted(&tiny_spec(6, 1), 0).expect("queued");
+
+    // past the bound: shed, immediately, with the server's hint
+    let t = Instant::now();
+    match client.submit(&tiny_spec(7, 1)).expect("exchange") {
+        ecgrid_suite::service::SubmitOutcome::Shed { retry_after_ms } => {
+            assert_eq!(retry_after_ms, 123);
+        }
+        other => panic!("expected shed, got {other:?}"),
+    }
+    assert!(t.elapsed() < Duration::from_secs(5), "shed reply must not block");
+    let stats = client.request_idempotent(&Request::Stats).unwrap();
+    assert_eq!(json::u64_field(&stats, "shed"), Some(1));
+
+    server.request_shutdown();
+    server.wait();
+}
+
+fn digests_and_bits(info: &DoneInfo) -> (Vec<String>, Option<u64>, Option<u64>) {
+    (
+        info.digests.clone(),
+        info.pdr.map(f64::to_bits),
+        info.latency_ms.map(f64::to_bits),
+    )
+}
+
+#[test]
+fn drain_mid_sweep_then_restart_resumes_bit_for_bit() {
+    let spec = tiny_spec(9, 3);
+
+    // ground truth: the same job on an uninterrupted server
+    let baseline = {
+        let server = start_server("resume_baseline", ServiceConfig::default());
+        let mut client = connect(&server);
+        let (job, _) = client.submit_until_accepted(&spec, 0).expect("submit");
+        let info = client
+            .stream_job(job, &FilterSpec::default(), |_| {})
+            .expect("stream");
+        server.request_shutdown();
+        server.wait();
+        assert_eq!(info.completed, 3);
+        info
+    };
+
+    // run 1: drain mid-sweep.  The filler keeps the single worker busy
+    // while the subscription attaches to the queued target; the drain
+    // fires on the target's first live event, i.e. during replica 0 —
+    // the flag is only checked between replicas, so replica 0 still
+    // finishes into the journal and replicas 1-2 are left to resume.
+    let cfg = || {
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_state_dir("target/service_test/resume_drained")
+    };
+    let _ = std::fs::remove_dir_all("target/service_test/resume_drained");
+    let interrupted_job;
+    {
+        let handler = Arc::new(EcgridJobHandler::new(
+            RunOptions::default(),
+            SupervisorConfig::default(),
+        ));
+        let server = Server::start(cfg().with_addr("127.0.0.1:0"), handler).unwrap();
+        let mut client = connect(&server);
+        client.submit_until_accepted(&filler_spec(), 0).expect("filler");
+        let (job, _) = client.submit_until_accepted(&spec, 0).expect("submit");
+        interrupted_job = job;
+        let handle = server.handle();
+        let info = client
+            .stream_job(job, &FilterSpec::default(), |frame| {
+                if json::field(frame, "stream") == Some("event") {
+                    handle.request_shutdown();
+                }
+            })
+            .expect("stream through drain");
+        let summary = server.wait();
+        assert_eq!(summary.submitted, 2);
+        assert_eq!(info.state, Some(ecgrid_suite::service::JobState::Interrupted));
+        assert!(info.completed >= 1, "replica 0 checkpointed before the drain");
+        assert!(info.completed < 3, "the drain interrupted real work");
+    }
+
+    // run 2: a fresh process over the same state dir recovers the
+    // interrupted job from its manifest and finishes it — journaled
+    // replicas load, the rest run fresh, and the averaged result is
+    // bit-identical to the uninterrupted baseline
+    {
+        let handler = Arc::new(EcgridJobHandler::new(
+            RunOptions::default(),
+            SupervisorConfig::default(),
+        ));
+        let server = Server::start(cfg().with_addr("127.0.0.1:0"), handler).unwrap();
+        let mut client = connect(&server);
+        let info = client
+            .stream_job(interrupted_job, &FilterSpec::default(), |_| {})
+            .expect("stream resumed");
+        let summary = {
+            server.request_shutdown();
+            server.wait()
+        };
+        assert_eq!(summary.recovered, 1, "manifest rescan requeued the job");
+        assert_eq!(info.completed, 3);
+        assert!(info.from_journal >= 1, "checkpointed replicas were reused");
+        assert!(info.from_journal < 3, "the drain left real work to resume");
+        assert_eq!(digests_and_bits(&info), digests_and_bits(&baseline));
+    }
+}
+
+#[test]
+fn slow_subscriber_drops_frames_without_stalling_or_perturbing_the_sim() {
+    // a subscriber buffer this small cannot absorb a replica's thousands
+    // of trace frames: the hub must drop for this subscriber (and count
+    // it) rather than apply backpressure to the simulation
+    let server = start_server(
+        "slow_sub",
+        ServiceConfig::default().with_workers(1).with_subscriber_buffer(8),
+    );
+    let mut client = connect(&server);
+    client.submit_until_accepted(&filler_spec(), 0).expect("filler");
+    let (job, _) = client.submit_until_accepted(&tiny_spec(3, 1), 0).expect("submit");
+
+    // subscribe while the target is queued, then read deliberately slowly
+    // — far below the sim's frame rate, but steadily enough that the
+    // connection stays alive
+    let sock = raw_subscribe(&server, job);
+    sock.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let slow_reader = std::thread::spawn(move || {
+        let mut reader = BufReader::new(sock);
+        let mut line = String::new();
+        let mut n = 0u64;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                return None;
+            }
+            if json::field(&line, "stream") == Some("bye") {
+                return Some(line.trim().to_string());
+            }
+            n += 1;
+            if n.is_multiple_of(64) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    });
+
+    assert_eq!(await_terminal(&mut client, job, Duration::from_secs(120)), "done");
+    let bye = slow_reader
+        .join()
+        .expect("reader thread")
+        .expect("slow subscriber still gets a bye");
+    let dropped = json::u64_field(&bye, "dropped").unwrap_or(0);
+    assert!(dropped > 0, "an 8-frame buffer cannot hold a full run: {bye}");
+
+    // the sim's result was not perturbed by the struggling subscriber:
+    // the digest in the terminal status matches a fresh journal replay
+    let st = client
+        .request_idempotent(&Request::Status { job: Some(job) })
+        .unwrap();
+    let digest = json::field(&st, "digests").unwrap_or("").to_string();
+    assert!(!digest.is_empty());
+    let replay = client
+        .stream_job(job, &FilterSpec::default(), |_| {})
+        .expect("replay");
+    assert_eq!(
+        replay.digests.join(";"),
+        digest,
+        "digest perturbed by slow subscriber"
+    );
+
+    server.request_shutdown();
+    server.wait();
+}

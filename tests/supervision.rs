@@ -314,3 +314,79 @@ fn ci_supervised_sweep_with_chaos_faults_and_injected_panic() {
     let body = std::fs::read_to_string(&journal).unwrap();
     assert_eq!(body.lines().count(), 2, "{body}");
 }
+
+#[test]
+fn journal_survives_garbage_bytes_and_dedupes_duplicate_entries() {
+    let sc = tiny(43, 12);
+    let opts = RunOptions::digest();
+    let dir = artifacts_dir().join("journal_hardening");
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = dir.join("journal.jsonl");
+    let sup = SupervisorConfig::default().with_journal(journal.clone());
+
+    let fresh = sweep_supervised(&[sc], 2, opts, &sup);
+    assert_eq!(fresh.completed, 2);
+
+    // corrupt the file the way a disk hiccup would: raw invalid-UTF-8
+    // garbage splattered between the records, plus a full duplicate of
+    // the first record (as if a resumed sweep double-appended)
+    let body = std::fs::read(&journal).unwrap();
+    let text = String::from_utf8(body.clone()).unwrap();
+    let first_line = text.lines().next().unwrap().to_string();
+    let mut sabotaged: Vec<u8> = Vec::new();
+    sabotaged.extend_from_slice(&[0xff, 0xfe, 0x00, 0x80, b'\n']);
+    sabotaged.extend_from_slice(&body);
+    sabotaged.extend_from_slice(b"\xc3\x28 not json either\n");
+    sabotaged.extend_from_slice(first_line.as_bytes());
+    sabotaged.extend_from_slice(b"\n");
+    std::fs::write(&journal, &sabotaged).unwrap();
+
+    // the resume still reuses both real records, reruns nothing, counts
+    // the two garbage lines and the duplicate as anomalies, and matches
+    // the fresh run bit for bit
+    let resumed = sweep_supervised(&[sc], 2, opts, &sup);
+    assert_eq!(resumed.completed, 0, "no rerun despite the corruption");
+    assert_eq!(resumed.from_journal, 2);
+    assert_eq!(
+        resumed.malformed_journal_lines, 3,
+        "two garbage lines + one duplicate entry"
+    );
+    assert!(resumed.quarantined.is_empty());
+    for (a, b) in resumed.averaged.iter().zip(&fresh.averaged) {
+        assert_bits_eq(a, b);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wall_budget_terminates_a_pathological_replica_and_quarantines_it() {
+    // a scenario far too big to finish in 30ms of wall time: the wall
+    // watchdog must stop it promptly (not pin the worker) and quarantine
+    // with the wall-specific diagnostic; no retry, because wall trips are
+    // non-deterministic and must never burn the retry budget
+    let sc = tiny(47, 40);
+    let big = Scenario {
+        duration_secs: 10_000.0,
+        ..sc
+    };
+    let sup = SupervisorConfig::default()
+        .with_max_retries(0)
+        .with_wall_budget_ms(Some(30));
+    let start = std::time::Instant::now();
+    let report = sweep_supervised(&[big], 1, RunOptions::default(), &sup);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "watchdog failed to stop the run promptly"
+    );
+    assert!(report.averaged.is_empty());
+    assert_eq!(report.quarantined.len(), 1);
+    let f = &report.quarantined[0].failures[0];
+    match &f.kind {
+        FailureKind::Budget(b) => {
+            let msg = b.to_string();
+            assert!(msg.contains("wall"), "wrong exit reason: {msg}");
+        }
+        other => panic!("expected a budget failure, got {other:?}"),
+    }
+    assert!(f.events_processed > 0, "the run made real progress first");
+}
