@@ -31,7 +31,7 @@
 use ecgrid::{Ecgrid, EcgridConfig};
 use geo::{GridMap, Point2};
 use manet::trace::TraceMode;
-use manet::{HostSetup, NeighborIndex, NodeId, World, WorldConfig};
+use manet::{auto_gather_threshold, HostSetup, NeighborIndex, NodeId, World, WorldConfig};
 use mobility::{MobilityModel, RandomWaypoint};
 use radio::{ChannelState, SpatialIndex};
 use sim_engine::{RngFactory, SimTime, SplitMix64};
@@ -92,6 +92,29 @@ pub fn broadcast_round_brute(points: &[Point2]) -> u64 {
     acc
 }
 
+/// The simulator's Chebyshev cell reach on the paper grid (250 m range,
+/// 100 m cells — same derivation as `World::new`); its occupancy
+/// crossover `auto_gather_threshold(4) = 243` sits between the bench's
+/// historically regressing scales (N ≤ 200) and its winning ones
+/// (N ≥ 500).
+pub const PAPER_REACH_CELLS: i32 = 4;
+
+/// The adaptive geometry round — the micro-bench analogue of
+/// `GatherFallback::Auto`.  At low N the range-sized 3×3 bucket
+/// neighborhood spans most of the constant-density field, so bucket
+/// headers and the merge-sort are pure overhead over the
+/// branch-predictable linear scan (the 0.34x–0.87x regression band);
+/// populations at or below the simulator's own occupancy crossover
+/// therefore take the brute round, larger ones query the index.
+/// Checksum-compatible with both fixed rounds by construction.
+pub fn broadcast_round_auto(points: &[Point2], idx: &SpatialIndex, scratch: &mut Vec<u32>) -> u64 {
+    if points.len() <= auto_gather_threshold(PAPER_REACH_CELLS) {
+        broadcast_round_brute(points)
+    } else {
+        broadcast_round_grid(points, idx, scratch)
+    }
+}
+
 /// One grid broadcast round: every host gathers its 3×3 bucket
 /// neighborhood and applies the same exact filter.  Checksum-compatible
 /// with [`broadcast_round_brute`].
@@ -106,6 +129,14 @@ pub fn broadcast_round_grid(points: &[Point2], idx: &SpatialIndex, scratch: &mut
         }
     }
     acc
+}
+
+/// Population above which the simulator enables the channel's spatial
+/// bucket structure (`World::new`'s `channel_spatial` policy) — the
+/// carrier-sense bench follows the same crossover so its bucketed leg
+/// measures what the simulator actually runs at each N.
+pub fn channel_spatial_threshold() -> usize {
+    auto_gather_threshold(PAPER_REACH_CELLS)
 }
 
 /// A channel loaded with `k` in-flight transmissions spread over the
@@ -158,6 +189,20 @@ pub fn build_world_sharded(
     seed: u64,
     shards: Option<usize>,
 ) -> World<Ecgrid> {
+    build_world_parallel(n, duration_secs, mode, seed, shards, 1)
+}
+
+/// [`build_world_sharded`] with `threads` worker lanes for the parallel
+/// engine's host-plane kernels (ignored on the serial engine).
+/// Digest-identical at every T.
+pub fn build_world_parallel(
+    n: usize,
+    duration_secs: f64,
+    mode: NeighborIndex,
+    seed: u64,
+    shards: Option<usize>,
+    threads: usize,
+) -> World<Ecgrid> {
     let side = field_side(n);
     let mut cfg = WorldConfig {
         grid: GridMap::new(side, side, 100.0),
@@ -165,7 +210,7 @@ pub fn build_world_sharded(
     }
     .with_neighbor_index(mode);
     if let Some(k) = shards {
-        cfg = cfg.with_parallel_world(k);
+        cfg = cfg.with_parallel_world(k).with_threads(threads);
     }
     let end = SimTime::from_secs_f64(duration_secs);
     let horizon = end + sim_engine::SimDuration::from_secs(10);
@@ -239,7 +284,20 @@ pub fn run_end_to_end_sharded(
     seed: u64,
     shards: Option<usize>,
 ) -> EndToEnd {
-    let mut world = build_world_sharded(n, duration_secs, mode, seed, shards);
+    run_end_to_end_parallel(n, duration_secs, mode, seed, shards, 1)
+}
+
+/// [`run_end_to_end_sharded`] with `threads` worker lanes.  The digest
+/// must equal the serial run's at every T — the bench caller asserts it.
+pub fn run_end_to_end_parallel(
+    n: usize,
+    duration_secs: f64,
+    mode: NeighborIndex,
+    seed: u64,
+    shards: Option<usize>,
+    threads: usize,
+) -> EndToEnd {
+    let mut world = build_world_parallel(n, duration_secs, mode, seed, shards, threads);
     let end = SimTime::from_secs_f64(duration_secs);
     let start = Instant::now();
     world.run_until(end);
@@ -269,7 +327,20 @@ mod tests {
                 broadcast_round_grid(&pts, &idx, &mut scratch),
                 "n={n}: rounds disagree"
             );
+            assert_eq!(
+                broadcast_round_brute(&pts),
+                broadcast_round_auto(&pts, &idx, &mut scratch),
+                "n={n}: adaptive round disagrees"
+            );
         }
+    }
+
+    #[test]
+    fn auto_round_crossover_matches_the_simulator() {
+        // brute side of the crossover at the regression band, grid side
+        // above it — the whole point of routing through the threshold
+        assert!(auto_gather_threshold(PAPER_REACH_CELLS) >= 200);
+        assert!(auto_gather_threshold(PAPER_REACH_CELLS) < 500);
     }
 
     #[test]
@@ -307,5 +378,8 @@ mod tests {
         let sharded = run_end_to_end_sharded(50, 5.0, NeighborIndex::Grid, 3, Some(4));
         assert_eq!(sharded.digest, grid.digest, "sharded engine diverged");
         assert_eq!(sharded.events, grid.events);
+        let threaded = run_end_to_end_parallel(50, 5.0, NeighborIndex::Grid, 3, Some(4), 2);
+        assert_eq!(threaded.digest, grid.digest, "threaded engine diverged");
+        assert_eq!(threaded.events, grid.events);
     }
 }

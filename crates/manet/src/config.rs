@@ -64,9 +64,25 @@ pub struct WorldConfig {
     /// `tests/parallel_equivalence.rs`); the win is per-shard channel
     /// bookkeeping amortized to epoch barriers.  See DESIGN.md §12.
     pub parallel_world: bool,
-    /// Shard count for `parallel_world` (clamped to ≥ 1).  Ignored by the
-    /// serial engine.
+    /// Shard count for `parallel_world`.  `0` means auto: derive K from
+    /// `std::thread::available_parallelism`.  Ignored by the serial
+    /// engine.
     pub shards: usize,
+    /// Worker-thread count for `parallel_world`: the host-plane kernels
+    /// (energy integration, mobility evaluation, reception verdicts,
+    /// paging scans) fan out over this many lanes, while dispatch and
+    /// all state commits stay on the caller in exact serial order — so
+    /// replays are bit-identical to the serial engine at every T
+    /// (proven by `tests/parallel_equivalence.rs`).  `1` runs every
+    /// kernel inline (no threads spawned); `0` means auto:
+    /// `min(shards, available_parallelism)`.  Ignored by the serial
+    /// engine.  See DESIGN.md §14.
+    pub threads: usize,
+}
+
+/// The host's available hardware parallelism (1 when detection fails).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl WorldConfig {
@@ -87,6 +103,32 @@ impl WorldConfig {
             gather_fallback: GatherFallback::default(),
             parallel_world: false,
             shards: 1,
+            threads: 1,
+        }
+    }
+
+    /// The shard count a world built from this config will actually use:
+    /// `shards`, with `0` resolved to the host's parallelism.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            host_parallelism()
+        } else {
+            self.shards
+        }
+    }
+
+    /// The worker-lane count a world built from this config will actually
+    /// use: `threads`, with `0` resolved to
+    /// `min(resolved_shards, available_parallelism)`.  Always 1 on the
+    /// serial engine.
+    pub fn resolved_threads(&self) -> usize {
+        if !self.parallel_world {
+            return 1;
+        }
+        if self.threads == 0 {
+            host_parallelism().min(self.resolved_shards()).max(1)
+        } else {
+            self.threads
         }
     }
 
@@ -121,10 +163,17 @@ impl WorldConfig {
     }
 
     /// Same configuration on the sharded conservative-sync engine with
-    /// `shards` strips (clamped to ≥ 1).
+    /// `shards` strips (`0` = auto from the host's parallelism).
     pub fn with_parallel_world(mut self, shards: usize) -> Self {
         self.parallel_world = true;
-        self.shards = shards.max(1);
+        self.shards = shards;
+        self
+    }
+
+    /// Same configuration with `threads` worker lanes for the parallel
+    /// engine (`0` = auto: `min(shards, available_parallelism)`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

@@ -40,7 +40,7 @@ pub mod stats;
 pub mod testkit;
 pub mod world;
 
-pub use config::{HostSetup, WorldConfig};
+pub use config::{host_parallelism, HostSetup, WorldConfig};
 pub use ctx::{AppPacket, Ctx, NodeView, TimerId};
 pub use progress::ProgressProbe;
 pub use protocol::{Protocol, WireSize};

@@ -19,7 +19,8 @@ use radio::{
 use rand::rngs::StdRng;
 use rand::Rng;
 use sim_engine::{
-    BudgetExceeded, EventHandle, RngFactory, Scheduler, ShardedScheduler, SimDuration, SimTime,
+    chunk_count, BudgetExceeded, EventHandle, Mailbox, RngFactory, Scheduler, ShardedScheduler, SimDuration,
+    SimTime, SlicePtr, WorkerPool,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -39,6 +40,46 @@ const SHARD_GC_STRIDE: SimDuration = SimDuration(CHANNEL_GC_GRACE.0 / 4);
 
 /// Interface queue depth (frames); the tail is dropped beyond this.
 const MAC_QUEUE_CAP: usize = 128;
+
+/// Minimum item count before a host-plane kernel fans out over the
+/// worker pool; below this the original serial loop runs unchanged.
+/// The threshold trades fork–join latency against per-item work — and
+/// because chunk layout only partitions *where* slot/lane outputs are
+/// written, never their merge order, it cannot affect results.
+const PAR_MIN_ITEMS: usize = 96;
+
+/// Chunk size for a parallel section: large enough to amortize handoff,
+/// small enough that `threads * 4` chunks exist for load balance.
+fn par_grain(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 4)).clamp(64, 4096)
+}
+
+/// Phase-1 output of a probe kernel, posted to the barrier mailbox only
+/// for *notable* hosts (battery class changed, died, or page-addressed);
+/// unremarkable hosts need no serial commit at all, exactly as their
+/// serial `touch` would have been observably inert.
+#[derive(Clone, Copy)]
+struct ProbeMsg {
+    node: u32,
+    /// `Some` iff a recorder is attached (mirrors `touch`'s level gate).
+    level: Option<EnergyLevel>,
+    alive: bool,
+    /// Page kernel only: alive, inside paging range, and addressed.
+    hit: bool,
+}
+
+/// Phase-1 output of the tx-end receiver kernel, one dense slot per
+/// frozen receiver: the serial commit loop interleaves emissions per
+/// receiver, so every receiver needs its verdict addressable by index
+/// (a mailbox's notable-only stream would not line up).
+#[derive(Clone, Copy, Default)]
+struct TxProbe {
+    level: Option<EnergyLevel>,
+    alive: bool,
+    /// Collision verdict from the channel, valid whenever the receiver
+    /// could still hear the frame (pure query; computed unconditionally).
+    corrupt: bool,
+}
 
 #[derive(Debug)]
 enum Event {
@@ -336,6 +377,8 @@ struct ShardRuntime {
 pub struct ShardStats {
     /// Shard count K.
     pub shards: usize,
+    /// Worker-lane count T of the host-plane kernels (1 = inline).
+    pub threads: usize,
     /// Live hosts currently owned by each shard.
     pub members: Vec<u32>,
     /// Cell crossings that moved a host between shards.
@@ -478,6 +521,21 @@ pub struct World<P: Protocol> {
     recv_pool: Vec<Vec<NodeId>>,
     /// Scratch success list for `tx_end`.
     succ_buf: Vec<NodeId>,
+    /// Worker pool of the threaded engine (`parallel_world` with
+    /// `threads > 1`); `None` runs every host-plane kernel inline.
+    exec: Option<WorkerPool>,
+    /// Resolved worker-lane count (1 on the serial engine).
+    threads: usize,
+    /// Barrier mailbox of the probe kernels: phase 1 posts notable hosts
+    /// into chunk-owned lanes, the commit phase drains them in lane
+    /// order — which is ascending-id order, the serial loops' order.
+    probe_mail: Mailbox<ProbeMsg>,
+    /// Drained-message scratch (reused; the commit loop needs `&mut self`).
+    probe_msgs: Vec<ProbeMsg>,
+    /// Per-candidate receiver verdicts of the tx-freeze kernel.
+    freeze_flags: Vec<bool>,
+    /// Per-receiver verdicts of the tx-end kernel.
+    txend_slots: Vec<TxProbe>,
     started: bool,
     /// Supervisor-shared progress counters (see [`ProgressProbe`]).
     probe: Option<Arc<ProgressProbe>>,
@@ -497,6 +555,12 @@ impl<P: Protocol> World<P> {
         assert!(!hosts.is_empty(), "a world needs hosts");
         let rngs = RngFactory::new(cfg.seed);
         let n_hosts = hosts.len();
+        // Auto-parallelism: shards == 0 / threads == 0 resolve against the
+        // host here, once, so every downstream consumer (stats, metadata
+        // echoes) reports the values actually in effect.
+        let k_shards = cfg.resolved_shards().max(1);
+        let threads = cfg.resolved_threads().max(1);
+        let exec = (cfg.parallel_world && threads > 1).then(|| WorkerPool::new(threads));
         let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
         // Bucketed carrier-sense/interference queries ride the same
         // toggle as receiver discovery, so `brute` really is the
@@ -513,7 +577,7 @@ impl<P: Protocol> World<P> {
                 cfg.grid.cells_x().max(1) as usize,
                 cfg.grid.cell_side(),
                 cfg.grid.width(),
-                cfg.shards.max(1),
+                k_shards,
             );
             let mut ch = ShardedChannel::new(cfg.range_m, map);
             ch.set_capture_ratio(cfg.capture_ratio);
@@ -563,7 +627,7 @@ impl<P: Protocol> World<P> {
             // heaps keyed (time, global_seq).  Dispatch order is the same
             // contract either backend honors, so nothing observable
             // depends on the difference.
-            let mut s = ShardedScheduler::new(cfg.shards.max(1));
+            let mut s = ShardedScheduler::new(k_shards);
             s.set_budget(cfg.budget);
             WorldSched::Sharded(s)
         } else {
@@ -577,7 +641,7 @@ impl<P: Protocol> World<P> {
                 cfg.grid.cells_x().max(1) as usize,
                 cfg.grid.cell_side(),
                 cfg.grid.width(),
-                cfg.shards.max(1),
+                k_shards,
             );
             let mut members = vec![0u32; map.shard_count()];
             for c in &soa.cells {
@@ -625,6 +689,12 @@ impl<P: Protocol> World<P> {
             gather_buf: Vec::new(),
             recv_pool: Vec::new(),
             succ_buf: Vec::new(),
+            exec,
+            threads,
+            probe_mail: Mailbox::new(),
+            probe_msgs: Vec::new(),
+            freeze_flags: Vec::new(),
+            txend_slots: Vec::new(),
             started: false,
             probe: None,
             budget_exceeded: None,
@@ -782,11 +852,18 @@ impl<P: Protocol> World<P> {
         self.sched.pool_stats()
     }
 
+    /// Resolved worker-lane count of the host-plane kernels (1 on the
+    /// serial engine and whenever kernels run inline).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Shard and migration counters of a parallel world; `None` on the
     /// serial engine.
     pub fn shard_stats(&self) -> Option<ShardStats> {
         self.shards.as_ref().map(|sr| ShardStats {
             shards: sr.map.shard_count(),
+            threads: self.threads,
             members: sr.members.clone(),
             migrations: sr.migrations,
             barriers: sr.barriers,
@@ -983,11 +1060,9 @@ impl<P: Protocol> World<P> {
             }
         }
         // integrate everyone to the end instant for exact final energy —
-        // a pure linear pass over the meter array
+        // a pure linear pass over the meter array (chunked when threaded)
         let now = self.sched.now();
-        for m in &mut self.hosts.meters {
-            m.advance(now);
-        }
+        self.advance_all_meters(now);
         RunOutput {
             alive: self.alive_series.clone(),
             aen: self.aen_series.clone(),
@@ -1183,16 +1258,25 @@ impl<P: Protocol> World<P> {
         meter.advance(now);
         // battery level-class boundary crossings only need detecting when a
         // recorder is attached (level() divides; touch is the hottest path)
+        let level = if tracing { Some(meter.level()) } else { None };
+        let alive = meter.is_alive();
+        self.commit_probe(node, level, alive)
+    }
+
+    /// The post-advance half of [`World::touch`]: level-class change
+    /// detection, death bookkeeping, and the associated emissions.  The
+    /// threaded kernels run the advance half in parallel, then replay
+    /// this commit serially in ascending-id order — the exact order the
+    /// serial loops produce — so both paths share one implementation.
+    fn commit_probe(&mut self, node: NodeId, level: Option<EnergyLevel>, alive: bool) -> bool {
+        let i = node.index();
         let mut level_change = None;
-        if tracing {
-            let level = meter.level();
+        if let Some(level) = level {
             if level != self.hosts.last_levels[i] {
                 level_change = Some((self.hosts.last_levels[i], level));
                 self.hosts.last_levels[i] = level;
             }
         }
-        let meter = &self.hosts.meters[i];
-        let alive = meter.is_alive();
         let newly_dead = !alive && !self.hosts.dead_handled[i];
         if newly_dead {
             self.hosts.dead_handled[i] = true;
@@ -1224,6 +1308,111 @@ impl<P: Protocol> World<P> {
     fn log_system(&mut self, node: NodeId, text: &str) {
         if let Some(log) = &mut self.trace_log {
             log.push((self.sched.now(), node, text.to_string()));
+        }
+    }
+
+    // ----- threaded host-plane kernels --------------------------------
+    //
+    // The threaded engine keeps the serial dispatch spine — one event at
+    // a time, in the proven merge order — and fans out the *data plane*
+    // inside the all-host handlers: per-host energy integration, mobility
+    // evaluation, and reception verdicts are pure per-host computations,
+    // so they run on worker chunks (phase 1) while every state mutation,
+    // RNG draw, and trace emission replays serially at the barrier
+    // (phase 2) in ascending-id order.  Phase 1 reads nothing phase 2
+    // writes for a *different* host (levels, death flags, MAC state are
+    // strictly per-host; traces/cells/channel are read-only here), so the
+    // interleaving the serial loop performs and the two-phase split are
+    // observably identical — digest identity by construction, at any
+    // thread count.  See DESIGN.md §14.
+
+    /// Parallel advance + classify over all hosts (phase 1), then serial
+    /// commit of every notable host (phase 2).  With `page` set, also
+    /// evaluates paging reachability per host and returns the addressed
+    /// list.  Returns `None` when the threaded path is not engaged — the
+    /// caller falls back to the original serial loop.
+    fn parallel_probe_all(&mut self, page: Option<(&PageSignal, Point2, f64)>) -> Option<Vec<NodeId>> {
+        let n = self.hosts.len();
+        if self.exec.is_none() || n < PAR_MIN_ITEMS {
+            return None;
+        }
+        let now = self.sched.now();
+        let tracing = self.recorder.is_some();
+        let grain = par_grain(n, self.threads);
+        self.probe_mail.ensure_lanes(chunk_count(n, grain));
+        {
+            let pool = self.exec.as_ref().expect("checked above");
+            let split = self.probe_mail.split();
+            let meters = SlicePtr::new(&mut self.hosts.meters);
+            let traces = &self.hosts.traces;
+            let cells = &self.hosts.cells;
+            let last_levels = &self.hosts.last_levels;
+            let dead_handled = &self.hosts.dead_handled;
+            pool.for_each_range(n, grain, &|chunk, range| {
+                let ms = unsafe { meters.slice(range.clone()) };
+                let mut lane = unsafe { split.writer(chunk) };
+                for (off, i) in range.enumerate() {
+                    let m = &mut ms[off];
+                    m.advance(now);
+                    let level = if tracing { Some(m.level()) } else { None };
+                    let alive = m.is_alive();
+                    let changed = level.is_some_and(|l| l != last_levels[i]);
+                    let newly_dead = !alive && !dead_handled[i];
+                    let mut hit = false;
+                    if alive {
+                        if let Some((signal, origin, range_m)) = page {
+                            let pj = traces[i].position_at(now);
+                            hit = origin.within_range(pj, range_m)
+                                && signal.addresses(NodeId(i as u32), cells[i]);
+                        }
+                    }
+                    if changed || newly_dead || hit {
+                        lane.post(
+                            now,
+                            ProbeMsg {
+                                node: i as u32,
+                                level,
+                                alive,
+                                hit,
+                            },
+                        );
+                    }
+                }
+            });
+        }
+        let mut msgs = std::mem::take(&mut self.probe_msgs);
+        debug_assert!(msgs.is_empty());
+        self.probe_mail.drain(now, |_, m| msgs.push(m));
+        let mut addressed = Vec::new();
+        for m in &msgs {
+            self.commit_probe(NodeId(m.node), m.level, m.alive);
+            if m.hit {
+                addressed.push(NodeId(m.node));
+            }
+        }
+        msgs.clear();
+        self.probe_msgs = msgs;
+        Some(addressed)
+    }
+
+    /// Parallel final energy integration (no commits: the serial path is
+    /// a bare `advance` loop too).
+    fn advance_all_meters(&mut self, now: SimTime) {
+        let n = self.hosts.len();
+        if let Some(pool) = self.exec.as_ref() {
+            if n >= PAR_MIN_ITEMS {
+                let grain = par_grain(n, self.threads);
+                let meters = SlicePtr::new(&mut self.hosts.meters);
+                pool.for_each_range(n, grain, &|_chunk, range| {
+                    for m in unsafe { meters.slice(range) } {
+                        m.advance(now);
+                    }
+                });
+                return;
+            }
+        }
+        for m in &mut self.hosts.meters {
+            m.advance(now);
         }
     }
 
@@ -1517,23 +1706,93 @@ impl<P: Protocol> World<P> {
         self.fill_candidates(self.hosts.cells[i], &mut cand);
         let mut receivers = self.recv_pool.pop().unwrap_or_default();
         debug_assert!(receivers.is_empty());
-        for &j in &cand {
-            let jid = NodeId(j);
-            if jid == node {
-                continue;
+        if self.exec.is_some() && cand.len() >= PAR_MIN_ITEMS {
+            // Threaded freeze: candidates are unique ascending ids, so
+            // candidate-chunks touch disjoint hosts.  Phase 1 advances
+            // each candidate's meter and computes its receive verdict;
+            // phase 2 commits notable hosts in candidate order (the
+            // serial loop's touch order) and then collects receivers in
+            // candidate order (serial's push order; pushes emit nothing).
+            let nc = cand.len();
+            let now_t = now;
+            let tracing = self.recorder.is_some();
+            let grain = par_grain(nc, self.threads);
+            self.freeze_flags.clear();
+            self.freeze_flags.resize(nc, false);
+            self.probe_mail.ensure_lanes(chunk_count(nc, grain));
+            {
+                let pool = self.exec.as_ref().expect("checked above");
+                let split = self.probe_mail.split();
+                let meters = SlicePtr::new(&mut self.hosts.meters);
+                let flags = SlicePtr::new(&mut self.freeze_flags);
+                let traces = &self.hosts.traces;
+                let last_levels = &self.hosts.last_levels;
+                let dead_handled = &self.hosts.dead_handled;
+                let channel = &self.channel;
+                let cand_ref = &cand;
+                let sender = node.index();
+                pool.for_each_range(nc, grain, &|chunk, range| {
+                    let out = unsafe { flags.slice(range.clone()) };
+                    let mut lane = unsafe { split.writer(chunk) };
+                    for (off, c) in range.enumerate() {
+                        let j = cand_ref[c] as usize;
+                        if j == sender {
+                            continue; // the serial loop skips self before touching
+                        }
+                        let m = unsafe { meters.get_mut(j) };
+                        m.advance(now_t);
+                        let level = if tracing { Some(m.level()) } else { None };
+                        let alive = m.is_alive();
+                        if level.is_some_and(|l| l != last_levels[j]) || (!alive && !dead_handled[j]) {
+                            lane.post(
+                                now_t,
+                                ProbeMsg {
+                                    node: j as u32,
+                                    level,
+                                    alive,
+                                    hit: false,
+                                },
+                            );
+                        }
+                        if alive && matches!(m.mode(), RadioMode::Idle | RadioMode::Rx) {
+                            let pj = traces[j].position_at(now_t);
+                            out[off] = channel.reaches(pos, pj);
+                        }
+                    }
+                });
             }
-            if !self.touch(jid) {
-                continue;
+            let mut msgs = std::mem::take(&mut self.probe_msgs);
+            debug_assert!(msgs.is_empty());
+            self.probe_mail.drain(now, |_, m| msgs.push(m));
+            for m in &msgs {
+                self.commit_probe(NodeId(m.node), m.level, m.alive);
             }
-            let mode = self.hosts.meters[j as usize].mode();
-            if !matches!(mode, RadioMode::Idle | RadioMode::Rx) {
-                continue;
+            msgs.clear();
+            self.probe_msgs = msgs;
+            for (c, &j) in cand.iter().enumerate() {
+                if self.freeze_flags[c] {
+                    receivers.push(NodeId(j));
+                }
             }
-            let pj = self.hosts.traces[j as usize].position_at(now);
-            if !self.channel.reaches(pos, pj) {
-                continue;
+        } else {
+            for &j in &cand {
+                let jid = NodeId(j);
+                if jid == node {
+                    continue;
+                }
+                if !self.touch(jid) {
+                    continue;
+                }
+                let mode = self.hosts.meters[j as usize].mode();
+                if !matches!(mode, RadioMode::Idle | RadioMode::Rx) {
+                    continue;
+                }
+                let pj = self.hosts.traces[j as usize].position_at(now);
+                if !self.channel.reaches(pos, pj) {
+                    continue;
+                }
+                receivers.push(jid);
             }
-            receivers.push(jid);
         }
         self.gather_buf = cand;
         for &r in &receivers {
@@ -1581,47 +1840,130 @@ impl<P: Protocol> World<P> {
         // success list is a recycled scratch vector)
         let mut successes = std::mem::take(&mut self.succ_buf);
         debug_assert!(successes.is_empty());
-        for &r in &flight.receivers {
-            let alive = self.touch(r);
-            let j = r.index();
-            if self.hosts.rx_refs[j] > 0 {
-                self.hosts.rx_refs[j] -= 1;
-            }
-            let mode = self.hosts.meters[j].mode();
-            if self.hosts.rx_refs[j] == 0 && mode == RadioMode::Rx {
-                self.set_mode(r, RadioMode::Idle);
-            }
-            if !sender_alive || !alive {
-                self.stats.missed_unreachable += 1;
-                continue;
-            }
-            let mode = self.hosts.meters[j].mode();
-            if !mode.can_receive() {
-                self.stats.missed_unreachable += 1;
-                continue;
-            }
-            let pr = self.hosts.traces[j].position_at(now);
+        if self.exec.is_some() && flight.receivers.len() >= PAR_MIN_ITEMS {
+            // Threaded receiver evaluation: phase 1 advances each frozen
+            // receiver's meter and precomputes its pure collision verdict
+            // (receivers are unique ids, so chunks touch disjoint hosts;
+            // `corrupted` is a read-only channel query).  Phase 2 replays
+            // the serial loop per receiver in order — commit, Rx unwind,
+            // gates, the *stateful* fault draw — off the dense slots.
+            let nr = flight.receivers.len();
+            let now_t = now;
+            let tracing = self.recorder.is_some();
+            let grain = par_grain(nr, self.threads);
             let src_pos = self.hosts.traces[flight.src.index()].position_at(flight.start);
-            let rsh = self.shard_of_node(r);
-            if self
-                .channel
-                .corrupted(rsh, tx_id, src_pos, pr, flight.start, flight.end)
+            self.txend_slots.clear();
+            self.txend_slots.resize(nr, TxProbe::default());
             {
-                self.stats.corrupted += 1;
-                let from = flight.src;
-                self.emit(|| EventKind::MacCollision { node: r, from });
-                continue;
-            }
-            // injected channel adversity (independent and burst loss)
-            if self.fault.frame_lost(r.0, tx_id, now.as_nanos()) {
-                self.stats.frames_lost_fault += 1;
-                self.emit(|| EventKind::FaultInjected {
-                    node: r,
-                    fault: FaultKind::FrameLoss,
+                let pool = self.exec.as_ref().expect("checked above");
+                let slots = SlicePtr::new(&mut self.txend_slots);
+                let meters = SlicePtr::new(&mut self.hosts.meters);
+                let traces = &self.hosts.traces;
+                let cells = &self.hosts.cells;
+                let channel = &self.channel;
+                let shards = self.shards.as_ref();
+                let recvs = &flight.receivers;
+                let (start, end) = (flight.start, flight.end);
+                pool.for_each_range(nr, grain, &|_chunk, range| {
+                    let out = unsafe { slots.slice(range.clone()) };
+                    for (off, c) in range.enumerate() {
+                        let j = recvs[c].index();
+                        let m = unsafe { meters.get_mut(j) };
+                        m.advance(now_t);
+                        let pr = traces[j].position_at(now_t);
+                        let rsh = match shards {
+                            Some(sr) => sr.map.shard_of_col(cells[j].x),
+                            None => 0,
+                        };
+                        out[off] = TxProbe {
+                            level: if tracing { Some(m.level()) } else { None },
+                            alive: m.is_alive(),
+                            corrupt: channel.corrupted(rsh, tx_id, src_pos, pr, start, end),
+                        };
+                    }
                 });
-                continue;
             }
-            successes.push(r);
+            for c in 0..nr {
+                let r = flight.receivers[c];
+                let s = self.txend_slots[c];
+                let alive = self.commit_probe(r, s.level, s.alive);
+                let j = r.index();
+                if self.hosts.rx_refs[j] > 0 {
+                    self.hosts.rx_refs[j] -= 1;
+                }
+                let mode = self.hosts.meters[j].mode();
+                if self.hosts.rx_refs[j] == 0 && mode == RadioMode::Rx {
+                    self.set_mode(r, RadioMode::Idle);
+                }
+                if !sender_alive || !alive {
+                    self.stats.missed_unreachable += 1;
+                    continue;
+                }
+                let mode = self.hosts.meters[j].mode();
+                if !mode.can_receive() {
+                    self.stats.missed_unreachable += 1;
+                    continue;
+                }
+                if s.corrupt {
+                    self.stats.corrupted += 1;
+                    let from = flight.src;
+                    self.emit(|| EventKind::MacCollision { node: r, from });
+                    continue;
+                }
+                // injected channel adversity (independent and burst loss)
+                if self.fault.frame_lost(r.0, tx_id, now.as_nanos()) {
+                    self.stats.frames_lost_fault += 1;
+                    self.emit(|| EventKind::FaultInjected {
+                        node: r,
+                        fault: FaultKind::FrameLoss,
+                    });
+                    continue;
+                }
+                successes.push(r);
+            }
+        } else {
+            for &r in &flight.receivers {
+                let alive = self.touch(r);
+                let j = r.index();
+                if self.hosts.rx_refs[j] > 0 {
+                    self.hosts.rx_refs[j] -= 1;
+                }
+                let mode = self.hosts.meters[j].mode();
+                if self.hosts.rx_refs[j] == 0 && mode == RadioMode::Rx {
+                    self.set_mode(r, RadioMode::Idle);
+                }
+                if !sender_alive || !alive {
+                    self.stats.missed_unreachable += 1;
+                    continue;
+                }
+                let mode = self.hosts.meters[j].mode();
+                if !mode.can_receive() {
+                    self.stats.missed_unreachable += 1;
+                    continue;
+                }
+                let pr = self.hosts.traces[j].position_at(now);
+                let src_pos = self.hosts.traces[flight.src.index()].position_at(flight.start);
+                let rsh = self.shard_of_node(r);
+                if self
+                    .channel
+                    .corrupted(rsh, tx_id, src_pos, pr, flight.start, flight.end)
+                {
+                    self.stats.corrupted += 1;
+                    let from = flight.src;
+                    self.emit(|| EventKind::MacCollision { node: r, from });
+                    continue;
+                }
+                // injected channel adversity (independent and burst loss)
+                if self.fault.frame_lost(r.0, tx_id, now.as_nanos()) {
+                    self.stats.frames_lost_fault += 1;
+                    self.emit(|| EventKind::FaultInjected {
+                        node: r,
+                        fault: FaultKind::FrameLoss,
+                    });
+                    continue;
+                }
+                successes.push(r);
+            }
         }
 
         match flight.kind {
@@ -1772,20 +2114,30 @@ impl<P: Protocol> World<P> {
     fn page_arrives(&mut self, signal: PageSignal, origin: Point2) {
         let now = self.sched.now();
         let range = self.cfg.ras.range_m;
-        let mut addressed = Vec::new();
-        for j in 0..self.hosts.len() {
-            let jid = NodeId(j as u32);
-            if !self.touch(jid) {
-                continue;
+        // The paging scan is the engine's only remaining O(N)-per-event
+        // loop: every host's meter advances (the page is a physical
+        // instant — energy death timing must not depend on whether anyone
+        // paged) and reachability is evaluated.  Threaded when engaged.
+        let addressed = match self.parallel_probe_all(Some((&signal, origin, range))) {
+            Some(addressed) => addressed,
+            None => {
+                let mut addressed = Vec::new();
+                for j in 0..self.hosts.len() {
+                    let jid = NodeId(j as u32);
+                    if !self.touch(jid) {
+                        continue;
+                    }
+                    let pj = self.hosts.traces[j].position_at(now);
+                    if !origin.within_range(pj, range) {
+                        continue;
+                    }
+                    if signal.addresses(jid, self.hosts.cells[j]) {
+                        addressed.push(jid);
+                    }
+                }
+                addressed
             }
-            let pj = self.hosts.traces[j].position_at(now);
-            if !origin.within_range(pj, range) {
-                continue;
-            }
-            if signal.addresses(jid, self.hosts.cells[j]) {
-                addressed.push(jid);
-            }
-        }
+        };
         for jid in addressed {
             // a crashed host's paging receiver is as dead as its radio
             if self.hosts.crashed[jid.index()] {
@@ -1902,9 +2254,13 @@ impl<P: Protocol> World<P> {
 
     fn sample(&mut self) {
         let now = self.sched.now();
-        for i in 0..self.hosts.len() {
-            let id = NodeId(i as u32);
-            self.touch(id); // integrates energy and processes deaths
+        // integrate energy and process deaths — threaded when engaged,
+        // with the commit replay matching this loop's ascending-id order
+        if self.parallel_probe_all(None).is_none() {
+            for i in 0..self.hosts.len() {
+                let id = NodeId(i as u32);
+                self.touch(id);
+            }
         }
         let t = now.as_secs_f64();
         let alive = self.alive_fraction();

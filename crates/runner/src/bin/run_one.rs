@@ -24,7 +24,7 @@ USAGE:
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
             [--backend heap|calendar] [--neighbor-index brute|grid]
             [--gather-fallback auto|on|off] [--parallel-world] [--shards K]
-            [--trace FILE.jsonl] [--digest] [--faults SPEC]
+            [--threads T] [--trace FILE.jsonl] [--digest] [--faults SPEC]
             [--event-budget N] [--wall-budget SECS] [--max-retries N]
             [--journal FILE.jsonl]
 
@@ -45,7 +45,11 @@ pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
                unless --shards says otherwise); the trace digest is
                bit-identical to the serial engine's
 --shards K     shard count for the sharded engine (implies
-               --parallel-world)
+               --parallel-world); 0 = auto from available_parallelism
+--threads T    worker lanes for the parallel engine's host-plane kernels
+               (implies --parallel-world); 0 = auto
+               (min(shards, available_parallelism)), 1 = inline; the
+               digest is bit-identical at every T
 --faults SPEC  comma-separated fault plan, e.g.
                loss=0.1,churn=0.01,page_fail=0.2,drain=0.005,gps=15
                (keys: loss, ge, page_fail, page_delay, churn, rejoin,
@@ -102,6 +106,9 @@ fn parse_args() -> Cli {
         println!("{HELP}");
         std::process::exit(0);
     }
+    // `--parallel-world` alone defaults to 4 strips, but an explicit
+    // `--shards` (including 0 = auto) must win regardless of flag order.
+    let mut shards_given = false;
     let mut i = 1;
     while i < args.len() {
         let k = &args[i];
@@ -115,9 +122,6 @@ fn parse_args() -> Cli {
         }
         if k == "--parallel-world" {
             cli.opts.parallel_world = true;
-            if cli.opts.shards < 2 {
-                cli.opts.shards = 4;
-            }
             i += 1;
             continue;
         }
@@ -165,7 +169,12 @@ fn parse_args() -> Cli {
             }
             "--shards" => {
                 cli.opts.parallel_world = true;
-                cli.opts.shards = parse_val::<usize>(k, v).max(1);
+                cli.opts.shards = parse_val(k, v);
+                shards_given = true;
+            }
+            "--threads" => {
+                cli.opts.parallel_world = true;
+                cli.opts.threads = parse_val(k, v);
             }
             "--event-budget" => cli.opts.event_budget = Some(parse_val(k, v)),
             "--wall-budget" => {
@@ -181,7 +190,19 @@ fn parse_args() -> Cli {
         }
         i += 2;
     }
+    if cli.opts.parallel_world && !shards_given && cli.opts.shards < 2 {
+        cli.opts.shards = 4;
+    }
     cli
+}
+
+/// Human label for an engine request before the auto values resolve.
+fn auto_or(n: usize) -> String {
+    if n == 0 {
+        "auto".into()
+    } else {
+        n.to_string()
+    }
 }
 
 fn main() {
@@ -219,7 +240,11 @@ fn main() {
     }
 
     let engine = if opts.parallel_world {
-        format!("sharded x{}", opts.shards.max(1))
+        format!(
+            "sharded x{}, threads {}",
+            auto_or(opts.shards),
+            auto_or(opts.threads)
+        )
     } else {
         "serial".into()
     };
@@ -258,6 +283,10 @@ fn main() {
     eprintln!("({} s simulated in {wall:.1} s wall)", sc.duration_secs);
 
     println!("protocol:        {}", sc.protocol.name());
+    match r.engine {
+        Some((k, t)) => println!("engine:          sharded (shards {k}, threads {t})"),
+        None => println!("engine:          serial"),
+    }
     println!("packets sent:    {}", r.ledger.sent_count());
     println!(
         "delivered:       {} ({:.2}%)",

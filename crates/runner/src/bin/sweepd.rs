@@ -24,8 +24,9 @@ sweepd — resident sweep service for the ECGRID reproduction
 USAGE:
     sweepd [--addr HOST:PORT] [--workers N] [--capacity N]
            [--state-dir DIR] [--sub-buffer N] [--retry-after MS]
-           [--backend heap|calendar] [--event-budget N]
-           [--wall-budget SECS] [--max-retries N]
+           [--backend heap|calendar] [--parallel-world] [--shards K]
+           [--threads T] [--event-budget N] [--wall-budget SECS]
+           [--max-retries N]
 
 --addr          listen address (default 127.0.0.1:7171; port 0 = ephemeral)
 --workers       concurrent job runners (default 2)
@@ -38,6 +39,13 @@ USAGE:
                 (counted in their bye) rather than stall the sim (default 1024)
 --retry-after   hint sent with shed replies, ms (default 500)
 --backend       pending-event-set implementation for all jobs
+--parallel-world  run every job on the sharded conservative-sync engine
+                (digest-neutral; 4 strips unless --shards says otherwise)
+--shards K      shard count for the sharded engine (implies
+                --parallel-world); 0 = auto from available_parallelism
+--threads T     worker lanes for the parallel engine's host-plane kernels
+                (implies --parallel-world); 0 = auto
+                (min(shards, available_parallelism)), 1 = inline
 --event-budget  per-replica event watchdog (deterministic)
 --wall-budget   per-replica wall-clock watchdog, seconds (non-deterministic:
                 trips quarantine the replica, never poison the journal)
@@ -98,9 +106,15 @@ fn main() {
         println!("{HELP}");
         return;
     }
+    let mut shards_given = false;
     let mut i = 1;
     while i < args.len() {
         let k = &args[i];
+        if k == "--parallel-world" {
+            opts.parallel_world = true;
+            i += 1;
+            continue;
+        }
         let Some(v) = args.get(i + 1) else {
             fail(format!("flag {k} needs a value"));
         };
@@ -114,6 +128,15 @@ fn main() {
             "--backend" => {
                 opts.backend = Backend::parse(v)
                     .unwrap_or_else(|| fail(format!("--backend: {v:?} (expected heap|calendar)")))
+            }
+            "--shards" => {
+                opts.parallel_world = true;
+                opts.shards = parse_val(k, v);
+                shards_given = true;
+            }
+            "--threads" => {
+                opts.parallel_world = true;
+                opts.threads = parse_val(k, v);
             }
             "--event-budget" => opts.event_budget = Some(parse_val(k, v)),
             "--wall-budget" => {
@@ -134,6 +157,15 @@ fn main() {
     if opts.trace.is_none() {
         opts.trace = Some(TraceMode::DigestOnly);
     }
+    if opts.parallel_world && !shards_given && opts.shards < 2 {
+        opts.shards = 4;
+    }
+    // resolve auto engine values now so the `stats` frame echoes what
+    // jobs will actually run on, not the raw flag values
+    cfg = cfg.with_engine_label(match opts.resolved_engine() {
+        Some((k, t)) => format!("sharded k={k} t={t}"),
+        None => "serial".into(),
+    });
 
     let handler = Arc::new(EcgridJobHandler::new(opts, sup));
     let server = match Server::start(cfg, handler) {

@@ -51,8 +51,14 @@ pub struct RunOptions {
     /// one.  Digest-neutral by construction (proven by
     /// `tests/parallel_equivalence.rs`); the engines differ only in cost.
     pub parallel_world: bool,
-    /// Shard count when `parallel_world` is set (clamped to ≥ 1).
+    /// Shard count when `parallel_world` is set (`0` = auto from the
+    /// host's `available_parallelism`).
     pub shards: usize,
+    /// Worker-lane count of the parallel engine's host-plane kernels
+    /// (`0` = auto: `min(shards, available_parallelism)`; `1` = inline).
+    /// Digest-neutral at every value (proven by
+    /// `tests/parallel_equivalence.rs`).
+    pub threads: usize,
 }
 
 impl RunOptions {
@@ -69,6 +75,7 @@ impl RunOptions {
             gather_fallback: GatherFallback::default(),
             parallel_world: false,
             shards: 1,
+            threads: 1,
         }
     }
 
@@ -102,12 +109,56 @@ impl RunOptions {
         self
     }
 
-    /// Same options on the sharded engine with `shards` strips.
+    /// Same options on the sharded engine with `shards` strips (`0` =
+    /// auto from the host's parallelism).
     pub fn with_parallel_world(mut self, shards: usize) -> Self {
         self.parallel_world = true;
-        self.shards = shards.max(1);
+        self.shards = shards;
         self
     }
+
+    /// Same options with `threads` worker lanes for the parallel engine
+    /// (`0` = auto: `min(shards, available_parallelism)`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The engine these options will select, with auto values resolved
+    /// against this host: `Some((shards, threads))` on the parallel
+    /// engine, `None` on the serial one.  Matches what
+    /// [`ScenarioResult::engine`] reports after a run (the resolution
+    /// rule lives in `manet::WorldConfig::resolved_shards/threads`).
+    pub fn resolved_engine(&self) -> Option<(usize, usize)> {
+        if !self.parallel_world {
+            return None;
+        }
+        let k = if self.shards == 0 {
+            manet::host_parallelism()
+        } else {
+            self.shards
+        }
+        .max(1);
+        let t = if self.threads == 0 {
+            manet::host_parallelism().min(k)
+        } else {
+            self.threads
+        }
+        .max(1);
+        Some((k, t))
+    }
+}
+
+/// Engine override from the environment, for running an existing test or
+/// tool corpus through the threaded engine without touching its code:
+/// `ECGRID_PARALLEL_OVERRIDE="K,T"` forces every run onto the parallel
+/// engine with K shards and T worker lanes (each `0` = auto).  Runs that
+/// already requested the parallel engine keep their own settings.  Safe
+/// for any corpus because the engine choice is digest-neutral.
+fn parallel_override() -> Option<(usize, usize)> {
+    let v = std::env::var("ECGRID_PARALLEL_OVERRIDE").ok()?;
+    let (k, t) = v.split_once(',')?;
+    Some((k.trim().parse().ok()?, t.trim().parse().ok()?))
 }
 
 /// Everything a figure needs from one finished run.
@@ -143,6 +194,9 @@ pub struct ScenarioResult {
     /// above cover the truncated run, and a supervisor should treat this
     /// result as a failure, not average it.
     pub budget_exceeded: Option<BudgetExceeded>,
+    /// The engine the run actually used: `(shards, threads)` with auto
+    /// requests resolved against the host; `None` on the serial engine.
+    pub engine: Option<(usize, usize)>,
 }
 
 /// Build the mobility traces for `count` hosts, identical across protocols
@@ -186,6 +240,7 @@ fn finish<P: manet::Protocol>(
     if let Some(p) = probe {
         world.attach_probe(p);
     }
+    let engine = world.shard_stats().map(|s| (s.shards, s.threads));
     let out = world.run_until(end);
     let recorder = world.take_recorder();
     let cutoff = SimTime::from_secs(590);
@@ -204,6 +259,7 @@ fn finish<P: manet::Protocol>(
         trace_digest: recorder.as_ref().map(|r| r.digest()),
         recorder,
         budget_exceeded: out.budget_exceeded,
+        engine,
     }
 }
 
@@ -270,7 +326,9 @@ fn run_scenario_inner(
         .with_neighbor_index(opts.neighbor_index)
         .with_gather_fallback(opts.gather_fallback);
     if opts.parallel_world {
-        cfg = cfg.with_parallel_world(opts.shards);
+        cfg = cfg.with_parallel_world(opts.shards).with_threads(opts.threads);
+    } else if let Some((k, t)) = parallel_override() {
+        cfg = cfg.with_parallel_world(k).with_threads(t);
     }
 
     match sc.protocol {

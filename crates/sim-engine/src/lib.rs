@@ -15,12 +15,16 @@
 //!   the single queue's (the conservative-sync determinism kernel).
 //! * [`RunBudget`] — event-count / virtual-time ceilings turning runaway
 //!   loops into [`BudgetExceeded`] diagnostics instead of hangs.
+//! * [`WorkerPool`] / [`Mailbox`] — deterministic fork–join chunks plus
+//!   barrier-delivered timestamped messages; the threaded world engine's
+//!   conservative-sync substrate.
 //! * [`rng`] — a master seed fanned out into independent, stable streams
 //!   per (domain, index), so adding a consumer never perturbs others.
 
 pub mod backend;
 pub mod budget;
 pub mod calendar;
+pub mod exec;
 pub mod pool;
 pub mod queue;
 pub mod rng;
@@ -31,6 +35,7 @@ pub mod time;
 pub use backend::{AnyQueue, Backend};
 pub use budget::{BudgetExceeded, RunBudget, WALL_CHECK_STRIDE};
 pub use calendar::CalendarQueue;
+pub use exec::{chunk_count, LaneWriter, MailSplit, Mailbox, SlicePtr, WorkerPool};
 pub use pool::{EventPool, PoolStats};
 pub use queue::{EventQueue, PendingEvents};
 pub use rng::{derive_seed, RngFactory, SplitMix64};

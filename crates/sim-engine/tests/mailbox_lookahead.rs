@@ -1,0 +1,114 @@
+//! Lookahead-safety property tests for the barrier mailbox.
+//!
+//! The conservative-sync contract: a message produced inside an epoch
+//! is stamped with that epoch's virtual time and delivered at the next
+//! barrier. No message may ever carry a timestamp earlier than the
+//! barrier that has already been delivered (it would have to rewrite
+//! committed history), and no drain may deliver a message stamped after
+//! its own barrier (it would commit the future early). Both directions
+//! are asserted inside `Mailbox`; these tests drive randomized
+//! post/drain schedules through it and check that legal schedules never
+//! trip the asserts while illegal ones always do.
+
+use proptest::prelude::*;
+use sim_engine::{chunk_count, Mailbox, SimTime, WorkerPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+proptest! {
+    /// Any schedule of epochs with monotone barriers, where each epoch
+    /// posts messages stamped inside `[barrier_prev, barrier_next]`,
+    /// drains cleanly and in deterministic lane-major order.
+    #[test]
+    fn legal_epoch_schedules_never_violate_lookahead(
+        steps in proptest::collection::vec((0u64..1000u64, proptest::collection::vec((0usize..4, 0u64..1000u64), 0..20)), 1..30)
+    ) {
+        let mut mb: Mailbox<u64> = Mailbox::new();
+        mb.ensure_lanes(4);
+        let mut barrier = 0u64;
+        let mut posted = 0u64;
+        let mut delivered = 0u64;
+        for (advance, posts) in steps {
+            let next = barrier + advance;
+            for (lane, jitter) in posts {
+                // Stamp inside the open window [barrier, next].
+                let at = barrier + jitter % (advance + 1);
+                mb.post(lane, SimTime(at), at);
+                posted += 1;
+            }
+            mb.drain(SimTime(next), |at, m| {
+                // Stamp is echoed in the payload and lies in-window.
+                assert_eq!(at.0, m);
+                assert!(at.0 >= barrier && at.0 <= next);
+                delivered += 1;
+            });
+            barrier = next;
+        }
+        prop_assert_eq!(posted, delivered);
+        prop_assert_eq!(mb.pending(), 0);
+    }
+
+    /// A message stamped before the last delivered barrier must panic
+    /// at post time — it can never silently enter a lane.
+    #[test]
+    fn stale_post_always_panics(barrier in 1u64..10_000, back in 1u64..10_000) {
+        let mut mb: Mailbox<u64> = Mailbox::new();
+        mb.ensure_lanes(1);
+        mb.drain(SimTime(barrier), |_, _| {});
+        let stale = barrier.saturating_sub(back.min(barrier));
+        if stale < barrier {
+            let hit = catch_unwind(AssertUnwindSafe(|| mb.post(0, SimTime(stale), 0)));
+            prop_assert!(hit.is_err(), "stale post at {stale} past barrier {barrier} was accepted");
+        }
+    }
+
+    /// A message stamped after the drain barrier must panic at drain
+    /// time — the barrier may never commit the future.
+    #[test]
+    fn future_message_always_panics_at_barrier(barrier in 0u64..10_000, ahead in 1u64..10_000) {
+        let mut mb: Mailbox<u64> = Mailbox::new();
+        mb.ensure_lanes(1);
+        mb.post(0, SimTime(barrier + ahead), 0);
+        let hit = catch_unwind(AssertUnwindSafe(|| mb.drain(SimTime(barrier), |_, _| {})));
+        prop_assert!(hit.is_err(), "message stamped {} delivered at barrier {barrier}", barrier + ahead);
+    }
+
+    /// Parallel posting through chunk-owned lanes yields the same drain
+    /// sequence as serial posting, for any thread count — the mailbox
+    /// half of the digest-identity argument.
+    #[test]
+    fn parallel_posts_drain_in_serial_order(
+        n in 1usize..3000,
+        grain in 1usize..512,
+        stamp in 0u64..1_000_000,
+        modulus in 1usize..13
+    ) {
+        let lanes = chunk_count(n, grain);
+        let mut serial: Mailbox<usize> = Mailbox::new();
+        serial.ensure_lanes(lanes);
+        for i in 0..n {
+            if i % modulus == 0 {
+                serial.post(i / grain, SimTime(stamp), i);
+            }
+        }
+        let mut expect = Vec::new();
+        serial.drain(SimTime(stamp), |_, m| expect.push(m));
+
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let mut mb: Mailbox<usize> = Mailbox::new();
+            mb.ensure_lanes(lanes);
+            let split = mb.split();
+            pool.for_each_range(n, grain, &|chunk, range| {
+                let mut w = unsafe { split.writer(chunk) };
+                for i in range {
+                    if i % modulus == 0 {
+                        w.post(SimTime(stamp), i);
+                    }
+                }
+            });
+            let mut got = Vec::new();
+            mb.drain(SimTime(stamp), |_, m| got.push(m));
+            prop_assert_eq!(&got, &expect, "threads={}", threads);
+        }
+    }
+}

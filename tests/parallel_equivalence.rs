@@ -17,6 +17,14 @@
 //!   streams, and death pruning agree across the boundary mirrors;
 //! * a heavy-drain run whose hosts die *and* migrate between strips
 //!   mid-run digests identically, with the migrations proven to happen.
+//!
+//! PR 9 added `--threads T`: the host-plane kernels (energy integration,
+//! mobility evaluation, reception verdicts, paging scans) fan out over a
+//! worker pool while dispatch and every state commit stay serial (see
+//! DESIGN.md §14).  The same wall now runs on a threads axis: every
+//! fixture must reproduce at K=4 × T ∈ {1, 2, 4}, and a dense scenario
+//! large enough to actually engage the parallel kernels must agree with
+//! its serial twin event-for-event.
 
 use ecgrid_suite::manet::{FaultPlan, NeighborIndex};
 use ecgrid_suite::runner::{run_scenario_with, ProtocolKind, RunOptions, Scenario};
@@ -135,6 +143,137 @@ fn serial_and_sharded_agree_while_deaths_and_migrations_cross_strips() {
         );
         assert_eq!(sharded.stats, serial.stats, "stats drift at K={k}");
     }
+}
+
+/// Worker-lane counts under test: inline, a split, and the CI smoke's T.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn threaded_engine_reproduces_the_golden_fixtures_at_every_thread_count() {
+    for p in PROTOCOLS {
+        let want = read_fixture(&p.name().to_lowercase());
+        for t in THREAD_COUNTS {
+            let r = run_scenario_with(
+                &golden(p),
+                RunOptions::digest().with_parallel_world(4).with_threads(t),
+            );
+            assert_eq!(
+                r.trace_digest,
+                Some(want),
+                "{p:?}: threaded run (K=4, T={t}) drifted from the golden fixture"
+            );
+            assert_eq!(r.engine, Some((4, t)), "{p:?}: engine echo wrong at T={t}");
+        }
+    }
+}
+
+#[test]
+fn threaded_engine_reproduces_the_faulted_fixtures_at_every_thread_count() {
+    // Faults are the adversarial case for the two-phase kernels: the
+    // stateful frame-loss draws must happen in the serial commit phase in
+    // exactly the serial order, or the whole RNG stream shears.
+    for p in PROTOCOLS {
+        let want = read_fixture(&format!("{}_faulted", p.name().to_lowercase()));
+        for t in THREAD_COUNTS {
+            let r = run_scenario_with(
+                &golden(p),
+                RunOptions::digest()
+                    .with_faults(golden_plan())
+                    .with_parallel_world(4)
+                    .with_threads(t),
+            );
+            assert_eq!(
+                r.trace_digest,
+                Some(want),
+                "{p:?}: faulted threaded run (K=4, T={t}) drifted from the fixture"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_engine_agrees_while_deaths_and_migrations_cross_strips() {
+    // The drain+migration hazard from the sharded wall, on the threads
+    // axis: deaths discovered inside parallel probe kernels must commit
+    // in serial order while strip membership shrinks and hosts migrate.
+    let sc = Scenario {
+        protocol: ProtocolKind::Ecgrid,
+        n_hosts: 120,
+        max_speed: 2.0,
+        pause_secs: 0.0,
+        n_flows: 5,
+        flow_rate_pps: 1.0,
+        duration_secs: 30.0,
+        seed: 17,
+        model1_endpoints: 4,
+    };
+    let plan = FaultPlan::parse("drain=0.2,drain_frac=0.95,churn=0.02,rejoin=2").unwrap();
+    let base = RunOptions::digest()
+        .with_faults(plan)
+        .with_neighbor_index(NeighborIndex::Grid);
+    let serial = run_scenario_with(&sc, base);
+    assert!(serial.stats.deaths > 0, "drain plan produced no deaths");
+    for t in THREAD_COUNTS {
+        let threaded = run_scenario_with(&sc, base.with_parallel_world(4).with_threads(t));
+        assert_eq!(
+            threaded.trace_digest, serial.trace_digest,
+            "threaded run (K=4, T={t}) diverged from serial under drain + migration"
+        );
+        assert_eq!(threaded.stats, serial.stats, "stats drift at T={t}");
+    }
+}
+
+#[test]
+fn threaded_engine_agrees_on_a_scenario_dense_enough_to_engage_the_kernels() {
+    // The golden scenario's 30 hosts stay under the parallel engagement
+    // threshold — its value above is fixture equality, not kernel
+    // coverage.  This scenario's host count is far above the threshold,
+    // so every sample tick and paging scan actually crosses the worker
+    // pool, and the faulted variant routes deaths and battery-level
+    // changes through the barrier mailbox.
+    let sc = Scenario {
+        protocol: ProtocolKind::Ecgrid,
+        n_hosts: 300,
+        max_speed: 1.0,
+        pause_secs: 0.0,
+        n_flows: 4,
+        flow_rate_pps: 1.0,
+        duration_secs: 25.0,
+        seed: 23,
+        model1_endpoints: 4,
+    };
+    for plan in [FaultPlan::none(), golden_plan()] {
+        let base = RunOptions::digest().with_faults(plan);
+        let serial = run_scenario_with(&sc, base);
+        for t in THREAD_COUNTS {
+            let threaded = run_scenario_with(&sc, base.with_parallel_world(4).with_threads(t));
+            assert_eq!(
+                threaded.trace_digest, serial.trace_digest,
+                "dense threaded run (K=4, T={t}) diverged from serial"
+            );
+            assert_eq!(threaded.stats, serial.stats, "stats drift at T={t}");
+        }
+    }
+}
+
+#[test]
+fn auto_parallelism_resolves_and_reproduces_the_fixture() {
+    // shards=0 / threads=0 mean "derive from the host"; whatever the
+    // host resolves to, the digest must still match the fixture, and the
+    // resolved values must be echoed in the result.
+    let want = read_fixture("ecgrid");
+    let r = run_scenario_with(
+        &golden(ProtocolKind::Ecgrid),
+        RunOptions::digest().with_parallel_world(0).with_threads(0),
+    );
+    assert_eq!(
+        r.trace_digest,
+        Some(want),
+        "auto-parallel run drifted from the golden fixture"
+    );
+    let (k, t) = r.engine.expect("parallel run must echo its engine");
+    assert!(k >= 1, "auto shards resolved to {k}");
+    assert!(t >= 1 && t <= k, "auto threads resolved to {t} (K={k})");
 }
 
 #[test]
