@@ -94,6 +94,7 @@ mod tests {
             interval: SimDuration::from_secs(1),
             start: SimTime::from_secs(1),
             stop: SimTime::from_secs(21),
+            burst: None,
         }]);
         World::new(WorldConfig::paper_default(77), hosts, flows, |id| {
             Aodv::new(AodvConfig::default(), id)
@@ -129,6 +130,7 @@ mod tests {
             interval: SimDuration::from_secs(1),
             start: SimTime::from_secs(1),
             stop: SimTime::from_secs(6),
+            burst: None,
         }]);
         let mut w = World::new(WorldConfig::paper_default(3), hosts, flows, |id| {
             Aodv::new(AodvConfig::default(), id)

@@ -30,6 +30,7 @@ fn broken_relay_is_repaired_through_an_alternate() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(2),
         stop: SimTime::from_secs(60),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(11), hosts, flows, |id| {
         Aodv::new(AodvConfig::default(), id)
@@ -88,6 +89,7 @@ fn mobile_relay_breaks_and_heals_routes() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(2),
         stop: SimTime::from_secs(150),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(13), hosts, flows, |id| {
         Aodv::new(AodvConfig::default(), id)
@@ -123,6 +125,7 @@ fn ttl_prevents_infinite_forwarding_loops() {
         interval: SimDuration::from_millis(500),
         start: SimTime::from_secs(1),
         stop: SimTime::from_secs(60),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(17), hosts, flows, move |id| {
         Aodv::new(cfg, id)

@@ -16,6 +16,7 @@ fn loaded_channel(n: usize) -> ChannelState {
         ch.begin_tx(
             NodeId(i as u32),
             Point2::new(x, y),
+            250.0,
             start,
             start + SimDuration::from_micros(2300),
         );

@@ -152,6 +152,7 @@ pub fn loaded_channel(points: &[Point2], k: usize, n: usize, spatial: bool) -> C
         ch.begin_tx(
             NodeId(i as u32),
             *p,
+            RANGE_M,
             SimTime::from_millis(10),
             SimTime::from_millis(12),
         );

@@ -386,6 +386,7 @@ mod tests {
             interval: SimDuration::from_secs(1),
             start: SimTime::from_secs(10), // after convergence
             stop: SimTime::from_secs(40),
+            burst: None,
         }]);
         let mut w = world(chain(5), flows, 2);
         w.run_until(SimTime::from_secs(45));

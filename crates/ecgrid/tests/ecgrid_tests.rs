@@ -28,6 +28,7 @@ fn flow(id: u32, src: u32, dst: u32, start_s: u64, stop_s: u64) -> CbrFlow {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(start_s),
         stop: SimTime::from_secs(stop_s),
+        burst: None,
     }
 }
 

@@ -3,9 +3,7 @@
 //! time") and related recovery paths.
 
 use ecgrid::{Ecgrid, EcgridConfig};
-use manet::{
-    Battery, FlowSet, HostSetup, NodeId, Point2, PowerProfile, SimDuration, SimTime, World, WorldConfig,
-};
+use manet::{Battery, FlowSet, HostSetup, NodeId, Point2, SimDuration, SimTime, World, WorldConfig};
 use mobility::MobilityTrace;
 use traffic::{CbrFlow, FlowId};
 
@@ -19,9 +17,8 @@ fn still(x: f64, y: f64) -> HostSetup {
 /// the very end — its battery is sized to die mid-run "by accident").
 fn frail(x: f64, y: f64, joules: f64) -> HostSetup {
     HostSetup {
-        profile: PowerProfile::paper_default(),
         battery: Battery::with_capacity(joules),
-        trace: MobilityTrace::stationary(Point2::new(x, y), HORIZON),
+        ..HostSetup::paper(MobilityTrace::stationary(Point2::new(x, y), HORIZON))
     }
 }
 
@@ -46,6 +43,7 @@ fn silent_gateway_death_triggers_reelection() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(2),
         stop: SimTime::from_secs(120),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(5), hosts, flows, |id| {
         Ecgrid::new(EcgridConfig::default(), id)
@@ -92,6 +90,7 @@ fn sleeping_host_detects_dead_gateway_via_acq() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(60), // well after node 0 died
         stop: SimTime::from_secs(90),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(6), hosts, flows, |id| {
         Ecgrid::new(EcgridConfig::default(), id)
@@ -147,6 +146,7 @@ fn data_for_dead_local_host_is_dropped_not_looped() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(180),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(8), hosts, flows, |id| {
         Ecgrid::new(EcgridConfig::default(), id)
@@ -180,6 +180,7 @@ fn whole_grid_death_leaves_neighbors_functional() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(120),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(9), hosts, flows, |id| {
         Ecgrid::new(EcgridConfig::default(), id)

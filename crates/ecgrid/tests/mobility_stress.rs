@@ -107,6 +107,7 @@ fn gateway_buffer_is_bounded_per_destination() {
         interval: SimDuration::from_millis(2), // 500 pkt/s burst
         start: SimTime::from_secs(10),
         stop: SimTime::from_secs_f64(10.2),
+        burst: None,
     }]);
     let cfg = EcgridConfig {
         forward_wake_wait: 0.5,

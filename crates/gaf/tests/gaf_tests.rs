@@ -1,9 +1,7 @@
 //! End-to-end tests for GAF over the full simulator (Model 1 setup).
 
 use gaf::{GafConfig, GafProto, GafState};
-use manet::{
-    Battery, FlowSet, HostSetup, NodeId, Point2, PowerProfile, SimDuration, SimTime, World, WorldConfig,
-};
+use manet::{FlowSet, HostSetup, NodeId, Point2, SimDuration, SimTime, World, WorldConfig};
 use mobility::MobilityTrace;
 use traffic::{CbrFlow, FlowId};
 
@@ -14,11 +12,7 @@ fn still(x: f64, y: f64) -> HostSetup {
 }
 
 fn still_infinite(x: f64, y: f64) -> HostSetup {
-    HostSetup {
-        profile: PowerProfile::paper_default(),
-        battery: Battery::infinite(),
-        trace: MobilityTrace::stationary(Point2::new(x, y), HORIZON),
-    }
+    HostSetup::infinite(MobilityTrace::stationary(Point2::new(x, y), HORIZON))
 }
 
 /// 2 infinite-energy endpoints at the ends, GAF relays in between
@@ -37,6 +31,7 @@ fn model1_world(seed: u64, stop_s: u64) -> World<GafProto> {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(3),
         stop: SimTime::from_secs(stop_s),
+        burst: None,
     }]);
     World::new(WorldConfig::paper_default(seed), hosts, flows, |id| {
         if id.index() < 2 {

@@ -63,6 +63,7 @@ fn second_flow_packet_uses_learned_location() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(30),
+        burst: None,
     }]);
     let mut w = world(hosts, flows, 2);
     w.run_until(SimTime::from_secs(35));

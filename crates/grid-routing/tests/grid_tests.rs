@@ -53,6 +53,7 @@ fn grid_delivers_multi_hop() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(35),
+        burst: None,
     }]);
     let mut w = grid_world(hosts_three_grids(), flows, 2);
     w.run_until(SimTime::from_secs(40));

@@ -184,6 +184,18 @@ pub struct HostSetup {
     pub profile: PowerProfile,
     pub battery: Battery,
     pub trace: MobilityTrace,
+    /// Radio range override in meters; `None` uses `WorldConfig::range_m`.
+    /// Must not exceed the largest range in the fleet's config (the
+    /// channel's bucket geometry is sized from the maximum).
+    pub range_m: Option<f64>,
+    /// GPS position-error sigma in meters.  `0.0` (the default) performs
+    /// no draws, leaving homogeneous-run digests untouched; a positive
+    /// sigma offsets the position this host *reports* (grid membership,
+    /// protocol beacons) without moving its physical radio.
+    pub gps_sigma_m: f64,
+    /// Scenario group index for per-group metric attribution (0 when the
+    /// fleet was not built from a scenario file).
+    pub group: u16,
 }
 
 impl HostSetup {
@@ -193,6 +205,9 @@ impl HostSetup {
             profile: PowerProfile::paper_default(),
             battery: Battery::paper_default(),
             trace,
+            range_m: None,
+            gps_sigma_m: 0.0,
+            group: 0,
         }
     }
 
@@ -203,6 +218,33 @@ impl HostSetup {
             profile: PowerProfile::paper_default(),
             battery: Battery::infinite(),
             trace,
+            range_m: None,
+            gps_sigma_m: 0.0,
+            group: 0,
         }
+    }
+
+    /// Same host with an explicit battery.
+    pub fn with_battery(mut self, battery: Battery) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Same host with a per-host radio range.
+    pub fn with_range(mut self, range_m: f64) -> Self {
+        self.range_m = Some(range_m);
+        self
+    }
+
+    /// Same host with a GPS error sigma.
+    pub fn with_gps_sigma(mut self, sigma_m: f64) -> Self {
+        self.gps_sigma_m = sigma_m;
+        self
+    }
+
+    /// Same host tagged with a scenario group index.
+    pub fn with_group(mut self, group: u16) -> Self {
+        self.group = group;
+        self
     }
 }

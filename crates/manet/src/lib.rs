@@ -46,7 +46,7 @@ pub use progress::ProgressProbe;
 pub use protocol::{Protocol, WireSize};
 pub use stats::WorldStats;
 pub use trace::{render_trace, Event, EventKind, Recorder, TraceDigest, TraceMode};
-pub use world::{RunOutput, ShardStats, World};
+pub use world::{GroupStats, RunOutput, ShardStats, World};
 
 /// The observability layer (events, recorder, digest, registry, profile).
 pub use trace;

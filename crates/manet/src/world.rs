@@ -19,8 +19,8 @@ use radio::{
 use rand::rngs::StdRng;
 use rand::Rng;
 use sim_engine::{
-    chunk_count, BudgetExceeded, EventHandle, Mailbox, RngFactory, Scheduler, ShardedScheduler, SimDuration,
-    SimTime, SlicePtr, WorkerPool,
+    chunk_count, derive_seed, BudgetExceeded, EventHandle, Mailbox, RngFactory, Scheduler, ShardedScheduler,
+    SimDuration, SimTime, SlicePtr, SplitMix64, WorkerPool,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -28,6 +28,29 @@ use trace::{Event as TraceEvent, EventKind, FaultKind, Recorder, TraceDigest, Tr
 
 /// How long ended transmissions are kept for collision back-checks.
 const CHANNEL_GC_GRACE: SimDuration = SimDuration(50_000_000); // 50 ms
+
+/// Scenario per-group GPS error: offset `(dx, dy)` in meters for `node`
+/// at `t_ns`, piecewise constant over 1 s (a consumer-GPS fix rate).
+/// Stateless hash draws keyed on the world seed — `sigma == 0` performs
+/// no draws, so scenario-free runs stay digest-identical; distinct domain
+/// labels keep it independent of the fault plan's own GPS stream.
+fn scenario_gps_offset(seed: u64, node: u32, sigma_m: f64, t_ns: u64) -> (f64, f64) {
+    if sigma_m <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let slot = t_ns / 1_000_000_000;
+    let draw = |domain: &str| {
+        SplitMix64::new(derive_seed(
+            derive_seed(seed, domain, node as u64),
+            "scenario.sub",
+            slot,
+        ))
+        .next_f64()
+    };
+    let r = sigma_m * draw("scenario.gps_r");
+    let theta = std::f64::consts::TAU * draw("scenario.gps_a");
+    (r * theta.cos(), r * theta.sin())
+}
 
 /// Epoch-barrier maintenance cadence of the sharded engine (sim time):
 /// per-shard channel gc runs when the merged clock crosses this stride,
@@ -286,10 +309,19 @@ impl WorldChannel {
     }
 
     #[inline]
-    fn begin_tx(&mut self, shard: usize, src: NodeId, origin: Point2, start: SimTime, end: SimTime) -> u64 {
+    #[allow(clippy::too_many_arguments)]
+    fn begin_tx(
+        &mut self,
+        shard: usize,
+        src: NodeId,
+        origin: Point2,
+        range: f64,
+        start: SimTime,
+        end: SimTime,
+    ) -> u64 {
         match self {
-            WorldChannel::Serial(c) => c.begin_tx(src, origin, start, end),
-            WorldChannel::Sharded(c) => c.begin_tx(shard, src, origin, start, end),
+            WorldChannel::Serial(c) => c.begin_tx(src, origin, range, start, end),
+            WorldChannel::Sharded(c) => c.begin_tx(shard, src, origin, range, start, end),
         }
     }
 
@@ -307,14 +339,6 @@ impl WorldChannel {
         match self {
             WorldChannel::Serial(c) => c.corrupted(tx_id, src_origin, receiver, start, end),
             WorldChannel::Sharded(c) => c.corrupted(shard, tx_id, src_origin, receiver, start, end),
-        }
-    }
-
-    #[inline]
-    fn reaches(&self, origin: Point2, p: Point2) -> bool {
-        match self {
-            WorldChannel::Serial(c) => c.reaches(origin, p),
-            WorldChannel::Sharded(c) => c.reaches(origin, p),
         }
     }
 
@@ -422,6 +446,14 @@ struct Hosts<P: Protocol> {
     /// Crashed by the fault plan: silent (radio down, protocol frozen)
     /// until the scheduled rejoin reboots it with fresh protocol state.
     crashed: Vec<bool>,
+    /// Per-host radio range in meters (`WorldConfig::range_m` unless the
+    /// scenario overrides it; never exceeds the channel's construction
+    /// maximum).
+    ranges: Vec<f64>,
+    /// Per-host GPS error sigma in meters (0 = exact positions, no draws).
+    gps_sigmas: Vec<f64>,
+    /// Scenario group index per host (0 outside scenario runs).
+    groups: Vec<u16>,
 }
 
 impl<P: Protocol> Hosts<P> {
@@ -438,10 +470,24 @@ impl<P: Protocol> Hosts<P> {
             sleep_pending: Vec::with_capacity(n),
             dead_handled: Vec::with_capacity(n),
             crashed: Vec::with_capacity(n),
+            ranges: Vec::with_capacity(n),
+            gps_sigmas: Vec::with_capacity(n),
+            groups: Vec::with_capacity(n),
         }
     }
 
-    fn push(&mut self, proto: P, meter: EnergyMeter, trace: MobilityTrace, cell: GridCoord, rng: StdRng) {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        proto: P,
+        meter: EnergyMeter,
+        trace: MobilityTrace,
+        cell: GridCoord,
+        rng: StdRng,
+        range_m: f64,
+        gps_sigma_m: f64,
+        group: u16,
+    ) {
         let level = meter.level();
         self.protos.push(proto);
         self.meters.push(meter);
@@ -454,11 +500,49 @@ impl<P: Protocol> Hosts<P> {
         self.sleep_pending.push(false);
         self.dead_handled.push(false);
         self.crashed.push(false);
+        self.ranges.push(range_m);
+        self.gps_sigmas.push(gps_sigma_m);
+        self.groups.push(group);
     }
 
     #[inline]
     fn len(&self) -> usize {
         self.meters.len()
+    }
+}
+
+/// Per-scenario-group liveness/energy rollup (see [`World::group_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GroupStats {
+    /// Hosts tagged with this group (including infinite-battery ones).
+    pub hosts: u32,
+    /// Finite-battery hosts in the group.
+    pub finite: u32,
+    /// Finite-battery hosts currently alive.
+    pub alive: u32,
+    /// Energy consumed by the group's finite-battery hosts (J).
+    pub consumed_j: f64,
+    /// Total initial energy of the group's finite-battery hosts (J).
+    pub capacity_j: f64,
+}
+
+impl GroupStats {
+    /// Alive fraction over finite hosts (1.0 for an all-infinite group).
+    pub fn alive_fraction(&self) -> f64 {
+        if self.finite == 0 {
+            1.0
+        } else {
+            f64::from(self.alive) / f64::from(self.finite)
+        }
+    }
+
+    /// Normalized energy consumption (Eq. 2 restricted to the group).
+    pub fn aen(&self) -> f64 {
+        if self.capacity_j == 0.0 {
+            0.0
+        } else {
+            self.consumed_j / self.capacity_j
+        }
     }
 }
 
@@ -561,7 +645,21 @@ impl<P: Protocol> World<P> {
         let k_shards = cfg.resolved_shards().max(1);
         let threads = cfg.resolved_threads().max(1);
         let exec = (cfg.parallel_world && threads > 1).then(|| WorkerPool::new(threads));
-        let reach_cells = (cfg.range_m / cfg.grid.cell_side()).ceil() as i32 + 1;
+        // Heterogeneous fleets: the channel's geometry (bucket side,
+        // mirror slack, reach radius) is sized from the LARGEST radio in
+        // the fleet, so every per-transmission disc fits inside the 3x3
+        // bucket query and every boundary mirror predicate.  A homogeneous
+        // fleet reduces to exactly `cfg.range_m`, leaving digests
+        // untouched.
+        let max_range = hosts.iter().fold(cfg.range_m, |acc, h| {
+            let r = h.range_m.unwrap_or(cfg.range_m);
+            assert!(
+                r.is_finite() && r > 0.0,
+                "host radio range must be positive and finite, got {r}"
+            );
+            acc.max(r)
+        });
+        let reach_cells = (max_range / cfg.grid.cell_side()).ceil() as i32 + 1;
         // Bucketed carrier-sense/interference queries ride the same
         // toggle as receiver discovery, so `brute` really is the
         // end-to-end baseline.  Small populations skip the bucket
@@ -579,14 +677,14 @@ impl<P: Protocol> World<P> {
                 cfg.grid.width(),
                 k_shards,
             );
-            let mut ch = ShardedChannel::new(cfg.range_m, map);
+            let mut ch = ShardedChannel::new(max_range, map);
             ch.set_capture_ratio(cfg.capture_ratio);
             if channel_spatial {
                 ch.enable_spatial(cfg.grid.width(), cfg.grid.height());
             }
             WorldChannel::Sharded(ch)
         } else {
-            let mut ch = ChannelState::new(cfg.range_m);
+            let mut ch = ChannelState::new(max_range);
             ch.set_capture_ratio(cfg.capture_ratio);
             if channel_spatial {
                 ch.enable_spatial(cfg.grid.width(), cfg.grid.height());
@@ -613,7 +711,16 @@ impl<P: Protocol> World<P> {
                 h.battery
             };
             let meter = EnergyMeter::new(h.profile, battery);
-            soa.push(factory(id), meter, h.trace, cell, rngs.stream("node", i as u64));
+            soa.push(
+                factory(id),
+                meter,
+                h.trace,
+                cell,
+                rngs.stream("node", i as u64),
+                h.range_m.unwrap_or(cfg.range_m),
+                h.gps_sigma_m,
+                h.group,
+            );
         }
         // Pre-size the event slab to the measured shape of paper-scale
         // runs: SchedProfile high-water marks sit near 2 pending events
@@ -976,6 +1083,39 @@ impl<P: Protocol> World<P> {
         } else {
             consumed / capacity
         }
+    }
+
+    /// Scenario group index of a host (0 outside scenario runs).
+    pub fn node_group(&self, id: NodeId) -> u16 {
+        self.hosts.groups[id.index()]
+    }
+
+    /// Per-host radio range in meters.
+    pub fn node_range(&self, id: NodeId) -> f64 {
+        self.hosts.ranges[id.index()]
+    }
+
+    /// Energy/liveness rollup per scenario group, indexed by group id
+    /// (one linear fold, same accounting rules as [`Self::alive_fraction`]
+    /// and [`Self::aen`]: infinite-battery hosts count toward `hosts` but
+    /// not toward the energy or alive tallies).
+    pub fn group_stats(&self) -> Vec<GroupStats> {
+        let n_groups = self.hosts.groups.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut out = vec![GroupStats::default(); n_groups];
+        for (i, m) in self.hosts.meters.iter().enumerate() {
+            let g = &mut out[self.hosts.groups[i] as usize];
+            g.hosts += 1;
+            if m.battery().is_infinite() {
+                continue;
+            }
+            g.finite += 1;
+            if m.is_alive() {
+                g.alive += 1;
+            }
+            g.consumed_j += m.consumed_j();
+            g.capacity_j += m.battery().capacity_j();
+        }
+        out
     }
 
     /// Kill a host immediately (failure injection: §3.2's "gateway is down
@@ -1431,9 +1571,14 @@ impl<P: Protocol> World<P> {
         let emitting = self.recorder.is_some();
         // GPS error: what the protocol *believes* its position is.  The
         // world's own bookkeeping (cells, channel geometry) keeps the true
-        // position — only the receiver estimate is corrupted.
-        let gps_off = self.fault.gps_offset_m(node.0, now.as_nanos());
+        // position — only the receiver estimate is corrupted.  The fault
+        // plan's global error and the scenario's per-group sigma compose
+        // additively; each contributes (0, 0) — and performs no draws —
+        // when its knob is zero.
         let i = node.index();
+        let gps_off = self.fault.gps_offset_m(node.0, now.as_nanos());
+        let sigma_off = scenario_gps_offset(self.cfg.seed, node.0, self.hosts.gps_sigmas[i], now.as_nanos());
+        let gps_off = (gps_off.0 + sigma_off.0, gps_off.1 + sigma_off.1);
         let trace = &self.hosts.traces[i];
         let meter = &self.hosts.meters[i];
         let mut pos = trace.position_at(now);
@@ -1695,7 +1840,8 @@ impl<P: Protocol> World<P> {
         };
         let dur = self.cfg.mac.airtime(&meta);
         let end = now + dur;
-        let tx_id = self.channel.begin_tx(sh, node, pos, now, end);
+        let tx_range = self.hosts.ranges[i];
+        let tx_id = self.channel.begin_tx(sh, node, pos, tx_range, now, end);
 
         // freeze the receiver set: alive, transceiver on, not transmitting,
         // within range at tx start.  Candidates come from the reusable
@@ -1728,7 +1874,6 @@ impl<P: Protocol> World<P> {
                 let traces = &self.hosts.traces;
                 let last_levels = &self.hosts.last_levels;
                 let dead_handled = &self.hosts.dead_handled;
-                let channel = &self.channel;
                 let cand_ref = &cand;
                 let sender = node.index();
                 pool.for_each_range(nc, grain, &|chunk, range| {
@@ -1756,7 +1901,7 @@ impl<P: Protocol> World<P> {
                         }
                         if alive && matches!(m.mode(), RadioMode::Idle | RadioMode::Rx) {
                             let pj = traces[j].position_at(now_t);
-                            out[off] = channel.reaches(pos, pj);
+                            out[off] = pos.within_range(pj, tx_range);
                         }
                     }
                 });
@@ -1788,7 +1933,7 @@ impl<P: Protocol> World<P> {
                     continue;
                 }
                 let pj = self.hosts.traces[j as usize].position_at(now);
-                if !self.channel.reaches(pos, pj) {
+                if !pos.within_range(pj, tx_range) {
                     continue;
                 }
                 receivers.push(jid);

@@ -122,6 +122,7 @@ fn a_host_crossing_a_strip_boundary_migrates_between_shards() {
             interval: SimDuration::from_secs(1),
             start: SimTime::from_secs(1),
             stop: SimTime::from_secs(35),
+            burst: None,
         }]);
         let mut cfg = WorldConfig::paper_default(42);
         if let Some(k) = shards {

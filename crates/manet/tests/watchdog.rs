@@ -4,8 +4,8 @@
 
 use manet::progress::ProgressProbe;
 use manet::{
-    AppPacket, Battery, Ctx, FlowSet, HostSetup, PowerProfile, Protocol, RunBudget, SimDuration, SimTime,
-    WireSize, World, WorldConfig,
+    AppPacket, Ctx, FlowSet, HostSetup, Protocol, RunBudget, SimDuration, SimTime, WireSize, World,
+    WorldConfig,
 };
 use mobility::MobilityModel;
 use radio::{FrameKind, NodeId};
@@ -49,10 +49,8 @@ fn runaway_world(budget: RunBudget, period: SimDuration) -> World<Runaway> {
     let model = mobility::RandomWaypoint::paper(1.0, 0.0);
     let rngs = sim_engine::RngFactory::new(1);
     let hosts: Vec<HostSetup> = (0..4)
-        .map(|i| HostSetup {
-            profile: PowerProfile::paper_default(),
-            battery: Battery::paper_default(),
-            trace: model.build_trace(&mut rngs.stream("mobility", i), SimTime::from_secs(10_000)),
+        .map(|i| {
+            HostSetup::paper(model.build_trace(&mut rngs.stream("mobility", i), SimTime::from_secs(10_000)))
         })
         .collect();
     World::new(cfg, hosts, FlowSet::default(), move |_| Runaway { period })

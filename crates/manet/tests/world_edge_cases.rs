@@ -189,6 +189,7 @@ fn event_trace_captures_a_packet_journey() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(1),
         stop: SimTime::from_secs(2),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(42), hosts, flows, |_| {
         Probe::new(ProbeCfg::default())

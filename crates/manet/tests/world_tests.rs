@@ -3,8 +3,7 @@
 
 use manet::testkit::{Probe, ProbeCfg, ProbeMsg};
 use manet::{
-    Battery, FlowSet, GridCoord, HostSetup, NodeId, PageSignal, PowerProfile, RadioMode, SimDuration,
-    SimTime, World, WorldConfig,
+    FlowSet, GridCoord, HostSetup, NodeId, PageSignal, RadioMode, SimDuration, SimTime, World, WorldConfig,
 };
 use mobility::{MobilityTrace, Segment};
 use traffic::{CbrFlow, FlowId};
@@ -286,6 +285,7 @@ fn app_flow_delivers_end_to_end() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(1),
         stop: SimTime::from_secs(11),
+        burst: None,
     };
     let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
     w.run_until(SimTime::from_secs(20));
@@ -311,6 +311,7 @@ fn flow_stops_when_source_dies() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(0),
         stop: SimTime::from_secs(1000),
+        burst: None,
     };
     let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
     w.run_until(SimTime::from_secs(1000));
@@ -325,14 +326,7 @@ fn flow_stops_when_source_dies() {
 fn infinite_battery_hosts_are_excluded_from_metrics() {
     let t1 = MobilityTrace::stationary(geo::Point2::new(50.0, 50.0), HORIZON);
     let t2 = MobilityTrace::stationary(geo::Point2::new(150.0, 50.0), HORIZON);
-    let hosts = vec![
-        HostSetup {
-            profile: PowerProfile::paper_default(),
-            battery: Battery::infinite(),
-            trace: t1,
-        },
-        HostSetup::paper(t2),
-    ];
+    let hosts = vec![HostSetup::infinite(t1), HostSetup::paper(t2)];
     let cfgs = vec![ProbeCfg::default(), ProbeCfg::default()];
     let mut w = world_with(hosts, cfgs, FlowSet::default());
     w.run_until(SimTime::from_secs(1000));
@@ -375,6 +369,7 @@ fn runs_are_deterministic_per_seed() {
             interval: SimDuration::from_millis(100),
             start: SimTime::from_secs(1),
             stop: SimTime::from_secs(30),
+            burst: None,
         };
         let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
         w.run_until(SimTime::from_secs(40));
@@ -407,6 +402,7 @@ fn transmitting_costs_more_than_idling() {
         interval: SimDuration::from_millis(50), // 20 pkt/s, heavy
         start: SimTime::ZERO,
         stop: SimTime::from_secs(100),
+        burst: None,
     };
     let mut w = world_with(hosts, cfgs, FlowSet::new(vec![flow]));
     w.run_until(SimTime::from_secs(100));

@@ -113,6 +113,21 @@ impl PacketLedger {
         v
     }
 
+    /// `(flow, sent, delivered)` per flow id, ascending — the scenario
+    /// runner folds these into per-group delivery rates.
+    pub fn per_flow(&self) -> Vec<(u32, u64, u64)> {
+        let mut map: HashMap<u32, (u64, u64)> = HashMap::new();
+        for key in self.sent.keys() {
+            map.entry(key.0).or_default().0 += 1;
+        }
+        for key in self.delivered.keys() {
+            map.entry(key.0).or_default().1 += 1;
+        }
+        let mut v: Vec<(u32, u64, u64)> = map.into_iter().map(|(f, (s, d))| (f, s, d)).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Restrict accounting to packets sent strictly before `cutoff` —
     /// the paper compares delivery quality at simulation time 590 s
     /// "since the network hosts that run GRID exhaust all their energy"

@@ -16,6 +16,9 @@ pub mod models;
 pub mod segment;
 pub mod trace;
 
-pub use models::{GaussMarkov, MobilityModel, RandomWalk, RandomWaypoint, Stationary};
+pub use models::{
+    Convoy, GaussMarkov, HotspotConvergence, ManhattanGrid, MobilityModel, RandomWalk, RandomWaypoint,
+    Stationary,
+};
 pub use segment::Segment;
 pub use trace::MobilityTrace;

@@ -238,6 +238,228 @@ impl MobilityModel for GaussMarkov {
     }
 }
 
+/// Manhattan-grid street mobility (urban extension): motion is constrained
+/// to a street lattice with `block_m` spacing.  A host starts at a random
+/// intersection and repeatedly travels one block along a street at a
+/// uniform speed, preferring not to reverse at intersections (the classic
+/// straight-bias variant), optionally pausing at each intersection.
+#[derive(Clone, Debug)]
+pub struct ManhattanGrid {
+    pub field_w: f64,
+    pub field_h: f64,
+    /// Street spacing in meters.
+    pub block_m: f64,
+    pub max_speed: f64,
+    pub min_speed: f64,
+    /// Pause at every intersection, seconds.
+    pub pause_secs: f64,
+}
+
+impl ManhattanGrid {
+    /// Paper-field lattice (1000×1000 m) with `block_m` streets.
+    pub fn paper(max_speed: f64, pause_secs: f64, block_m: f64) -> Self {
+        ManhattanGrid {
+            field_w: 1000.0,
+            field_h: 1000.0,
+            block_m,
+            max_speed,
+            min_speed: (0.01 * max_speed).max(1e-3),
+            pause_secs,
+        }
+    }
+}
+
+impl MobilityModel for ManhattanGrid {
+    fn build_trace<R: Rng>(&self, rng: &mut R, horizon: SimTime) -> MobilityTrace {
+        assert!(self.max_speed > 0.0 && self.block_m > 0.0);
+        // intersections at (i·block, j·block), clamped inside the field
+        let nx = (self.field_w / self.block_m).floor() as i64 + 1;
+        let ny = (self.field_h / self.block_m).floor() as i64 + 1;
+        let (mut ix, mut iy) = (rng.gen_range(0..nx), rng.gen_range(0..ny));
+        let point = |ix: i64, iy: i64| Point2::new(ix as f64 * self.block_m, iy as f64 * self.block_m);
+        let mut segments = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut pos = point(ix, iy);
+        // (dx, dy) of the previous block, to bias against U-turns
+        let mut prev: Option<(i64, i64)> = None;
+        while now < horizon {
+            let mut dirs: Vec<(i64, i64)> = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                .into_iter()
+                .filter(|(dx, dy)| (0..nx).contains(&(ix + dx)) && (0..ny).contains(&(iy + dy)))
+                .collect();
+            if let Some((px, py)) = prev {
+                if dirs.len() > 1 {
+                    dirs.retain(|&(dx, dy)| (dx, dy) != (-px, -py));
+                }
+            }
+            let (dx, dy) = dirs[rng.gen_range(0..dirs.len())];
+            ix += dx;
+            iy += dy;
+            prev = Some((dx, dy));
+            let dest = point(ix, iy);
+            let speed = rng.gen_range(self.min_speed..=self.max_speed);
+            let leg = Segment::travel(now, pos, dest, speed);
+            now = leg.end;
+            pos = leg.end_position();
+            segments.push(leg);
+            if self.pause_secs > 0.0 && now < horizon {
+                let end = now + SimDuration::from_secs_f64(self.pause_secs);
+                segments.push(Segment::rest(now, end, pos));
+                now = end;
+            }
+            if segments.len() > 4_000_000 {
+                panic!("runaway trace generation");
+            }
+        }
+        MobilityTrace::new(segments)
+    }
+}
+
+/// Reference-point group (convoy) mobility: the whole group follows one
+/// shared reference trajectory, and each member random-walks an offset
+/// within `group_radius_m` of the moving reference point.  The reference
+/// trace is built once per group (from a group-level RNG stream) and
+/// shared by every member's model; the per-member RNG only drives the
+/// offset jitter, so members stay clustered for the entire run.
+#[derive(Clone, Debug)]
+pub struct Convoy {
+    /// The group's shared reference trajectory.
+    pub reference: MobilityTrace,
+    pub field_w: f64,
+    pub field_h: f64,
+    /// Maximum member distance from the reference point.
+    pub group_radius_m: f64,
+    /// Offset re-sampling period, seconds.
+    pub epoch_secs: f64,
+}
+
+impl Convoy {
+    pub fn around(reference: MobilityTrace, field_w: f64, field_h: f64, group_radius_m: f64) -> Self {
+        Convoy {
+            reference,
+            field_w,
+            field_h,
+            group_radius_m,
+            epoch_secs: 10.0,
+        }
+    }
+}
+
+impl MobilityModel for Convoy {
+    fn build_trace<R: Rng>(&self, rng: &mut R, horizon: SimTime) -> MobilityTrace {
+        assert!(self.group_radius_m > 0.0 && self.epoch_secs > 0.0);
+        let r = self.group_radius_m;
+        // persistent offset random-walking inside the group disc
+        let mut off = (rng.gen_range(-r..=r) * 0.5, rng.gen_range(-r..=r) * 0.5);
+        let mut segments = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut pos = sum_clamped(self.reference.position_at(now), off, self.field_w, self.field_h);
+        while now < horizon {
+            let end = now + SimDuration::from_secs_f64(self.epoch_secs);
+            off.0 = (off.0 + rng.gen_range(-r..=r) * 0.4).clamp(-r, r);
+            off.1 = (off.1 + rng.gen_range(-r..=r) * 0.4).clamp(-r, r);
+            let target = sum_clamped(self.reference.position_at(end), off, self.field_w, self.field_h);
+            let dist = target.distance(pos);
+            if dist < 1e-9 {
+                segments.push(Segment::rest(now, end, pos));
+            } else {
+                segments.push(Segment::travel(now, pos, target, dist / self.epoch_secs));
+            }
+            now = end;
+            pos = target;
+        }
+        MobilityTrace::new(segments)
+    }
+}
+
+fn sum_clamped(p: Point2, off: (f64, f64), w: f64, h: f64) -> Point2 {
+    Point2::new(p.x + off.0, p.y + off.1).clamp_to(w, h)
+}
+
+/// Disaster-relief hotspot convergence: hosts repeatedly travel to one of
+/// a small set of shared attraction points (incident sites), dwell there,
+/// and move on.  The hotspot set is a property of the scenario (built
+/// once per group from a group-level RNG stream); the per-member RNG
+/// picks which hotspot, the approach point, and the travel speed.
+#[derive(Clone, Debug)]
+pub struct HotspotConvergence {
+    pub field_w: f64,
+    pub field_h: f64,
+    /// Shared attraction points.
+    pub spots: Vec<Point2>,
+    pub max_speed: f64,
+    pub min_speed: f64,
+    /// Dwell time at each hotspot, seconds.
+    pub dwell_secs: f64,
+    /// Hosts stop within this radius of the hotspot center, so a crowd
+    /// spreads out instead of stacking at one coordinate.
+    pub crowd_radius_m: f64,
+}
+
+impl HotspotConvergence {
+    pub fn new(field_w: f64, field_h: f64, spots: Vec<Point2>, max_speed: f64, dwell_secs: f64) -> Self {
+        HotspotConvergence {
+            field_w,
+            field_h,
+            spots,
+            max_speed,
+            min_speed: (0.01 * max_speed).max(1e-3),
+            dwell_secs,
+            crowd_radius_m: 25.0,
+        }
+    }
+
+    /// Draw `n` shared hotspot positions, inset from the field edges.
+    pub fn random_spots<R: Rng>(rng: &mut R, field_w: f64, field_h: f64, n: u32) -> Vec<Point2> {
+        (0..n)
+            .map(|_| {
+                Point2::new(
+                    rng.gen_range(0.1 * field_w..=0.9 * field_w),
+                    rng.gen_range(0.1 * field_h..=0.9 * field_h),
+                )
+            })
+            .collect()
+    }
+}
+
+impl MobilityModel for HotspotConvergence {
+    fn build_trace<R: Rng>(&self, rng: &mut R, horizon: SimTime) -> MobilityTrace {
+        assert!(!self.spots.is_empty() && self.max_speed > 0.0 && self.dwell_secs > 0.0);
+        let mut segments = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut pos = Point2::new(
+            rng.gen_range(0.0..=self.field_w),
+            rng.gen_range(0.0..=self.field_h),
+        );
+        while now < horizon {
+            let spot = self.spots[rng.gen_range(0..self.spots.len())];
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let rad = rng.gen_range(0.0..=self.crowd_radius_m);
+            let dest = Point2::new(spot.x + rad * theta.cos(), spot.y + rad * theta.sin())
+                .clamp_to(self.field_w, self.field_h);
+            let speed = rng.gen_range(self.min_speed..=self.max_speed);
+            let leg = Segment::travel(now, pos, dest, speed);
+            if leg.end > leg.start {
+                now = leg.end;
+                pos = leg.end_position();
+                segments.push(leg);
+            }
+            if now < horizon {
+                let end = now + SimDuration::from_secs_f64(self.dwell_secs);
+                segments.push(Segment::rest(now, end, pos));
+                now = end;
+            }
+            if segments.len() > 4_000_000 {
+                panic!("runaway trace generation");
+            }
+        }
+        if segments.is_empty() {
+            return MobilityTrace::stationary(pos, horizon);
+        }
+        MobilityTrace::new(segments)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +616,99 @@ mod tests {
         assert_eq!(
             a.position_at(SimTime::from_secs(77)),
             b.position_at(SimTime::from_secs(77))
+        );
+    }
+
+    #[test]
+    fn manhattan_moves_only_along_streets() {
+        let model = ManhattanGrid::paper(10.0, 5.0, 100.0);
+        let tr = model.build_trace(&mut rng(13), SimTime::from_secs(800));
+        for s in tr.segments() {
+            let a = s.from;
+            let b = s.end_position();
+            // every leg is axis-aligned between lattice points
+            assert!(
+                (a.x - b.x).abs() < 1e-6 || (a.y - b.y).abs() < 1e-6,
+                "diagonal leg {a:?} -> {b:?}"
+            );
+            for p in [a, b] {
+                let on_x = (p.x / 100.0 - (p.x / 100.0).round()).abs() < 1e-6;
+                let on_y = (p.y / 100.0 - (p.y / 100.0).round()).abs() < 1e-6;
+                assert!(on_x && on_y, "off-lattice point {p:?}");
+                let eps = 1e-6; // ns-quantized segment ends round off slightly
+                assert!((-eps..=1000.0 + eps).contains(&p.x) && (-eps..=1000.0 + eps).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_is_deterministic_per_seed() {
+        let model = ManhattanGrid::paper(5.0, 0.0, 125.0);
+        let a = model.build_trace(&mut rng(3), SimTime::from_secs(400));
+        let b = model.build_trace(&mut rng(3), SimTime::from_secs(400));
+        for t in [0u64, 99, 250, 399] {
+            assert_eq!(
+                a.position_at(SimTime::from_secs(t)),
+                b.position_at(SimTime::from_secs(t))
+            );
+        }
+    }
+
+    #[test]
+    fn convoy_members_stay_within_the_group_radius() {
+        let reference = RandomWaypoint::paper(5.0, 0.0).build_trace(&mut rng(77), SimTime::from_secs(620));
+        let model = Convoy::around(reference.clone(), 1000.0, 1000.0, 50.0);
+        let member = model.build_trace(&mut rng(8), SimTime::from_secs(600));
+        for s in (0..=600).step_by(10) {
+            let t = SimTime::from_secs(s);
+            let d = member.position_at(t).distance(reference.position_at(t));
+            // radius + one epoch of drift while the reference moves
+            assert!(
+                d <= 50.0 + 5.0 * 10.0 + 1e-6,
+                "member {d:.1} m from reference at {s} s"
+            );
+        }
+    }
+
+    #[test]
+    fn convoy_members_differ_but_share_the_reference() {
+        let reference = RandomWaypoint::paper(2.0, 0.0).build_trace(&mut rng(1), SimTime::from_secs(320));
+        let model = Convoy::around(reference, 1000.0, 1000.0, 40.0);
+        let a = model.build_trace(&mut rng(10), SimTime::from_secs(300));
+        let b = model.build_trace(&mut rng(11), SimTime::from_secs(300));
+        let t = SimTime::from_secs(150);
+        assert_ne!(a.position_at(t), b.position_at(t));
+        // distinct members still cluster: within one diameter of each other
+        assert!(a.position_at(t).distance(b.position_at(t)) <= 80.0 + 1e-6);
+    }
+
+    #[test]
+    fn hotspot_hosts_dwell_near_shared_spots() {
+        let spots = HotspotConvergence::random_spots(&mut rng(55), 1000.0, 1000.0, 3);
+        let model = HotspotConvergence::new(1000.0, 1000.0, spots.clone(), 10.0, 120.0);
+        let tr = model.build_trace(&mut rng(6), SimTime::from_secs(1000));
+        // every rest segment sits within the crowd radius of some hotspot
+        let mut rests = 0;
+        for s in tr.segments() {
+            if s.speed() == 0.0 {
+                rests += 1;
+                let p = s.from;
+                let near = spots.iter().any(|q| q.distance(p) <= 25.0 + 1e-6);
+                assert!(near, "rest at {p:?} far from every hotspot");
+            }
+        }
+        assert!(rests >= 2, "expected repeated dwells, saw {rests}");
+    }
+
+    #[test]
+    fn hotspot_is_deterministic_per_seed() {
+        let spots = HotspotConvergence::random_spots(&mut rng(2), 500.0, 500.0, 2);
+        let model = HotspotConvergence::new(500.0, 500.0, spots, 5.0, 30.0);
+        let a = model.build_trace(&mut rng(4), SimTime::from_secs(200));
+        let b = model.build_trace(&mut rng(4), SimTime::from_secs(200));
+        assert_eq!(
+            a.position_at(SimTime::from_secs(123)),
+            b.position_at(SimTime::from_secs(123))
         );
     }
 

@@ -18,6 +18,11 @@ pub struct Transmission {
     pub src: NodeId,
     /// Transmitter position at tx start (the disc's center).
     pub origin: Point2,
+    /// This transmitter's radio range in meters.  Heterogeneous scenarios
+    /// give groups different radios; `ChannelState::range` stays the
+    /// *maximum* so the bucket geometry (side == max range) still covers
+    /// every audible transmission in a 3x3 neighborhood.
+    pub range: f64,
     pub start: SimTime,
     pub end: SimTime,
 }
@@ -113,11 +118,13 @@ impl ChannelState {
         self.range
     }
 
-    /// Register a transmission; returns its channel id.
-    pub fn begin_tx(&mut self, src: NodeId, origin: Point2, start: SimTime, end: SimTime) -> u64 {
+    /// Register a transmission at this transmitter's `range`; returns its
+    /// channel id.  `range` must not exceed the channel's nominal (bucket
+    /// sizing) range.
+    pub fn begin_tx(&mut self, src: NodeId, origin: Point2, range: f64, start: SimTime, end: SimTime) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.insert_tx(id, src, origin, start, end);
+        self.insert_tx(id, src, origin, range, start, end);
         id
     }
 
@@ -126,7 +133,20 @@ impl ChannelState {
     /// several shard-local channels under a single global id; everyone
     /// else should use [`ChannelState::begin_tx`], which allocates from
     /// this channel's own counter.
-    pub fn insert_tx(&mut self, id: u64, src: NodeId, origin: Point2, start: SimTime, end: SimTime) {
+    pub fn insert_tx(
+        &mut self,
+        id: u64,
+        src: NodeId,
+        origin: Point2,
+        range: f64,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        debug_assert!(
+            range <= self.range + 1e-9,
+            "per-tx range {range} exceeds the channel's bucket range {}",
+            self.range
+        );
         if let Some(sp) = &mut self.spatial {
             sp.insert_at(self.active.len() as u32, origin);
         }
@@ -134,6 +154,7 @@ impl ChannelState {
             id,
             src,
             origin,
+            range,
             start,
             end,
         });
@@ -171,7 +192,7 @@ impl ChannelState {
             let mut latest: Option<SimTime> = None;
             sp.for_each_near(bx, by, 1, |i| {
                 let t = &self.active[i as usize];
-                if t.start <= at && t.end > at && t.origin.within_range(p, self.range) {
+                if t.start <= at && t.end > at && t.origin.within_range(p, t.range) {
                     latest = Some(latest.map_or(t.end, |l| l.max(t.end)));
                 }
             });
@@ -179,7 +200,7 @@ impl ChannelState {
         }
         self.active
             .iter()
-            .filter(|t| t.start <= at && t.end > at && t.origin.within_range(p, self.range))
+            .filter(|t| t.start <= at && t.end > at && t.origin.within_range(p, t.range))
             .map(|t| t.end)
             .max()
     }
@@ -207,7 +228,7 @@ impl ChannelState {
             if t.id == tx_id || t.start >= end || t.end <= start {
                 return false;
             }
-            if !t.origin.within_range(receiver, self.range) {
+            if !t.origin.within_range(receiver, t.range) {
                 return false;
             }
             match self.capture_ratio {
@@ -255,7 +276,7 @@ mod tests {
     #[test]
     fn carrier_sense_within_range_only() {
         let mut ch = ChannelState::paper_default();
-        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), t(10), t(12));
+        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), 250.0, t(10), t(12));
         // 100 m away: busy
         assert_eq!(ch.busy_until(Point2::new(100.0, 0.0), t(11)), Some(t(12)));
         // 300 m away: idle
@@ -268,8 +289,8 @@ mod tests {
     #[test]
     fn busy_until_takes_latest_end() {
         let mut ch = ChannelState::paper_default();
-        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), t(10), t(12));
-        ch.begin_tx(NodeId(2), Point2::new(50.0, 0.0), t(10), t(15));
+        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), 250.0, t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(50.0, 0.0), 250.0, t(10), t(15));
         assert_eq!(ch.busy_until(Point2::new(10.0, 0.0), t(11)), Some(t(15)));
     }
 
@@ -277,9 +298,9 @@ mod tests {
     fn overlapping_comparable_interferer_corrupts() {
         let mut ch = ChannelState::paper_default();
         let src = Point2::new(0.0, 0.0);
-        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        let tx = ch.begin_tx(NodeId(1), src, 250.0, t(10), t(12));
         // interferer equidistant from the receiver: no capture possible
-        ch.begin_tx(NodeId(2), Point2::new(100.0, 0.0), t(11), t(13));
+        ch.begin_tx(NodeId(2), Point2::new(100.0, 0.0), 250.0, t(11), t(13));
         let receiver = Point2::new(50.0, 0.0);
         assert!(ch.corrupted(tx, src, receiver, t(10), t(12)));
     }
@@ -288,10 +309,10 @@ mod tests {
     fn strong_signal_captures_over_weak_interferer() {
         let mut ch = ChannelState::paper_default();
         let src = Point2::new(0.0, 0.0);
-        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        let tx = ch.begin_tx(NodeId(1), src, 250.0, t(10), t(12));
         // receiver 50 m from the source, interferer 200 m away: 4x the
         // distance => far beyond the 10 dB capture threshold
-        ch.begin_tx(NodeId(2), Point2::new(250.0, 0.0), t(11), t(13));
+        ch.begin_tx(NodeId(2), Point2::new(250.0, 0.0), 250.0, t(11), t(13));
         let receiver = Point2::new(50.0, 0.0);
         assert!(!ch.corrupted(tx, src, receiver, t(10), t(12)));
         // without capture the same interferer is fatal
@@ -304,9 +325,9 @@ mod tests {
         let mut ch = ChannelState::paper_default();
         ch.set_capture_ratio(None);
         let src = Point2::new(0.0, 0.0);
-        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        let tx = ch.begin_tx(NodeId(1), src, 250.0, t(10), t(12));
         // interferer 400 m from the receiver: inaudible there
-        ch.begin_tx(NodeId(2), Point2::new(450.0, 0.0), t(11), t(13));
+        ch.begin_tx(NodeId(2), Point2::new(450.0, 0.0), 250.0, t(11), t(13));
         let receiver = Point2::new(50.0, 0.0);
         assert!(!ch.corrupted(tx, src, receiver, t(10), t(12)));
     }
@@ -316,8 +337,8 @@ mod tests {
         let mut ch = ChannelState::paper_default();
         ch.set_capture_ratio(None);
         let src = Point2::new(0.0, 0.0);
-        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
-        ch.begin_tx(NodeId(2), Point2::new(10.0, 0.0), t(12), t(14)); // starts when tx ends
+        let tx = ch.begin_tx(NodeId(1), src, 250.0, t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(10.0, 0.0), 250.0, t(12), t(14)); // starts when tx ends
         let receiver = Point2::new(50.0, 0.0);
         assert!(!ch.corrupted(tx, src, receiver, t(10), t(12)));
     }
@@ -326,15 +347,15 @@ mod tests {
     fn own_transmission_is_not_interference() {
         let mut ch = ChannelState::paper_default();
         let src = Point2::new(0.0, 0.0);
-        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
+        let tx = ch.begin_tx(NodeId(1), src, 250.0, t(10), t(12));
         assert!(!ch.corrupted(tx, src, Point2::new(50.0, 0.0), t(10), t(12)));
     }
 
     #[test]
     fn gc_drops_finished_transmissions() {
         let mut ch = ChannelState::paper_default();
-        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), t(10), t(12));
-        ch.begin_tx(NodeId(2), Point2::new(0.0, 0.0), t(10), t(20));
+        ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), 250.0, t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(0.0, 0.0), 250.0, t(10), t(20));
         assert_eq!(ch.in_flight(), 2);
         ch.gc_before(t(15));
         assert_eq!(ch.in_flight(), 1);
@@ -353,10 +374,48 @@ mod tests {
     #[test]
     fn tx_ids_are_unique() {
         let mut ch = ChannelState::paper_default();
-        let a = ch.begin_tx(NodeId(1), Point2::ORIGIN, t(1), t(2));
-        let b = ch.begin_tx(NodeId(1), Point2::ORIGIN, t(3), t(4));
+        let a = ch.begin_tx(NodeId(1), Point2::ORIGIN, 250.0, t(1), t(2));
+        let b = ch.begin_tx(NodeId(1), Point2::ORIGIN, 250.0, t(3), t(4));
         assert_ne!(a, b);
         let _ = SimDuration::ZERO;
+    }
+
+    // --- heterogeneous per-transmission ranges ----------------------------
+
+    #[test]
+    fn short_range_tx_is_inaudible_beyond_its_own_disc() {
+        // channel sized for 250 m radios, but this transmitter only has a
+        // 100 m one: carrier sense and interference both use ITS disc
+        let mut ch = ChannelState::paper_default();
+        let tx = ch.begin_tx(NodeId(1), Point2::new(0.0, 0.0), 100.0, t(10), t(12));
+        assert_eq!(ch.busy_until(Point2::new(90.0, 0.0), t(11)), Some(t(12)));
+        assert_eq!(ch.busy_until(Point2::new(150.0, 0.0), t(11)), None);
+        // a second short-range tx 150 m from the receiver cannot corrupt
+        ch.set_capture_ratio(None);
+        ch.begin_tx(NodeId(2), Point2::new(240.0, 0.0), 100.0, t(11), t(13));
+        assert!(!ch.corrupted(tx, Point2::new(0.0, 0.0), Point2::new(90.0, 0.0), t(10), t(12)));
+        // while a full-range interferer at the same spot is fatal
+        ch.begin_tx(NodeId(3), Point2::new(240.0, 0.0), 250.0, t(11), t(13));
+        assert!(ch.corrupted(tx, Point2::new(0.0, 0.0), Point2::new(90.0, 0.0), t(10), t(12)));
+    }
+
+    #[test]
+    fn mixed_ranges_agree_between_linear_and_bucketed_queries() {
+        let mut seed = 0xbeef_u64;
+        let mut plain = ChannelState::paper_default();
+        let mut fast = ChannelState::paper_default();
+        fast.enable_spatial(1000.0, 1000.0);
+        let ranges = [60.0, 120.0, 250.0];
+        for i in 0..30u64 {
+            let o = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
+            let r = ranges[(lcg(&mut seed) * 3.0) as usize % 3];
+            plain.begin_tx(NodeId(i as u32), o, r, t(10), t(40));
+            fast.begin_tx(NodeId(i as u32), o, r, t(10), t(40));
+        }
+        for _ in 0..200 {
+            let p = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
+            assert_eq!(plain.busy_until(p, t(20)), fast.busy_until(p, t(20)));
+        }
     }
 
     // --- capture near-field clamp regression -----------------------------
@@ -368,8 +427,8 @@ mod tests {
         // side can capture and the reception is deterministically lost.
         let mut ch = ChannelState::paper_default();
         let p = Point2::new(400.0, 400.0);
-        let tx = ch.begin_tx(NodeId(1), p, t(10), t(12));
-        ch.begin_tx(NodeId(2), p, t(11), t(13));
+        let tx = ch.begin_tx(NodeId(1), p, 250.0, t(10), t(12));
+        ch.begin_tx(NodeId(2), p, 250.0, t(11), t(13));
         assert!(ch.corrupted(tx, p, p, t(10), t(12)));
     }
 
@@ -382,13 +441,13 @@ mod tests {
         let mut ch = ChannelState::paper_default();
         let src = Point2::new(100.0, 100.5);
         let recv = Point2::new(100.0, 100.0);
-        let tx = ch.begin_tx(NodeId(1), src, t(10), t(12));
-        ch.begin_tx(NodeId(2), Point2::new(100.2, 100.0), t(11), t(13));
+        let tx = ch.begin_tx(NodeId(1), src, 250.0, t(10), t(12));
+        ch.begin_tx(NodeId(2), Point2::new(100.2, 100.0), 250.0, t(11), t(13));
         assert!(ch.corrupted(tx, src, recv, t(10), t(12)));
         // ...while a genuinely distant interferer still loses to capture.
         let mut ch2 = ChannelState::paper_default();
-        let tx2 = ch2.begin_tx(NodeId(1), src, t(10), t(12));
-        ch2.begin_tx(NodeId(2), Point2::new(150.0, 100.0), t(11), t(13));
+        let tx2 = ch2.begin_tx(NodeId(1), src, 250.0, t(10), t(12));
+        ch2.begin_tx(NodeId(2), Point2::new(150.0, 100.0), 250.0, t(11), t(13));
         assert!(!ch2.corrupted(tx2, src, recv, t(10), t(12)));
     }
 
@@ -415,8 +474,8 @@ mod tests {
         for i in 0..(SPATIAL_LINEAR_CUTOFF as u64 + 5) {
             let o = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
             let (s, e) = (t(10), t(40));
-            plain.begin_tx(NodeId(i as u32), o, s, e);
-            fast.begin_tx(NodeId(i as u32), o, s, e);
+            plain.begin_tx(NodeId(i as u32), o, 250.0, s, e);
+            fast.begin_tx(NodeId(i as u32), o, 250.0, s, e);
             for _ in 0..10 {
                 let p = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
                 assert_eq!(
@@ -442,8 +501,8 @@ mod tests {
                 let s_ms = 10 + (lcg(&mut seed) * 20.0) as u64;
                 let s = t(s_ms);
                 let e = t(s_ms + 1 + (lcg(&mut seed) * 5.0) as u64);
-                let a = plain.begin_tx(NodeId(i as u32), o, s, e);
-                let b = fast.begin_tx(NodeId(i as u32), o, s, e);
+                let a = plain.begin_tx(NodeId(i as u32), o, 250.0, s, e);
+                let b = fast.begin_tx(NodeId(i as u32), o, 250.0, s, e);
                 assert_eq!(a, b);
                 txs.push((a, o, s, e));
             }

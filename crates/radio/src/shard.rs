@@ -173,24 +173,30 @@ impl ShardedChannel {
     /// shard whose strip its signal (plus slack) can touch.  Ids come
     /// from the global counter, so allocation order matches the serial
     /// channel's.
+    /// `range` is the *transmitter's* radio range (heterogeneous fleets
+    /// carry per-host radios); the mirror predicate still uses the channel
+    /// maximum plus slack, which over-approximates shorter radios — extra
+    /// mirrors are inaudible at any query point and filter out identically
+    /// on both paths.
     pub fn begin_tx(
         &mut self,
         home: usize,
         src: NodeId,
         origin: Point2,
+        range: f64,
         start: SimTime,
         end: SimTime,
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.shards[home].insert_tx(id, src, origin, start, end);
+        self.shards[home].insert_tx(id, src, origin, range, start, end);
         let mut mirrored = 0u64;
         let limit = self.mirror_limit;
         // split borrows: the map is read-only while shards mutate
         let ShardedChannel { shards, map, .. } = self;
         map.for_each_in_reach(origin, limit, |s| {
             if s != home {
-                shards[s].insert_tx(id, src, origin, start, end);
+                shards[s].insert_tx(id, src, origin, range, start, end);
                 mirrored += 1;
             }
         });
@@ -302,7 +308,7 @@ mod tests {
         let mut ch = ShardedChannel::new(250.0, map);
         let edge = Point2::new(500.0, 300.0);
         let home = ch.map().shard_of_col(5); // cell column of x=500
-        let id = ch.begin_tx(home, NodeId(7), edge, t(10), t(12));
+        let id = ch.begin_tx(home, NodeId(7), edge, 250.0, t(10), t(12));
         assert!(ch.mirrored() >= 1, "edge transmission must mirror");
         for s in 0..2 {
             let near = Point2::new(if s == 0 { 450.0 } else { 550.0 }, 300.0);
@@ -322,7 +328,7 @@ mod tests {
         // deep inside shard 0's strip [0, 500): nothing within 350 m of
         // any other strip
         let home = ch.map().shard_of_col(0);
-        ch.begin_tx(home, NodeId(1), Point2::new(50.0, 50.0), t(10), t(12));
+        ch.begin_tx(home, NodeId(1), Point2::new(50.0, 50.0), 250.0, t(10), t(12));
         assert_eq!(ch.mirrored(), 0);
         assert_eq!(ch.in_flight_total(), 1);
     }
@@ -336,8 +342,8 @@ mod tests {
         for i in 0..50u32 {
             let o = Point2::new(lcg(&mut seed) * 1000.0, lcg(&mut seed) * 1000.0);
             let home = sharded.map().shard_of_col((o.x / 100.0) as i32);
-            let a = sharded.begin_tx(home, NodeId(i), o, t(10), t(20));
-            let b = serial.begin_tx(NodeId(i), o, t(10), t(20));
+            let a = sharded.begin_tx(home, NodeId(i), o, 250.0, t(10), t(20));
+            let b = serial.begin_tx(NodeId(i), o, 250.0, t(10), t(20));
             assert_eq!(a, b, "id allocation order must match the serial channel");
         }
     }
@@ -360,8 +366,8 @@ mod tests {
                 let s_ms = 10 + (lcg(&mut seed) * 20.0) as u64;
                 let (s, e) = (t(s_ms), t(s_ms + 1 + (lcg(&mut seed) * 5.0) as u64));
                 let home = sharded.map().shard_of_col((o.x / 100.0) as i32);
-                let a = sharded.begin_tx(home, NodeId(i), o, s, e);
-                let b = global.begin_tx(NodeId(i), o, s, e);
+                let a = sharded.begin_tx(home, NodeId(i), o, 250.0, s, e);
+                let b = global.begin_tx(NodeId(i), o, 250.0, s, e);
                 assert_eq!(a, b);
                 txs.push((a, o, s, e));
                 if i % 13 == 12 {

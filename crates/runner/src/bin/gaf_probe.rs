@@ -2,7 +2,7 @@
 //! counters (where do lost packets go?).
 
 use gaf::{GafConfig, GafProto};
-use manet::{Battery, HostSetup, NodeId, PowerProfile, SimTime, World, WorldConfig};
+use manet::{HostSetup, NodeId, SimTime, World, WorldConfig};
 use runner::{ProtocolKind, Scenario};
 
 fn main() {
@@ -32,11 +32,7 @@ fn main() {
             if i < sc.n_hosts {
                 HostSetup::paper(trace)
             } else {
-                HostSetup {
-                    profile: PowerProfile::paper_default(),
-                    battery: Battery::infinite(),
-                    trace,
-                }
+                HostSetup::infinite(trace)
             }
         })
         .collect();

@@ -22,6 +22,7 @@ run_one — run a single ECGRID-reproduction scenario
 USAGE:
     run_one [--protocol grid|ecgrid|gaf|span] [--hosts N] [--speed M/S]
             [--pause S] [--flows N] [--rate PPS] [--duration S] [--seed N]
+            [--scenario FILE.scn] [--groups-json FILE.json]
             [--backend heap|calendar] [--neighbor-index brute|grid]
             [--gather-fallback auto|on|off] [--parallel-world] [--shards K]
             [--threads T] [--trace FILE.jsonl] [--digest] [--faults SPEC]
@@ -30,6 +31,14 @@ USAGE:
 
 Defaults are the paper's base configuration (ECGRID, 100 hosts, 1 m/s,
 pause 0, 10 flows x 1 pkt/s, 2000 s, seed 42).
+
+--scenario FILE  run a declarative scenario file (heterogeneous host
+               groups; see examples/*.scn and DESIGN.md §15) instead of
+               the homogeneous knobs; --hosts/--speed/--pause/--flows/
+               --rate/--duration/--seed are ignored, --protocol still
+               picks the protocol.  Prints a per-group metrics table.
+--groups-json FILE  with --scenario: also write the per-group metrics
+               as a JSON array (the CI artifact format)
 
 --trace FILE   record the full event stream and export it as JSONL
 --digest       record in digest-only mode (O(1) memory; prints the digest)
@@ -91,6 +100,8 @@ struct Cli {
     trace_path: Option<String>,
     max_retries: Option<u32>,
     journal: Option<String>,
+    scenario_path: Option<String>,
+    groups_json: Option<String>,
 }
 
 fn parse_args() -> Cli {
@@ -100,6 +111,8 @@ fn parse_args() -> Cli {
         trace_path: None,
         max_retries: None,
         journal: None,
+        scenario_path: None,
+        groups_json: None,
     };
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -186,6 +199,8 @@ fn parse_args() -> Cli {
             }
             "--max-retries" => cli.max_retries = Some(parse_val(k, v)),
             "--journal" => cli.journal = Some(v.clone()),
+            "--scenario" => cli.scenario_path = Some(v.clone()),
+            "--groups-json" => cli.groups_json = Some(v.clone()),
             other => fail(format!("unknown flag {other}")),
         }
         i += 2;
@@ -205,9 +220,126 @@ fn auto_or(n: usize) -> String {
     }
 }
 
+/// Minimal JSON string escape for group names (the parser already
+/// rejects embedded quotes, so this is belt-and-braces).
+fn json_str(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn groups_json_doc(groups: &[runner::GroupReport]) -> String {
+    let rows: Vec<String> = groups
+        .iter()
+        .map(|g| {
+            format!(
+                concat!(
+                    "{{\"group\":\"{}\",\"role\":\"{}\",\"mobility\":\"{}\",",
+                    "\"hosts\":{},\"finite\":{},\"alive\":{},",
+                    "\"alive_fraction\":{:.6},\"aen\":{:.6},",
+                    "\"sent\":{},\"delivered\":{}}}"
+                ),
+                json_str(&g.name),
+                g.role,
+                g.mobility,
+                g.stats.hosts,
+                g.stats.finite,
+                g.stats.alive,
+                g.stats.alive_fraction(),
+                g.stats.aen(),
+                g.sent,
+                g.delivered,
+            )
+        })
+        .collect();
+    format!("[{}]\n", rows.join(","))
+}
+
+fn print_groups(r: &runner::ScenarioResult) {
+    if r.groups.is_empty() {
+        return;
+    }
+    println!("per-group metrics:");
+    println!(
+        "    {:<16} {:<9} {:<10} {:>5} {:>7} {:>8} {:>8} {:>10}",
+        "group", "role", "mobility", "hosts", "alive", "aen", "pdr", "sent"
+    );
+    for g in &r.groups {
+        println!(
+            "    {:<16} {:<9} {:<10} {:>5} {:>6.0}% {:>8.4} {:>8} {:>10}",
+            g.name,
+            g.role,
+            g.mobility,
+            g.stats.hosts,
+            100.0 * g.stats.alive_fraction(),
+            g.stats.aen(),
+            g.delivery_rate()
+                .map(|x| format!("{:.1}%", 100.0 * x))
+                .unwrap_or_else(|| "-".into()),
+            g.sent,
+        );
+    }
+}
+
 fn main() {
     let cli = parse_args();
     let (sc, opts) = (cli.sc, cli.opts);
+
+    // scenario-file mode: heterogeneous groups through run_spec
+    if let Some(path) = &cli.scenario_path {
+        if cli.journal.is_some() || cli.max_retries.is_some() {
+            fail("--scenario does not combine with --journal/--max-retries");
+        }
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("--scenario: cannot read {path:?}: {e}")));
+        let spec = scenario::parse(&text).unwrap_or_else(|e| fail(format!("--scenario: {path}: {e}")));
+        eprintln!(
+            "running scenario file: {} ({} hosts in {} groups, {} on {})",
+            spec.name,
+            spec.total_hosts(),
+            spec.groups.len(),
+            sc.protocol.name(),
+            opts.backend.name(),
+        );
+        let start = std::time::Instant::now();
+        let r = runner::run_spec(&spec, sc.protocol, opts);
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!("({} s simulated in {wall:.1} s wall)", spec.duration_s);
+        println!("protocol:        {}", sc.protocol.name());
+        match r.engine {
+            Some((k, t)) => println!("engine:          sharded (shards {k}, threads {t})"),
+            None => println!("engine:          serial"),
+        }
+        println!("packets sent:    {}", r.ledger.sent_count());
+        println!(
+            "delivered:       {} ({:.2}%)",
+            r.ledger.delivered_count(),
+            100.0 * r.pdr.unwrap_or(0.0)
+        );
+        println!("alive at end:    {:.2}", r.alive.last_value().unwrap_or(1.0));
+        println!("aen at end:      {:.4}", r.aen.last_value().unwrap_or(0.0));
+        print_groups(&r);
+        if let Some(rec) = &r.recorder {
+            println!("trace digest:    {}", rec.digest());
+            if let Some(path) = &cli.trace_path {
+                let f = File::create(path)
+                    .unwrap_or_else(|e| fail(format!("--trace: cannot create {path:?}: {e}")));
+                let mut w = BufWriter::new(f);
+                let n = rec
+                    .write_jsonl(sc.protocol.name(), &mut w)
+                    .unwrap_or_else(|e| fail(format!("--trace: writing {path:?} failed: {e}")));
+                eprintln!("wrote {n} events to {path}");
+            }
+        }
+        if let Some(path) = &cli.groups_json {
+            std::fs::write(path, groups_json_doc(&r.groups))
+                .unwrap_or_else(|e| fail(format!("--groups-json: cannot write {path:?}: {e}")));
+            eprintln!("wrote per-group metrics to {path}");
+        }
+        if let Some(b) = r.budget_exceeded {
+            eprintln!("run_one: {b}");
+            std::process::exit(2);
+        }
+        return;
+    }
 
     // journaled mode: a one-scenario supervised sweep, so a rerun with the
     // same journal skips the completed run and replays its metrics

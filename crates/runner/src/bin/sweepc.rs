@@ -30,6 +30,10 @@ Submit spec flags (defaults = the golden smoke scenario):
     --protocol grid|ecgrid|gaf|span   --hosts N      --speed M/S
     --pause S    --flows N    --rate PPS    --duration S    --seed N
     --endpoints N    --replicas N    --faults SPEC
+    --scenario FILE   submit a scenario file (heterogeneous groups) —
+                    hex-encoded onto the wire; the file's own seed is the
+                    replica base and the scalar shape flags are ignored
+                    (--protocol, --faults, --replicas still apply)
     --stream     also subscribe and stream the submitted job to completion
     --max-sheds N   on shed replies, honor the retry-after hint up to N
                     times before giving up (default 0: report the shed)
@@ -136,6 +140,16 @@ fn parse_spec(rest: &[String]) -> (JobSpec, bool, u32) {
             "--endpoints" => spec.model1_endpoints = parse_val(k, v),
             "--replicas" => spec.replicas = parse_val::<u64>(k, v).max(1),
             "--faults" => spec.faults = v.clone(),
+            "--scenario" => {
+                let text =
+                    std::fs::read_to_string(v).unwrap_or_else(|e| usage(format!("--scenario {v}: {e}")));
+                // parse locally first: a malformed file earns a line/col
+                // diagnostic here instead of a server-side rejection
+                if let Err(e) = scenario::parse(&text) {
+                    usage(format!("--scenario {v}: {e}"));
+                }
+                spec.scenario = service::proto::scenario_hex_encode(&text);
+            }
             "--max-sheds" => max_sheds = parse_val(k, v),
             other => usage(format!("unknown submit flag {other}")),
         }

@@ -19,6 +19,7 @@ pub mod report;
 pub mod run;
 pub mod scenario;
 pub mod serve;
+pub mod spec_run;
 pub mod supervisor;
 pub mod sweep;
 
@@ -29,6 +30,7 @@ pub use run::{
 };
 pub use scenario::{ProtocolKind, Scenario};
 pub use serve::EcgridJobHandler;
+pub use spec_run::{run_spec, run_spec_probed, GroupReport};
 pub use supervisor::{
     sweep_resumable, sweep_supervised, sweep_supervised_with, FailureKind, QuarantinedPoint, ReplicaRecord,
     RunFailure, SupervisorConfig, SweepReport,

@@ -155,7 +155,7 @@ impl RunOptions {
 /// engine with K shards and T worker lanes (each `0` = auto).  Runs that
 /// already requested the parallel engine keep their own settings.  Safe
 /// for any corpus because the engine choice is digest-neutral.
-fn parallel_override() -> Option<(usize, usize)> {
+pub(crate) fn parallel_override() -> Option<(usize, usize)> {
     let v = std::env::var("ECGRID_PARALLEL_OVERRIDE").ok()?;
     let (k, t) = v.split_once(',')?;
     Some((k.trim().parse().ok()?, t.trim().parse().ok()?))
@@ -197,6 +197,9 @@ pub struct ScenarioResult {
     /// The engine the run actually used: `(shards, threads)` with auto
     /// requests resolved against the host; `None` on the serial engine.
     pub engine: Option<(usize, usize)>,
+    /// Per-group rollup when the run came from a scenario file (empty for
+    /// the classic homogeneous scenarios).
+    pub groups: Vec<crate::spec_run::GroupReport>,
 }
 
 /// Build the mobility traces for `count` hosts, identical across protocols
@@ -224,7 +227,7 @@ fn build_flows(sc: &Scenario, endpoint_ids: &[NodeId], stop: SimTime) -> FlowSet
     FlowSet::random(&mut rngs.stream("traffic", 0), endpoint_ids, &spec)
 }
 
-fn finish<P: manet::Protocol>(
+pub(crate) fn finish<P: manet::Protocol>(
     sc: &Scenario,
     opts: RunOptions,
     probe: Option<Arc<ProgressProbe>>,
@@ -260,6 +263,7 @@ fn finish<P: manet::Protocol>(
         recorder,
         budget_exceeded: out.budget_exceeded,
         engine,
+        groups: Vec::new(),
     }
 }
 
@@ -372,7 +376,7 @@ fn run_scenario_inner(
                     } else {
                         Battery::infinite()
                     },
-                    trace,
+                    ..HostSetup::paper(trace)
                 })
                 .collect();
             let endpoint_ids: Vec<NodeId> = (n as u32..total as u32).map(NodeId).collect();

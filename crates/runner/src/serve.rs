@@ -13,15 +13,18 @@
 
 use crate::run::{replica_seed, run_scenario_streamed, RunOptions, ScenarioResult};
 use crate::scenario::{ProtocolKind, Scenario};
+use crate::spec_run::{representative, run_spec_streamed};
 use crate::supervisor::{
     config_hash, encode_line, load_journal_indexed, run_point, ReplicaRecord, SupervisorConfig,
 };
 use crate::sweep::average_results_degraded;
 use manet::progress::ProgressProbe;
-use manet::trace::Registry;
+use manet::trace::{Fnv64, Registry};
 use manet::FaultPlan;
+use scenario::ScenarioSpec;
 use service::proto::{
     frame_counter, frame_failure, frame_gauge, frame_replica_done, frame_replica_quarantined,
+    scenario_hex_decode,
 };
 use service::{JobCtx, JobHandler, JobOutcome, JobSpec, JobState, ReplicaLookup};
 use std::fs;
@@ -58,13 +61,18 @@ impl EcgridJobHandler {
         state_dir.join("journal.jsonl")
     }
 
-    fn scenario_of(spec: &JobSpec) -> Result<Scenario, String> {
+    fn kind_of(spec: &JobSpec) -> Result<JobKind, String> {
         let protocol = parse_protocol(&spec.protocol)
             .ok_or_else(|| format!("unknown protocol \"{}\" (grid|ecgrid|gaf|span)", spec.protocol))?;
+        if !spec.scenario.is_empty() {
+            let text = scenario_hex_decode(&spec.scenario)?;
+            let parsed = scenario::parse(&text).map_err(|e| format!("scenario: {e}"))?;
+            return Ok(JobKind::Spec(Box::new(parsed), protocol));
+        }
         if spec.n_hosts == 0 || spec.duration_secs <= 0.0 {
             return Err("n_hosts and duration_secs must be positive".into());
         }
-        Ok(Scenario {
+        Ok(JobKind::Classic(Scenario {
             protocol,
             n_hosts: spec.n_hosts as usize,
             max_speed: spec.max_speed,
@@ -74,7 +82,7 @@ impl EcgridJobHandler {
             duration_secs: spec.duration_secs,
             seed: spec.seed,
             model1_endpoints: spec.model1_endpoints as usize,
-        })
+        }))
     }
 
     /// Effective run options for a job: the server's base options with
@@ -93,12 +101,42 @@ impl EcgridJobHandler {
         Ok(opts)
     }
 
-    fn key_of(&self, spec: &JobSpec) -> Result<(Scenario, RunOptions, u64), String> {
-        let sc = Self::scenario_of(spec)?;
+    fn key_of(&self, spec: &JobSpec) -> Result<(JobKind, RunOptions, u64), String> {
+        let kind = Self::kind_of(spec)?;
         let opts = self.opts_of(spec)?;
-        let cfg = config_hash(&sc, &opts);
-        Ok((sc, opts, cfg))
+        let cfg = match &kind {
+            JobKind::Classic(sc) => config_hash(sc, &opts),
+            JobKind::Spec(sp, protocol) => spec_config_hash(sp, *protocol, &opts),
+        };
+        Ok((kind, opts, cfg))
     }
+}
+
+/// How a job describes its fleet: the classic scalar shape, or a parsed
+/// scenario file (heterogeneous groups, protocol still from the spec).
+enum JobKind {
+    Classic(Scenario),
+    Spec(Box<ScenarioSpec>, ProtocolKind),
+}
+
+/// [`config_hash`] analogue for scenario-file jobs: the canonical
+/// re-emitted scenario text with the seed forced to zero (replicas of
+/// the same scenario must share a config, exactly like classic jobs),
+/// plus the protocol, fault plan, and trace mode.
+fn spec_config_hash(sp: &ScenarioSpec, protocol: ProtocolKind, opts: &RunOptions) -> u64 {
+    let mut seedless = sp.clone();
+    seedless.seed = 0;
+    let mut h = Fnv64::new();
+    h.write(b"scenario-file\n");
+    h.write(protocol.name().as_bytes());
+    h.write(seedless.to_text().as_bytes());
+    h.write(format!("{:?}", opts.faults).as_bytes());
+    h.write_u8(match opts.trace {
+        None => 0,
+        Some(manet::trace::TraceMode::DigestOnly) => 1,
+        Some(manet::trace::TraceMode::Full) => 2,
+    });
+    h.finish()
 }
 
 fn digest_str(rec: &ReplicaRecord) -> String {
@@ -123,6 +161,17 @@ fn publish_metrics(ctx: &JobCtx<'_>, replica: u64, res: &ScenarioResult) {
     if let Some(d) = res.network_death_s {
         reg.gauge_set("energy.network_death_s", d);
     }
+    // scenario-file jobs label metrics by group so subscribers can tell
+    // relay exhaustion from endpoint behaviour
+    for g in &res.groups {
+        reg.counter_add(&format!("group.{}.sent", g.name), g.sent);
+        reg.counter_add(&format!("group.{}.delivered", g.name), g.delivered);
+        reg.gauge_set(
+            &format!("group.{}.alive_fraction", g.name),
+            g.stats.alive_fraction(),
+        );
+        reg.gauge_set(&format!("group.{}.aen", g.name), g.stats.aen());
+    }
     for (name, v) in reg.counters() {
         ctx.hub
             .publish_frame(ctx.job, &frame_counter(ctx.job, replica, name, v));
@@ -139,7 +188,7 @@ impl JobHandler for EcgridJobHandler {
     }
 
     fn run(&self, spec: &JobSpec, ctx: &JobCtx<'_>) -> JobOutcome {
-        let (sc, opts, cfg) = match self.key_of(spec) {
+        let (kind, opts, cfg) = match self.key_of(spec) {
             Ok(k) => k,
             Err(e) => {
                 // submit validated the spec already; a failure here means
@@ -151,6 +200,14 @@ impl JobHandler for EcgridJobHandler {
                     ..JobOutcome::interrupted()
                 };
             }
+        };
+        // the supervisor and the replica loop speak classic `Scenario`
+        // points; a scenario-file job runs through a representative shape
+        // (host count, duration) whose per-replica seed the runner binds
+        // back onto the parsed spec
+        let (sc, pname) = match &kind {
+            JobKind::Classic(sc) => (*sc, sc.protocol.name()),
+            JobKind::Spec(sp, protocol) => (representative(sp, *protocol), protocol.name()),
         };
         let journal = Self::journal_path(ctx.state_dir);
         let (mut journaled, malformed) = load_journal_indexed(&journal);
@@ -201,14 +258,32 @@ impl JobHandler for EcgridJobHandler {
             // recorded event to this job's subscribers as it happens
             let hub = ctx.hub.clone();
             let job_id = ctx.job;
-            let pname = sc.protocol.name();
-            let runner = move |s: &Scenario, o: RunOptions, p: Option<Arc<ProgressProbe>>| {
-                let hub = hub.clone();
-                let sink: manet::trace::EventSink =
-                    Arc::new(move |ev| hub.publish_event(job_id, k, pname, ev));
-                run_scenario_streamed(s, o, p, sink)
+            let out = match &kind {
+                JobKind::Classic(_) => {
+                    let runner = move |s: &Scenario, o: RunOptions, p: Option<Arc<ProgressProbe>>| {
+                        let hub = hub.clone();
+                        let sink: manet::trace::EventSink =
+                            Arc::new(move |ev| hub.publish_event(job_id, k, pname, ev));
+                        run_scenario_streamed(s, o, p, sink)
+                    };
+                    run_point(&runner, &point, opts, &self.sup)
+                }
+                JobKind::Spec(sp, protocol) => {
+                    let sp = sp.clone();
+                    let protocol = *protocol;
+                    let runner = move |s: &Scenario, o: RunOptions, p: Option<Arc<ProgressProbe>>| {
+                        let hub = hub.clone();
+                        let sink: manet::trace::EventSink =
+                            Arc::new(move |ev| hub.publish_event(job_id, k, pname, ev));
+                        // the supervisor varies only the seed between
+                        // replicas; rebind it onto the parsed spec
+                        let mut sp = (*sp).clone();
+                        sp.seed = s.seed;
+                        run_spec_streamed(&sp, protocol, o, p, sink)
+                    };
+                    run_point(&runner, &point, opts, &self.sup)
+                }
             };
-            let out = run_point(&runner, &point, opts, &self.sup);
             for f in &out.failures {
                 ctx.hub
                     .publish_frame(ctx.job, &frame_failure(ctx.job, k, f.attempt, &f.to_string()));
@@ -284,6 +359,65 @@ impl JobHandler for EcgridJobHandler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use service::proto::scenario_hex_encode;
+
+    const SPEC_TEXT: &str = r#"
+[scenario]
+name = "svc"
+duration_s = 10
+seed = 7
+
+[[group]]
+name = "walkers"
+count = 12
+mobility = "waypoint"
+max_speed = 1.0
+
+[traffic]
+flows = 2
+rate_pps = 1.0
+"#;
+
+    fn spec_job(text: &str) -> JobSpec {
+        JobSpec {
+            scenario: scenario_hex_encode(text),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn scenario_jobs_get_their_own_stable_config_hash() {
+        let h = EcgridJobHandler::new(RunOptions::default(), SupervisorConfig::default());
+        let a = h.config_hash(&spec_job(SPEC_TEXT)).unwrap();
+        assert_eq!(a, h.config_hash(&spec_job(SPEC_TEXT)).unwrap());
+        // distinct from the classic job carrying the same scalar fields
+        assert_ne!(a, h.config_hash(&JobSpec::default()).unwrap());
+        // the base seed is replica identity, not config identity —
+        // reseeded submissions share the journal like classic jobs do
+        let reseeded = SPEC_TEXT.replace("seed = 7", "seed = 8");
+        assert_eq!(a, h.config_hash(&spec_job(&reseeded)).unwrap());
+        // the fleet shape and the protocol both are config identity
+        let bigger = SPEC_TEXT.replace("count = 12", "count = 13");
+        assert_ne!(a, h.config_hash(&spec_job(&bigger)).unwrap());
+        let gaf = JobSpec {
+            protocol: "gaf".into(),
+            ..spec_job(SPEC_TEXT)
+        };
+        assert_ne!(a, h.config_hash(&gaf).unwrap());
+    }
+
+    #[test]
+    fn malformed_scenario_jobs_are_rejected_at_hash_time() {
+        let h = EcgridJobHandler::new(RunOptions::default(), SupervisorConfig::default());
+        let bad_hex = JobSpec {
+            scenario: "abc".into(), // odd length
+            ..JobSpec::default()
+        };
+        assert!(h.config_hash(&bad_hex).is_err());
+        let bad_text = spec_job("[scenario]\nbogus = 1\n");
+        let err = h.config_hash(&bad_text).unwrap_err();
+        assert!(err.contains("scenario:"), "diagnostic names the layer: {err}");
+    }
 
     #[test]
     fn protocol_names_parse_case_insensitively() {

@@ -1,0 +1,607 @@
+//! Running a declarative scenario file (the `scenario` crate's
+//! [`ScenarioSpec`]): heterogeneous groups of hosts — per-group battery,
+//! radio range, GPS error, mobility model, and traffic role — executed
+//! through exactly the same deterministic plumbing as the classic
+//! homogeneous scenarios.
+//!
+//! Determinism contract: every random artifact is keyed the same way the
+//! homogeneous path keys it — host `i`'s mobility trace draws from
+//! `RngFactory::new(seed).stream("mobility", i)`, the flow assignment
+//! from `stream("traffic", 0)` — plus group-level streams
+//! (`"mobility.ref"`, `"mobility.spots"`) for artifacts shared by a whole
+//! group (a convoy's reference trajectory, a hotspot set).  Battery
+//! manufacturing spread uses stateless hash draws keyed on the scenario
+//! seed, so a zero variance performs no draws at all.  The result —
+//! including its trace digest — is therefore a pure function of
+//! (scenario text, protocol, options), invariant across scheduler
+//! backends, shard counts, and thread counts like every other run
+//! (proven by `tests/scenario_golden.rs`).
+
+use crate::run::{parallel_override, RunOptions, ScenarioResult};
+use crate::scenario::{ProtocolKind, Scenario};
+use ecgrid::{Ecgrid, EcgridConfig};
+use gaf::{GafConfig, GafProto};
+use grid_routing::{GridConfig, GridProto};
+use manet::progress::ProgressProbe;
+use manet::{
+    Battery, FlowSet, FlowSpec, GroupStats, HostSetup, NodeId, PowerProfile, SimTime, World, WorldConfig,
+};
+use mobility::{
+    Convoy, GaussMarkov, HotspotConvergence, ManhattanGrid, MobilityModel, MobilityTrace, RandomWalk,
+    RandomWaypoint, Stationary,
+};
+use scenario::{GroupSpec, MobilitySpec, Role, ScenarioSpec, TrafficPattern};
+use sim_engine::{derive_seed, RngFactory, RunBudget, SplitMix64};
+use span::{SpanConfig, SpanProto};
+use std::collections::HashMap;
+use std::sync::Arc;
+use traffic::Burst;
+
+/// Per-group results of a scenario-file run: the group's label and
+/// mobility/role tags, its liveness/energy rollup, and the delivery
+/// accounting of the flows its hosts originate.
+#[derive(Clone, Debug)]
+pub struct GroupReport {
+    /// The `name = "..."` from the group's `[[group]]` table.
+    pub name: String,
+    /// Traffic role tag (`relay`, `source`, `sink`, `peer`, `endpoint`).
+    pub role: &'static str,
+    /// Mobility model tag (`waypoint`, `manhattan`, `convoy`, ...).
+    pub mobility: &'static str,
+    /// Liveness and energy rollup (same accounting as the global
+    /// alive-fraction/aen metrics, restricted to the group).
+    pub stats: GroupStats,
+    /// Packets issued by flows whose *source* host is in this group.
+    pub sent: u64,
+    /// Of those, packets delivered.
+    pub delivered: u64,
+}
+
+impl GroupReport {
+    /// Delivery rate of this group's flows; `None` when it sourced none.
+    pub fn delivery_rate(&self) -> Option<f64> {
+        (self.sent > 0).then(|| self.delivered as f64 / self.sent as f64)
+    }
+}
+
+/// Battery manufacturing spread: host `i` keeps `1 - var * u` of its
+/// group's nominal capacity, `u` a stateless hash draw keyed on the
+/// scenario seed.  `var == 0` performs no draws.
+fn battery_scale(seed: u64, var: f64, host: u32) -> f64 {
+    if var <= 0.0 {
+        return 1.0;
+    }
+    let u = SplitMix64::new(derive_seed(
+        derive_seed(seed, "scenario.batt", u64::from(host)),
+        "scenario.sub",
+        0,
+    ))
+    .next_f64();
+    1.0 - var.min(1.0) * u
+}
+
+/// Build one host's mobility trace.  Per-host randomness comes from the
+/// canonical `("mobility", host)` stream; group-shared artifacts (convoy
+/// reference, hotspot set) are prebuilt by [`group_shared`] from
+/// group-level streams so every member sees the same one.
+fn build_trace(
+    spec: &ScenarioSpec,
+    g: &GroupSpec,
+    shared: &SharedMobility,
+    rngs: &RngFactory,
+    host: u64,
+    horizon: SimTime,
+) -> MobilityTrace {
+    let (w, h) = (spec.field_w, spec.field_h);
+    let rng = &mut rngs.stream("mobility", host);
+    match &g.mobility {
+        MobilitySpec::Stationary => Stationary {
+            field_w: w,
+            field_h: h,
+        }
+        .build_trace(rng, horizon),
+        MobilitySpec::Waypoint { max_speed, pause_s } => RandomWaypoint {
+            field_w: w,
+            field_h: h,
+            max_speed: *max_speed,
+            min_speed: (0.01 * max_speed).max(1e-3),
+            pause_secs: *pause_s,
+        }
+        .build_trace(rng, horizon),
+        MobilitySpec::Walk { max_speed, epoch_s } => RandomWalk {
+            field_w: w,
+            field_h: h,
+            max_speed: *max_speed,
+            epoch_secs: *epoch_s,
+        }
+        .build_trace(rng, horizon),
+        MobilitySpec::GaussMarkov {
+            mean_speed,
+            alpha,
+            epoch_s,
+        } => GaussMarkov {
+            field_w: w,
+            field_h: h,
+            mean_speed: *mean_speed,
+            alpha: *alpha,
+            epoch_secs: *epoch_s,
+        }
+        .build_trace(rng, horizon),
+        MobilitySpec::Manhattan {
+            max_speed,
+            pause_s,
+            block_m,
+        } => ManhattanGrid {
+            field_w: w,
+            field_h: h,
+            block_m: *block_m,
+            max_speed: *max_speed,
+            min_speed: (0.01 * max_speed).max(1e-3),
+            pause_secs: *pause_s,
+        }
+        .build_trace(rng, horizon),
+        MobilitySpec::Convoy { group_radius_m, .. } => Convoy::around(
+            shared.reference.clone().expect("prebuilt by group_shared"),
+            w,
+            h,
+            *group_radius_m,
+        )
+        .build_trace(rng, horizon),
+        MobilitySpec::Hotspot {
+            max_speed, dwell_s, ..
+        } => HotspotConvergence::new(
+            w,
+            h,
+            shared.spots.clone().expect("prebuilt by group_shared"),
+            *max_speed,
+            *dwell_s,
+        )
+        .build_trace(rng, horizon),
+    }
+}
+
+/// Group-shared mobility artifacts (empty for models without any).
+#[derive(Default)]
+struct SharedMobility {
+    reference: Option<MobilityTrace>,
+    spots: Option<Vec<geo::Point2>>,
+}
+
+fn group_shared(
+    spec: &ScenarioSpec,
+    g: &GroupSpec,
+    rngs: &RngFactory,
+    group_idx: u64,
+    horizon: SimTime,
+) -> SharedMobility {
+    match &g.mobility {
+        MobilitySpec::Convoy {
+            max_speed, pause_s, ..
+        } => {
+            // the convoy lead: a random-waypoint trajectory from a
+            // group-level stream so every member shares it
+            let lead = RandomWaypoint {
+                field_w: spec.field_w,
+                field_h: spec.field_h,
+                max_speed: *max_speed,
+                min_speed: (0.01 * max_speed).max(1e-3),
+                pause_secs: *pause_s,
+            }
+            .build_trace(&mut rngs.stream("mobility.ref", group_idx), horizon);
+            SharedMobility {
+                reference: Some(lead),
+                spots: None,
+            }
+        }
+        MobilitySpec::Hotspot { hotspots, .. } => SharedMobility {
+            reference: None,
+            spots: Some(HotspotConvergence::random_spots(
+                &mut rngs.stream("mobility.spots", group_idx),
+                spec.field_w,
+                spec.field_h,
+                *hotspots,
+            )),
+        },
+        _ => SharedMobility::default(),
+    }
+}
+
+/// Build the full heterogeneous fleet: one [`HostSetup`] per host in
+/// group order, carrying the group's battery, range, GPS sigma, and
+/// group index.  Span hosts carry no GPS (the protocol is not
+/// location-aware), matching the homogeneous path.
+fn build_hosts(spec: &ScenarioSpec, protocol: ProtocolKind, horizon: SimTime) -> Vec<HostSetup> {
+    let rngs = RngFactory::new(spec.seed);
+    let profile = if protocol == ProtocolKind::Span {
+        PowerProfile::paper_no_gps()
+    } else {
+        PowerProfile::paper_default()
+    };
+    let mut hosts = Vec::with_capacity(spec.total_hosts());
+    let mut host = 0u64;
+    for (gi, g) in spec.groups.iter().enumerate() {
+        let shared = group_shared(spec, g, &rngs, gi as u64, horizon);
+        for _ in 0..g.count {
+            let trace = build_trace(spec, g, &shared, &rngs, host, horizon);
+            let battery = match g.battery_j {
+                None => Battery::infinite(),
+                Some(j) => Battery::with_capacity(j * battery_scale(spec.seed, g.battery_var, host as u32)),
+            };
+            hosts.push(HostSetup {
+                profile,
+                battery,
+                trace,
+                range_m: Some(g.range_m),
+                gps_sigma_m: g.gps_sigma_m,
+                group: gi as u16,
+            });
+            host += 1;
+        }
+    }
+    hosts
+}
+
+/// Build the flow set from the scenario's roles and traffic pattern.
+/// Sources are hosts in source-eligible groups, sinks in sink-eligible
+/// groups (`peer` and `endpoint` are both); the parser guarantees a
+/// non-degenerate pool whenever `flows > 0`.
+fn build_flows(spec: &ScenarioSpec, end: SimTime) -> FlowSet {
+    let rngs = RngFactory::new(spec.seed);
+    let mut srcs = Vec::new();
+    let mut dsts = Vec::new();
+    let mut host = 0u32;
+    for g in &spec.groups {
+        for _ in 0..g.count {
+            if g.role.is_source() {
+                srcs.push(NodeId(host));
+            }
+            if g.role.is_sink() {
+                dsts.push(NodeId(host));
+            }
+            host += 1;
+        }
+    }
+    let fspec = FlowSpec {
+        n_flows: spec.traffic.flows,
+        packet_bytes: spec.traffic.packet_bytes,
+        rate_pps: spec.traffic.rate_pps,
+        start: SimTime::from_secs_f64(spec.traffic.start_s),
+        stop: end,
+        stagger: true,
+    };
+    let rng = &mut rngs.stream("traffic", 0);
+    match spec.traffic.pattern {
+        TrafficPattern::Cbr => FlowSet::random_between(rng, &srcs, &dsts, &fspec),
+        TrafficPattern::Bursty { on_s, off_s } => {
+            FlowSet::random_between(rng, &srcs, &dsts, &fspec).with_burst(Burst::new(on_s, off_s))
+        }
+        TrafficPattern::ManyToOne => FlowSet::many_to_one(rng, &srcs, &dsts, &fspec),
+    }
+}
+
+/// The representative classic [`Scenario`] echoed in the result (label,
+/// seed bookkeeping): total host count, the fastest group's speed, and
+/// the endpoint count.
+pub(crate) fn representative(spec: &ScenarioSpec, protocol: ProtocolKind) -> Scenario {
+    let max_speed = spec
+        .groups
+        .iter()
+        .map(|g| match &g.mobility {
+            MobilitySpec::Stationary => 0.0,
+            MobilitySpec::Waypoint { max_speed, .. }
+            | MobilitySpec::Walk { max_speed, .. }
+            | MobilitySpec::Manhattan { max_speed, .. }
+            | MobilitySpec::Convoy { max_speed, .. }
+            | MobilitySpec::Hotspot { max_speed, .. } => *max_speed,
+            MobilitySpec::GaussMarkov { mean_speed, .. } => *mean_speed,
+        })
+        .fold(0.0, f64::max);
+    let endpoints: usize = spec
+        .groups
+        .iter()
+        .filter(|g| g.role == Role::Endpoint)
+        .map(|g| g.count)
+        .sum();
+    Scenario {
+        protocol,
+        n_hosts: spec.total_hosts() - endpoints,
+        max_speed,
+        pause_secs: 0.0,
+        n_flows: spec.traffic.flows,
+        flow_rate_pps: spec.traffic.rate_pps,
+        duration_secs: spec.duration_s,
+        seed: spec.seed,
+        model1_endpoints: endpoints,
+    }
+}
+
+/// Attach per-group reports to a finished run: liveness/energy from the
+/// world's group rollup, delivery from folding the ledger's per-flow
+/// counts through the flow → source-group map.
+fn attach_groups(
+    mut result: ScenarioResult,
+    spec: &ScenarioSpec,
+    gstats: Vec<GroupStats>,
+    flow_group: &HashMap<u32, u16>,
+) -> ScenarioResult {
+    let mut reports: Vec<GroupReport> = spec
+        .groups
+        .iter()
+        .zip(&gstats)
+        .map(|(g, stats)| GroupReport {
+            name: g.name.clone(),
+            role: g.role.name(),
+            mobility: g.mobility.model_name(),
+            stats: *stats,
+            sent: 0,
+            delivered: 0,
+        })
+        .collect();
+    for (flow, sent, delivered) in result.ledger.per_flow() {
+        if let Some(&gi) = flow_group.get(&flow) {
+            if let Some(r) = reports.get_mut(gi as usize) {
+                r.sent += sent;
+                r.delivered += delivered;
+            }
+        }
+    }
+    result.groups = reports;
+    result
+}
+
+/// Run a parsed scenario file under `protocol`.  See module docs for the
+/// determinism contract.
+pub fn run_spec(spec: &ScenarioSpec, protocol: ProtocolKind, opts: RunOptions) -> ScenarioResult {
+    run_spec_probed(spec, protocol, opts, None)
+}
+
+/// [`run_spec`], sharing a [`ProgressProbe`] with a supervisor (and
+/// optionally a live event sink — the sweep service's streaming path).
+pub fn run_spec_probed(
+    spec: &ScenarioSpec,
+    protocol: ProtocolKind,
+    opts: RunOptions,
+    probe: Option<Arc<ProgressProbe>>,
+) -> ScenarioResult {
+    run_spec_inner(spec, protocol, opts, probe, None)
+}
+
+/// [`run_spec_probed`] with a live event sink (see
+/// `run::run_scenario_streamed`).
+pub fn run_spec_streamed(
+    spec: &ScenarioSpec,
+    protocol: ProtocolKind,
+    opts: RunOptions,
+    probe: Option<Arc<ProgressProbe>>,
+    sink: manet::trace::EventSink,
+) -> ScenarioResult {
+    run_spec_inner(spec, protocol, opts, probe, Some(sink))
+}
+
+fn run_spec_inner(
+    spec: &ScenarioSpec,
+    protocol: ProtocolKind,
+    opts: RunOptions,
+    probe: Option<Arc<ProgressProbe>>,
+    sink: Option<manet::trace::EventSink>,
+) -> ScenarioResult {
+    let end = SimTime::from_secs_f64(spec.duration_s);
+    let horizon = end + sim_engine::SimDuration::from_secs(10);
+    let faults = opts
+        .faults
+        .with_seed(derive_seed(spec.seed, "fault", opts.faults.seed));
+    let mut budget = RunBudget::UNLIMITED;
+    if let Some(n) = opts.event_budget {
+        budget = budget.with_max_events(n);
+    }
+    if let Some(ms) = opts.wall_budget_ms {
+        budget = budget.with_max_wall_ms(ms);
+    }
+    let mut cfg = WorldConfig::paper_default(spec.seed)
+        .with_backend(opts.backend)
+        .with_faults(faults)
+        .with_budget(budget)
+        .with_neighbor_index(opts.neighbor_index)
+        .with_gather_fallback(opts.gather_fallback);
+    cfg.grid = geo::GridMap::new(spec.field_w, spec.field_h, spec.cell_side);
+    // the config's nominal range is the fleet maximum, so the channel's
+    // bucket geometry is sized exactly (every host carries an explicit
+    // per-group range anyway)
+    cfg.range_m = spec.groups.iter().map(|g| g.range_m).fold(0.0_f64, f64::max);
+    if opts.parallel_world {
+        cfg = cfg.with_parallel_world(opts.shards).with_threads(opts.threads);
+    } else if let Some((k, t)) = parallel_override() {
+        cfg = cfg.with_parallel_world(k).with_threads(t);
+    }
+
+    let hosts = build_hosts(spec, protocol, horizon);
+    let flows = build_flows(spec, end);
+    // flow -> source-host group, for per-group delivery attribution
+    let flow_group: HashMap<u32, u16> = flows
+        .flows()
+        .iter()
+        .filter_map(|f| spec.group_of_host(f.src.0 as usize).map(|g| (f.id.0, g as u16)))
+        .collect();
+    // endpoint-role hosts run the endpoint protocol variant under
+    // GAF/Span (Model 1); Grid/ECGRID have no such variant — an endpoint
+    // group there is simply an infinite-battery peer
+    let is_endpoint: Vec<bool> = spec
+        .groups
+        .iter()
+        .flat_map(|g| std::iter::repeat_n(g.role == Role::Endpoint, g.count))
+        .collect();
+    let sc = representative(spec, protocol);
+
+    macro_rules! run_world {
+        ($world:expr) => {{
+            let mut world = $world;
+            match (opts.trace, sink) {
+                (Some(mode), Some(s)) => world.enable_trace_with_sink(mode, s),
+                (Some(mode), None) => world.enable_trace(mode),
+                (None, _) => {}
+            }
+            if let Some(p) = probe {
+                world.attach_probe(p);
+            }
+            let engine = world.shard_stats().map(|s| (s.shards, s.threads));
+            let out = world.run_until(end);
+            let gstats = world.group_stats();
+            let recorder = world.take_recorder();
+            (out, gstats, engine, recorder)
+        }};
+    }
+    let (out, gstats, engine, recorder) = match protocol {
+        ProtocolKind::Grid => {
+            run_world!(World::new(cfg, hosts, flows, |id| GridProto::new(
+                GridConfig::default(),
+                id
+            )))
+        }
+        ProtocolKind::Ecgrid => {
+            run_world!(World::new(cfg, hosts, flows, |id| Ecgrid::new(
+                EcgridConfig::default(),
+                id
+            )))
+        }
+        ProtocolKind::Gaf => {
+            let eps = is_endpoint.clone();
+            run_world!(World::new(cfg, hosts, flows, move |id| {
+                if eps[id.index()] {
+                    GafProto::endpoint(GafConfig::default(), id)
+                } else {
+                    GafProto::new(GafConfig::default(), id)
+                }
+            }))
+        }
+        ProtocolKind::Span => {
+            let eps = is_endpoint.clone();
+            run_world!(World::new(cfg, hosts, flows, move |id| {
+                if eps[id.index()] {
+                    SpanProto::endpoint(SpanConfig::default(), id)
+                } else {
+                    SpanProto::new(SpanConfig::default(), id)
+                }
+            }))
+        }
+    };
+    let cutoff = SimTime::from_secs(590);
+    let early = out.ledger.before(cutoff);
+    let result = ScenarioResult {
+        scenario: sc,
+        pdr: out.ledger.delivery_rate(),
+        latency_ms: out.ledger.mean_latency_ms(),
+        pdr_590: early.delivery_rate(),
+        latency_ms_590: early.mean_latency_ms(),
+        network_death_s: out.alive.first_time_at_or_below(0.0),
+        alive: out.alive,
+        aen: out.aen,
+        ledger: out.ledger,
+        stats: out.stats,
+        trace_digest: recorder.as_ref().map(|r| r.digest()),
+        recorder,
+        budget_exceeded: out.budget_exceeded,
+        engine,
+        groups: Vec::new(),
+    };
+    attach_groups(result, spec, gstats, &flow_group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> ScenarioSpec {
+        scenario::parse(text).expect("test scenario must parse")
+    }
+
+    const MIXED: &str = r#"
+[scenario]
+name = "mixed"
+duration_s = 40
+seed = 11
+
+[[group]]
+name = "walkers"
+count = 16
+mobility = "waypoint"
+max_speed = 1.0
+
+[[group]]
+name = "convoy"
+count = 8
+mobility = "convoy"
+max_speed = 5.0
+group_radius_m = 60
+range_m = 150
+
+[traffic]
+flows = 3
+rate_pps = 1.0
+"#;
+
+    #[test]
+    fn spec_run_is_reproducible() {
+        let spec = parse(MIXED);
+        let a = run_spec(&spec, ProtocolKind::Ecgrid, RunOptions::default());
+        let b = run_spec(&spec, ProtocolKind::Ecgrid, RunOptions::default());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.pdr, b.pdr);
+        assert!(a.ledger.sent_count() > 0, "traffic must flow");
+    }
+
+    #[test]
+    fn group_reports_cover_every_host_and_flow() {
+        let spec = parse(MIXED);
+        let r = run_spec(&spec, ProtocolKind::Ecgrid, RunOptions::default());
+        assert_eq!(r.groups.len(), 2);
+        assert_eq!(r.groups[0].name, "walkers");
+        assert_eq!(r.groups[0].stats.hosts, 16);
+        assert_eq!(r.groups[1].stats.hosts, 8);
+        assert_eq!(r.groups[1].mobility, "convoy");
+        let sent: u64 = r.groups.iter().map(|g| g.sent).sum();
+        assert_eq!(sent, r.ledger.sent_count(), "every flow attributed");
+    }
+
+    #[test]
+    fn endpoint_groups_drive_model1_protocols() {
+        let text = r#"
+[scenario]
+duration_s = 30
+seed = 5
+
+[[group]]
+name = "relays"
+count = 20
+role = "relay"
+mobility = "waypoint"
+max_speed = 1.0
+
+[[group]]
+name = "ends"
+count = 4
+role = "endpoint"
+mobility = "stationary"
+
+[traffic]
+flows = 2
+rate_pps = 1.0
+"#;
+        let spec = parse(text);
+        let r = run_spec(&spec, ProtocolKind::Gaf, RunOptions::default());
+        assert!(r.ledger.sent_count() > 0);
+        // endpoints are infinite-battery: excluded from the finite tally
+        assert_eq!(r.groups[1].stats.finite, 0);
+        assert_eq!(r.groups[1].stats.hosts, 4);
+        assert!(r.groups[0].stats.finite == 20);
+    }
+
+    #[test]
+    fn battery_variance_spreads_capacities_deterministically() {
+        assert_eq!(battery_scale(7, 0.0, 3), 1.0);
+        let a = battery_scale(7, 0.3, 3);
+        let b = battery_scale(7, 0.3, 3);
+        assert_eq!(a, b);
+        assert!(a > 0.69 && a <= 1.0, "scale {a} outside [0.7, 1]");
+        assert_ne!(battery_scale(7, 0.3, 4), a, "per-host spread");
+    }
+}

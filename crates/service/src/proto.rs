@@ -50,6 +50,39 @@ pub struct JobSpec {
     pub replicas: u64,
     /// Fault-plan spec string (e.g. `"loss=0.1,churn=2"`); empty = none.
     pub faults: String,
+    /// Hex-encoded scenario-file text (see [`scenario_hex_encode`]);
+    /// empty = a classic homogeneous job described by the scalar fields
+    /// above.  When present, the scenario text is authoritative for the
+    /// fleet shape and base seed, and the scalar shape fields are
+    /// ignored (the `protocol` and `faults` strings still apply).  Hex
+    /// because [`crate::json::esc`] is deliberately lossy — raw scenario
+    /// text with quotes and newlines would not survive the wire.
+    pub scenario: String,
+}
+
+/// Encode arbitrary text as lowercase hex for lossless transport through
+/// the flat-JSON wire format.
+pub fn scenario_hex_encode(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    for b in text.bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`scenario_hex_encode`].  Rejects odd-length or non-hex
+/// input and non-UTF-8 decodes.
+pub fn scenario_hex_decode(hex: &str) -> Result<String, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err("scenario hex has odd length".into());
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    let raw = hex.as_bytes();
+    for pair in raw.chunks_exact(2) {
+        let s = std::str::from_utf8(pair).map_err(|_| "scenario hex is not ASCII".to_string())?;
+        bytes.push(u8::from_str_radix(s, 16).map_err(|_| format!("bad hex byte \"{s}\""))?);
+    }
+    String::from_utf8(bytes).map_err(|_| "scenario text is not UTF-8".into())
 }
 
 impl Default for JobSpec {
@@ -67,6 +100,7 @@ impl Default for JobSpec {
             model1_endpoints: 4,
             replicas: 1,
             faults: String::new(),
+            scenario: String::new(),
         }
     }
 }
@@ -74,7 +108,8 @@ impl Default for JobSpec {
 impl JobSpec {
     /// Append the spec's fields onto an [`Obj`] under construction.
     pub fn encode_onto(&self, o: Obj) -> Obj {
-        o.str("protocol", &self.protocol)
+        let o = o
+            .str("protocol", &self.protocol)
             .u64("n_hosts", self.n_hosts)
             .f64("max_speed", self.max_speed)
             .f64("pause_secs", self.pause_secs)
@@ -84,7 +119,13 @@ impl JobSpec {
             .u64("seed", self.seed)
             .u64("model1_endpoints", self.model1_endpoints)
             .u64("replicas", self.replicas)
-            .str("faults", &self.faults)
+            .str("faults", &self.faults);
+        if self.scenario.is_empty() {
+            o
+        } else {
+            // hex is [0-9a-f]*, untouched by the lossy escaper
+            o.str("scenario", &self.scenario)
+        }
     }
 
     /// Parse the spec fields out of any line carrying them (submit
@@ -124,6 +165,12 @@ impl JobSpec {
                 "faults",
                 |l, k| json::field(l, k).map(str::to_string),
                 d.faults,
+            )?,
+            scenario: take(
+                line,
+                "scenario",
+                |l, k| json::field(l, k).map(str::to_string),
+                d.scenario,
             )?,
         })
     }
@@ -429,6 +476,7 @@ mod tests {
             model1_endpoints: 6,
             replicas: 4,
             faults: "loss=0.1,churn=2".into(),
+            scenario: String::new(),
         };
         let line = Request::Submit(spec.clone()).encode();
         match Request::parse(&line).unwrap() {
@@ -446,6 +494,32 @@ mod tests {
         // replicas clamp to >= 1
         let spec = JobSpec::parse("{\"cmd\":\"submit\",\"replicas\":0}").unwrap();
         assert_eq!(spec.replicas, 1);
+    }
+
+    #[test]
+    fn scenario_text_survives_the_wire_via_hex() {
+        let text = "[scenario]\nname = \"demo\"  # quotes, newlines, backslash \\\n";
+        let hex = scenario_hex_encode(text);
+        assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(scenario_hex_decode(&hex).unwrap(), text);
+        let spec = JobSpec {
+            scenario: hex.clone(),
+            ..JobSpec::default()
+        };
+        let line = Request::Submit(spec.clone()).encode();
+        match Request::parse(&line).unwrap() {
+            Request::Submit(got) => {
+                assert_eq!(got, spec);
+                assert_eq!(scenario_hex_decode(&got.scenario).unwrap(), text);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // classic jobs omit the field entirely
+        let classic = Request::Submit(JobSpec::default()).encode();
+        assert!(!classic.contains("scenario"));
+        // malformed hex is rejected, not silently truncated
+        assert!(scenario_hex_decode("abc").is_err());
+        assert!(scenario_hex_decode("zz").is_err());
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! End-to-end tests for the Span baseline.
 
-use manet::{
-    Battery, FlowSet, HostSetup, NodeId, Point2, PowerProfile, SimDuration, SimTime, World, WorldConfig,
-};
+use manet::{FlowSet, HostSetup, NodeId, Point2, PowerProfile, SimDuration, SimTime, World, WorldConfig};
 use mobility::MobilityTrace;
 use span::{SpanConfig, SpanProto, SpanState};
 use traffic::{CbrFlow, FlowId};
@@ -13,8 +11,7 @@ fn still(x: f64, y: f64) -> HostSetup {
     // Span is not location-aware: hosts carry no GPS
     HostSetup {
         profile: PowerProfile::paper_no_gps(),
-        battery: Battery::paper_default(),
-        trace: MobilityTrace::stationary(Point2::new(x, y), HORIZON),
+        ..HostSetup::paper(MobilityTrace::stationary(Point2::new(x, y), HORIZON))
     }
 }
 
@@ -63,6 +60,7 @@ fn span_delivers_over_the_backbone() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(35),
+        burst: None,
     }]);
     let mut w = span_world(chain(), flows, 2);
     w.run_until(SimTime::from_secs(40));
@@ -159,8 +157,7 @@ fn endpoints_stay_up_and_never_coordinate() {
     let mut hosts = chain();
     hosts[0] = HostSetup {
         profile: PowerProfile::paper_no_gps(),
-        battery: Battery::infinite(),
-        trace: MobilityTrace::stationary(Point2::new(20.0, 500.0), HORIZON),
+        ..HostSetup::infinite(MobilityTrace::stationary(Point2::new(20.0, 500.0), HORIZON))
     };
     let mut w = World::new(WorldConfig::paper_default(5), hosts, FlowSet::default(), |id| {
         if id == NodeId(0) {

@@ -86,7 +86,7 @@ fn audit_run(sc: &Scenario) -> EnergyAudit {
             } else {
                 Battery::infinite()
             },
-            trace: model.build_trace(&mut rngs.stream("mobility", i as u64), horizon),
+            ..HostSetup::paper(model.build_trace(&mut rngs.stream("mobility", i as u64), horizon))
         })
         .collect();
     let endpoints: Vec<NodeId> = if model2 {

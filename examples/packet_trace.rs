@@ -33,6 +33,7 @@ fn main() {
         interval: SimDuration::from_secs(10),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(6), // exactly one packet
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(3), hosts, flows, |id| {
         Ecgrid::new(EcgridConfig::default(), id)

@@ -55,6 +55,7 @@ fn main() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(6),
+        burst: None,
     }]);
 
     let mut world = World::new(WorldConfig::paper_default(1), hosts, flows, move |id| {

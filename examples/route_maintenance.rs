@@ -45,6 +45,7 @@ fn main() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(180),
+        burst: None,
     }]);
 
     let mut world = World::new(WorldConfig::paper_default(9), hosts, flows, |id| {

@@ -17,6 +17,7 @@ pub use metrics;
 pub use mobility;
 pub use radio;
 pub use runner;
+pub use scenario;
 pub use service;
 pub use sim_engine;
 pub use span;

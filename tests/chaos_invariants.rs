@@ -125,6 +125,52 @@ fn chaos_invariants_hold_across_the_fault_plan_grid() {
 }
 
 #[test]
+fn chaos_invariants_hold_across_the_scenario_file_matrix() {
+    // The heterogeneous scenario families (mixed radio ranges, group
+    // mobility, bursty and many-to-one traffic, role-restricted flows)
+    // under an adversarial plan: the same trace invariants must hold,
+    // and the injections must demonstrably engage.  ECGRID everywhere;
+    // GAF on the endpoint-rich families to cover the Model-1 path.
+    let plan = FaultPlan {
+        loss: 0.15,
+        churn_rate: 0.02,
+        rejoin_secs: 3.0,
+        page_fail: 0.1,
+        ..FaultPlan::none()
+    };
+    let examples_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    for stem in ["dense_square", "manhattan", "convoy", "hotspot", "many_to_one"] {
+        let text = std::fs::read_to_string(examples_dir.join(format!("{stem}.scn"))).unwrap();
+        let spec =
+            ecgrid_suite::scenario::parse(&text).unwrap_or_else(|e| panic!("examples/{stem}.scn: {e}"));
+        let mut protocols = vec![ProtocolKind::Ecgrid];
+        if matches!(stem, "hotspot" | "many_to_one") {
+            protocols.push(ProtocolKind::Gaf);
+        }
+        for p in protocols {
+            let opts = RunOptions {
+                trace: Some(TraceMode::Full),
+                ..RunOptions::default()
+            }
+            .with_faults(plan);
+            let r = ecgrid_suite::runner::run_spec(&spec, p, opts);
+            let label = format!("scn_{stem}_{}", p.name().to_lowercase());
+            assert!(r.stats.frames_lost_fault > 0, "{label}: loss never engaged");
+            assert!(r.ledger.sent_count() > 0, "{label}: no traffic flowed");
+            let rec = r.recorder.as_ref().expect("full trace kept");
+            check_rec_with_postmortem(&label, p.name(), rec);
+            // a faulted scenario run is still a pure function of its file
+            let again = ecgrid_suite::runner::run_spec(&spec, p, opts);
+            assert_eq!(
+                r.recorder.as_ref().map(|rc| rc.digest()),
+                again.recorder.as_ref().map(|rc| rc.digest()),
+                "{label}: faulted scenario replay drifted"
+            );
+        }
+    }
+}
+
+#[test]
 fn delivery_degrades_monotonically_with_rising_loss() {
     // Averaged over ECGRID_REPLICAS seeds per point; a small tolerance
     // absorbs the residual replica noise.  The CSMA MAC retries each frame
@@ -199,6 +245,7 @@ fn page_retry_chains_terminate_under_page_loss() {
         interval: SimDuration::from_millis(2000),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(85),
+        burst: None,
     }]);
     let cfg = WorldConfig::paper_default(7).with_faults(plan);
     let mut w = World::new(cfg, hosts, flows, |id| Ecgrid::new(EcgridConfig::default(), id));

@@ -42,6 +42,7 @@ fn fig2_world() -> World<Ecgrid> {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(15),
+        burst: None,
     }]);
     World::new(WorldConfig::paper_default(1), hosts, flows, |id| {
         let mut p = Ecgrid::new(EcgridConfig::default(), id);
@@ -139,6 +140,7 @@ fn non_gateway_destination_is_woken_for_delivery() {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(15),
+        burst: None,
     }]);
     let mut w = World::new(WorldConfig::paper_default(2), hosts, flows, |id| {
         let mut p = Ecgrid::new(EcgridConfig::default(), id);

@@ -42,6 +42,7 @@ fn maintenance_world() -> World<Ecgrid> {
         interval: SimDuration::from_secs(1),
         start: SimTime::from_secs(5),
         stop: SimTime::from_secs(180),
+        burst: None,
     }]);
     World::new(WorldConfig::paper_default(9), hosts, flows, |id| {
         Ecgrid::new(EcgridConfig::default(), id)

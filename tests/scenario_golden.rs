@@ -1,0 +1,190 @@
+//! Golden-trace regression harness for the scenario-file families.
+//!
+//! Every committed example under `examples/*.scn` is run under ECGRID,
+//! GRID and GAF and its trace digest pinned by a fixture at
+//! `tests/golden/scn_<example>_<protocol>.digest` — so behavioural drift
+//! anywhere in the scenario pipeline (parser → group builders → mobility
+//! models → heterogeneous world → per-group metrics) fails a diff here,
+//! exactly as `tests/golden_trace.rs` does for the classic homogeneous
+//! scenario.  The same runs also prove the determinism contract on the
+//! new families: repeat, scheduler-backend, shard-count and thread-count
+//! invariance of the digest.
+//!
+//! To regenerate the fixtures after a deliberate behaviour change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test scenario_golden
+//! ```
+
+use ecgrid_suite::manet::Backend;
+use ecgrid_suite::runner::{run_spec, ProtocolKind, RunOptions};
+use ecgrid_suite::scenario::{self, ScenarioSpec};
+use ecgrid_suite::trace::TraceDigest;
+use std::path::PathBuf;
+
+/// Every committed scenario example, by file stem.  Keep in sync with
+/// `examples/*.scn` — `every_committed_example_has_a_fixture` fails if a
+/// new example lands without joining this matrix.
+const EXAMPLES: [&str; 5] = ["dense_square", "manhattan", "convoy", "hotspot", "many_to_one"];
+
+const PROTOCOLS: [ProtocolKind; 3] = [ProtocolKind::Ecgrid, ProtocolKind::Grid, ProtocolKind::Gaf];
+
+fn example_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(format!("{stem}.scn"))
+}
+
+fn load(stem: &str) -> ScenarioSpec {
+    let path = example_path(stem);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    scenario::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+fn fixture_path(stem: &str, p: ProtocolKind) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("scn_{stem}_{}.digest", p.name().to_lowercase()))
+}
+
+fn digest_of(spec: &ScenarioSpec, p: ProtocolKind, opts: RunOptions) -> TraceDigest {
+    run_spec(spec, p, opts).trace_digest.expect("tracing was enabled")
+}
+
+fn check_fixture(label: &str, path: &PathBuf, got: TraceDigest, mismatches: &mut Vec<String>) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, format!("{got}\n")).unwrap();
+        return;
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let want = TraceDigest::parse(&text).unwrap_or_else(|| panic!("unparseable fixture {}", path.display()));
+    if got != want {
+        mismatches.push(format!("{label}: fixture {want}, run produced {got}"));
+    }
+}
+
+#[test]
+fn every_committed_example_has_a_fixture() {
+    // the acceptance bar: no .scn lands without a pinned digest
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut stems: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().and_then(|x| x.to_str()) == Some("scn"))
+                .then(|| p.file_stem().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    stems.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        stems, listed,
+        "examples/*.scn and the EXAMPLES matrix diverged — add the new \
+         example here so it gets golden fixtures"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // digests_match_the_scenario_fixtures writes them this run
+    }
+    for stem in EXAMPLES {
+        for p in PROTOCOLS {
+            assert!(
+                fixture_path(stem, p).is_file(),
+                "example {stem} has no {} fixture; run with UPDATE_GOLDEN=1",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn digests_match_the_scenario_fixtures() {
+    let mut mismatches = Vec::new();
+    for stem in EXAMPLES {
+        let spec = load(stem);
+        for p in PROTOCOLS {
+            let got = digest_of(&spec, p, RunOptions::digest());
+            check_fixture(
+                &format!("{stem}/{}", p.name()),
+                &fixture_path(stem, p),
+                got,
+                &mut mismatches,
+            );
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "scenario golden drift (deliberate change? rerun with UPDATE_GOLDEN=1):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn repeated_runs_of_every_family_agree() {
+    for stem in EXAMPLES {
+        let spec = load(stem);
+        let a = digest_of(&spec, ProtocolKind::Ecgrid, RunOptions::digest());
+        let b = digest_of(&spec, ProtocolKind::Ecgrid, RunOptions::digest());
+        assert_eq!(a, b, "{stem}: same file must replay bit-identically");
+        assert_ne!(a.0, 0, "{stem}: a non-empty run has a non-trivial digest");
+    }
+}
+
+#[test]
+fn scenario_digests_are_backend_invariant() {
+    for stem in EXAMPLES {
+        let spec = load(stem);
+        for p in PROTOCOLS {
+            let heap = digest_of(&spec, p, RunOptions::digest().with_backend(Backend::Heap));
+            let cal = digest_of(&spec, p, RunOptions::digest().with_backend(Backend::Calendar));
+            assert_eq!(
+                heap,
+                cal,
+                "{stem}/{}: backends must schedule identically",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_digests_are_shard_and_thread_invariant() {
+    // The heterogeneous families on the sharded engine: mixed per-group
+    // radio ranges (convoy), group-shared mobility references, bursty and
+    // many-to-one traffic must all replay bit-identically at every
+    // (shards, threads) — the digest-equivalence contract of DESIGN.md
+    // §12/§14 extended to scenario fleets.
+    for stem in EXAMPLES {
+        let spec = load(stem);
+        let serial = digest_of(&spec, ProtocolKind::Ecgrid, RunOptions::digest());
+        for (k, t) in [(2, 1), (4, 1), (4, 4)] {
+            let par = digest_of(
+                &spec,
+                ProtocolKind::Ecgrid,
+                RunOptions::digest().with_parallel_world(k).with_threads(t),
+            );
+            assert_eq!(serial, par, "{stem}: K={k} T={t} diverged from serial");
+        }
+    }
+}
+
+#[test]
+fn distinct_families_produce_distinct_digests() {
+    // the families genuinely differ — no two examples collapse onto the
+    // same event stream (which would mean a mobility/traffic knob is dead)
+    let mut seen: Vec<(String, TraceDigest)> = Vec::new();
+    for stem in EXAMPLES {
+        let spec = load(stem);
+        let d = digest_of(&spec, ProtocolKind::Ecgrid, RunOptions::digest());
+        for (other, prev) in &seen {
+            assert_ne!(d, *prev, "{stem} and {other} digested identically");
+        }
+        seen.push((stem.to_string(), d));
+    }
+}

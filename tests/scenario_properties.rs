@@ -1,0 +1,267 @@
+//! Property-based tests (proptest) on the scenario-file parser.
+//!
+//! The parser's contract, exercised over randomly generated specs:
+//!
+//! * **Roundtrip** — `parse(spec.to_text()) == spec` for every valid
+//!   spec: the canonical emitter loses nothing the parser reads, which is
+//!   also what lets the sweep service hash scenario jobs by re-emitted
+//!   text (`serve::spec_config_hash`).
+//! * **Located diagnostics** — an unknown key, an out-of-range value, or
+//!   a garbage line injected anywhere into a valid file is rejected with
+//!   the exact 1-based line of the offending token, never a parse that
+//!   silently drops it.
+//! * **Bounds** — count, battery_var, block_m and friends reject values
+//!   outside their documented ranges.
+
+use ecgrid_suite::scenario::{
+    parse, GroupSpec, MobilitySpec, Role, ScenarioSpec, TrafficPattern, TrafficSpec,
+};
+use proptest::prelude::*;
+
+type GroupDraw = ((u8, usize, u8), (f64, f64, f64), (f64, f64, f64), f64);
+type TrafficDraw = (u8, usize, f64, usize, f64, (f64, f64));
+
+/// Build a valid `GroupSpec` from drawn scalars.  `force_peer` pins the
+/// role (group 0 stays flow-eligible so nonzero-flow specs validate).
+fn build_group(i: usize, draw: &GroupDraw, field_min: f64, force_peer: bool) -> GroupSpec {
+    let ((mob_idx, count, role_idx), (var, range, gps), (ms, p, a), batt) = *draw;
+    let role = if force_peer {
+        Role::Peer
+    } else {
+        match role_idx % 5 {
+            0 => Role::Relay,
+            1 => Role::Source,
+            2 => Role::Sink,
+            3 => Role::Peer,
+            _ => Role::Endpoint,
+        }
+    };
+    let battery_j = if role == Role::Endpoint || batt < 0.15 {
+        None // endpoints are unmetered by rule; others may draw `inf`
+    } else {
+        Some(100.0 + 900.0 * batt)
+    };
+    let mobility = match mob_idx % 7 {
+        0 => MobilitySpec::Stationary,
+        1 => MobilitySpec::Waypoint {
+            max_speed: ms,
+            pause_s: p,
+        },
+        2 => MobilitySpec::Walk {
+            max_speed: ms,
+            epoch_s: p + 0.5,
+        },
+        3 => MobilitySpec::GaussMarkov {
+            mean_speed: ms,
+            alpha: a,
+            epoch_s: p + 0.5,
+        },
+        4 => MobilitySpec::Manhattan {
+            max_speed: ms,
+            pause_s: p,
+            block_m: field_min * (0.1 + 0.4 * a),
+        },
+        5 => MobilitySpec::Convoy {
+            max_speed: ms,
+            pause_s: p,
+            group_radius_m: 10.0 + 100.0 * a,
+        },
+        _ => MobilitySpec::Hotspot {
+            max_speed: ms,
+            hotspots: 1 + (count % 8) as u32,
+            dwell_s: p + 1.0,
+        },
+    };
+    GroupSpec {
+        name: format!("g{i}"),
+        count: if force_peer { count.max(2) } else { count },
+        battery_j,
+        battery_var: var,
+        range_m: range,
+        gps_sigma_m: gps,
+        role,
+        mobility,
+    }
+}
+
+fn build_spec(
+    seed: u64,
+    field: (f64, f64, f64),
+    duration: f64,
+    group_draws: &[GroupDraw],
+    traffic: &TrafficDraw,
+) -> ScenarioSpec {
+    let (field_w, field_h, cell_side) = field;
+    let field_min = field_w.min(field_h);
+    let (pat_idx, flows, rate, bytes, start, (on_s, off_s)) = *traffic;
+    let groups: Vec<GroupSpec> = group_draws
+        .iter()
+        .enumerate()
+        .map(|(i, d)| build_group(i, d, field_min, i == 0 && flows > 0))
+        .collect();
+    let pattern = match pat_idx % 3 {
+        0 => TrafficPattern::Cbr,
+        1 => TrafficPattern::Bursty { on_s, off_s },
+        _ => TrafficPattern::ManyToOne,
+    };
+    ScenarioSpec {
+        name: "prop".into(),
+        field_w,
+        field_h,
+        cell_side,
+        duration_s: duration,
+        seed,
+        groups,
+        traffic: TrafficSpec {
+            pattern,
+            flows,
+            rate_pps: rate,
+            packet_bytes: bytes as u32,
+            start_s: start,
+        },
+    }
+}
+
+proptest! {
+    /// parse(to_text()) is the identity on valid specs — every field of
+    /// every mobility model, role, battery (finite and `inf`), and
+    /// traffic pattern survives the canonical emit.
+    #[test]
+    fn parse_emit_parse_is_identity(
+        seed in 0u64..1_000_000_000,
+        field in (200.0..1500.0f64, 200.0..1500.0f64, 50.0..200.0f64),
+        duration in 10.0..100.0f64,
+        group_draws in proptest::collection::vec(
+            ((0u8..7, 1usize..40, 0u8..5), (0.0..1.0f64, 50.0..400.0f64, 0.0..20.0f64),
+             (0.1..20.0f64, 0.0..30.0f64, 0.0..1.0f64), 0.0..1.0f64),
+            1..4),
+        traffic in (0u8..3, 0usize..6, 0.1..4.0f64, 64usize..1024, 0.0..5.0f64,
+                    (0.5..10.0f64, 0.5..10.0f64)),
+    ) {
+        let spec = build_spec(seed, field, duration, &group_draws, &traffic);
+        let text = spec.to_text();
+        let parsed = parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("emitted text failed to parse: {e}\n{text}")))?;
+        prop_assert_eq!(&parsed, &spec, "roundtrip drifted");
+        // and the emit itself is a fixed point
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// An unknown key injected at any line inside any section is rejected
+    /// with that exact line and the key's name in the diagnostic.
+    #[test]
+    fn unknown_keys_are_rejected_at_their_line(
+        seed in 0u64..1_000_000_000,
+        group_draws in proptest::collection::vec(
+            ((0u8..7, 1usize..40, 0u8..5), (0.0..1.0f64, 50.0..400.0f64, 0.0..20.0f64),
+             (0.1..20.0f64, 0.0..30.0f64, 0.0..1.0f64), 0.0..1.0f64),
+            1..4),
+        pick in 0.0..1.0f64,
+    ) {
+        let spec = build_spec(
+            seed,
+            (1000.0, 1000.0, 100.0),
+            40.0,
+            &group_draws,
+            &(0, 2, 1.0, 256, 2.0, (4.0, 6.0)),
+        );
+        let text = spec.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        // insert after any line but the leading [scenario] header, so the
+        // key always lands inside some section
+        let at = 1 + ((pick * (lines.len() - 1) as f64) as usize).min(lines.len() - 2);
+        let mut mutated: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+        mutated.extend_from_slice(&lines[..at]);
+        mutated.push("mystery_knob = 1");
+        mutated.extend_from_slice(&lines[at..]);
+        let err = parse(&mutated.join("\n"))
+            .expect_err("an unknown key must never parse");
+        prop_assert!(
+            err.msg.contains("mystery_knob"),
+            "diagnostic names the key: {err}"
+        );
+        prop_assert_eq!(
+            err.line as usize,
+            at + 1,
+            "diagnostic points at the injected line: {}", err
+        );
+    }
+
+    /// A syntactically garbage line is rejected at its own line number.
+    #[test]
+    fn garbage_lines_are_located(
+        group_draws in proptest::collection::vec(
+            ((0u8..7, 1usize..40, 0u8..5), (0.0..1.0f64, 50.0..400.0f64, 0.0..20.0f64),
+             (0.1..20.0f64, 0.0..30.0f64, 0.0..1.0f64), 0.0..1.0f64),
+            1..4),
+        pick in 0.0..1.0f64,
+        garbage_idx in 0u8..4,
+    ) {
+        let spec = build_spec(
+            7,
+            (1000.0, 1000.0, 100.0),
+            40.0,
+            &group_draws,
+            &(0, 0, 1.0, 256, 2.0, (4.0, 6.0)),
+        );
+        let text = spec.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let at = 1 + ((pick * (lines.len() - 1) as f64) as usize).min(lines.len() - 2);
+        let garbage = match garbage_idx {
+            0 => "!!!",
+            1 => "count",            // key with no `=`
+            2 => "= 5",              // value with no key
+            _ => "[scenario",        // unterminated header
+        };
+        let mut mutated: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+        mutated.extend_from_slice(&lines[..at]);
+        mutated.push(garbage);
+        mutated.extend_from_slice(&lines[at..]);
+        let err = parse(&mutated.join("\n")).expect_err("garbage must never parse");
+        prop_assert_eq!(
+            err.line as usize,
+            at + 1,
+            "diagnostic points at the garbage line {:?}: {}", garbage, err
+        );
+    }
+
+    /// Out-of-range values on bounded keys are rejected at their line,
+    /// with the key named in the diagnostic.
+    #[test]
+    fn bounds_violations_are_rejected_at_their_line(
+        group_draws in proptest::collection::vec(
+            ((0u8..7, 1usize..40, 0u8..5), (0.0..1.0f64, 50.0..400.0f64, 0.0..20.0f64),
+             (0.1..20.0f64, 0.0..30.0f64, 0.0..1.0f64), 0.0..1.0f64),
+            1..4),
+        which in 0u8..4,
+    ) {
+        let spec = build_spec(
+            5,
+            (1000.0, 1000.0, 100.0),
+            40.0,
+            &group_draws,
+            &(0, 0, 1.0, 256, 2.0, (4.0, 6.0)),
+        );
+        let text = spec.to_text();
+        let (needle, replacement) = match which {
+            0 => ("count = ", "count = 0"),
+            1 => ("battery_var = ", "battery_var = 1.5"),
+            2 => ("range_m = ", "range_m = -1"),
+            _ => ("gps_sigma_m = ", "gps_sigma_m = 1e9"),
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let at = lines
+            .iter()
+            .position(|l| l.starts_with(needle))
+            .expect("to_text always emits the key");
+        let mutated: Vec<&str> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| if i == at { replacement } else { *l })
+            .collect();
+        let err = parse(&mutated.join("\n")).expect_err("bounds must reject");
+        let key = needle.trim_end_matches(" = ");
+        prop_assert!(err.msg.contains(key), "diagnostic names `{}`: {}", key, err);
+        prop_assert_eq!(err.line as usize, at + 1, "located: {}", err);
+    }
+}

@@ -279,6 +279,91 @@ fn drain_mid_sweep_then_restart_resumes_bit_for_bit() {
 }
 
 #[test]
+fn scenario_file_jobs_run_with_per_group_metrics_and_local_digest_parity() {
+    // a small heterogeneous fleet: metered waypoint walkers sourcing
+    // many-to-one traffic into an infinite-battery sink group
+    const TEXT: &str = r#"
+[scenario]
+name = "svc-field"
+duration_s = 15
+seed = 21
+
+[[group]]
+name = "walkers"
+count = 10
+mobility = "waypoint"
+max_speed = 1.0
+role = "source"
+
+[[group]]
+name = "collectors"
+count = 2
+mobility = "stationary"
+role = "endpoint"
+
+[traffic]
+pattern = "many_to_one"
+flows = 2
+rate_pps = 1.0
+"#;
+    let server = start_server("scenario_job", ServiceConfig::default());
+    let mut client = connect(&server);
+    let spec = JobSpec {
+        scenario: ecgrid_suite::service::proto::scenario_hex_encode(TEXT),
+        replicas: 2,
+        ..JobSpec::default()
+    };
+    let (job, _) = client.submit_until_accepted(&spec, 0).expect("submit");
+    let mut group_metrics: Vec<String> = Vec::new();
+    let info = client
+        .stream_job(job, &FilterSpec::default(), |frame| {
+            if json::field(frame, "stream") == Some("metric") {
+                if let Some(name) = json::field(frame, "name") {
+                    if name.starts_with("group.") {
+                        group_metrics.push(name.to_string());
+                    }
+                }
+            }
+        })
+        .expect("stream");
+    assert_eq!(info.state, Some(ecgrid_suite::service::JobState::Done));
+    assert_eq!(info.completed, 2);
+    assert_eq!(info.digests.len(), 2);
+
+    // per-group labels flowed into the metric stream, for every replica
+    for name in [
+        "group.walkers.sent",
+        "group.walkers.aen",
+        "group.collectors.delivered",
+        "group.collectors.alive_fraction",
+    ] {
+        assert_eq!(
+            group_metrics.iter().filter(|n| *n == name).count(),
+            2,
+            "metric {name} once per replica: {group_metrics:?}"
+        );
+    }
+
+    // replica digests match a local run of the same file: the service
+    // path adds supervision and streaming, not new randomness
+    let parsed = ecgrid_suite::scenario::parse(TEXT).expect("scenario parses");
+    let opts = RunOptions::digest();
+    for (k, digest) in info.digests.iter().enumerate() {
+        let mut point = parsed.clone();
+        point.seed = ecgrid_suite::runner::run::replica_seed(parsed.seed, k as u64);
+        let local = ecgrid_suite::runner::run_spec(&point, ecgrid_suite::runner::ProtocolKind::Ecgrid, opts);
+        assert_eq!(
+            digest,
+            &local.trace_digest.expect("local digest").to_string(),
+            "replica {k} digest diverges from the local run"
+        );
+    }
+
+    server.request_shutdown();
+    server.wait();
+}
+
+#[test]
 fn slow_subscriber_drops_frames_without_stalling_or_perturbing_the_sim() {
     // a subscriber buffer this small cannot absorb a replica's thousands
     // of trace frames: the hub must drop for this subscriber (and count

@@ -176,3 +176,68 @@ fn adaptive_fallback_is_invisible_across_a_mid_run_threshold_crossing() {
         threshold
     );
 }
+
+/// Heterogeneous per-host radio ranges through the SoA receiver-gather
+/// paths: the grid-bucket index (sized from the fleet-max range), the
+/// brute scan, and every gather-fallback policy must produce identical
+/// candidate verdicts when transmissions carry their own shorter discs.
+#[test]
+fn heterogeneous_ranges_agree_across_gather_paths() {
+    const MIXED_RANGES: &str = r#"
+[scenario]
+name = "mixed-ranges-soa"
+duration_s = 30
+seed = 29
+
+[[group]]
+name = "short"
+count = 16
+mobility = "walk"
+max_speed = 4.0
+range_m = 110
+
+[[group]]
+name = "long"
+count = 12
+mobility = "waypoint"
+max_speed = 2.0
+range_m = 250
+
+[traffic]
+flows = 4
+rate_pps = 1.0
+"#;
+    let spec = ecgrid_suite::scenario::parse(MIXED_RANGES).unwrap();
+    let grid = ecgrid_suite::runner::run_spec(
+        &spec,
+        ProtocolKind::Ecgrid,
+        RunOptions::digest().with_neighbor_index(NeighborIndex::Grid),
+    );
+    let want = grid.trace_digest.expect("tracing was enabled");
+    let brute = ecgrid_suite::runner::run_spec(
+        &spec,
+        ProtocolKind::Ecgrid,
+        RunOptions::digest().with_neighbor_index(NeighborIndex::Brute),
+    );
+    assert_eq!(
+        brute.trace_digest,
+        Some(want),
+        "brute scan diverged on mixed ranges"
+    );
+    for fb in FALLBACKS {
+        let r = ecgrid_suite::runner::run_spec(
+            &spec,
+            ProtocolKind::Ecgrid,
+            RunOptions::digest()
+                .with_neighbor_index(NeighborIndex::Grid)
+                .with_gather_fallback(fb),
+        );
+        assert_eq!(
+            r.trace_digest,
+            Some(want),
+            "fallback {} diverged on mixed ranges",
+            fb.name()
+        );
+        assert_eq!(r.stats, grid.stats, "fallback {}", fb.name());
+    }
+}
